@@ -1,0 +1,89 @@
+//! Amdahl-law speed-up ceilings for the shared-memory model
+//! (paper §4.2, Figure 3).
+//!
+//! With memory operations taking fraction `m` of sequential execution
+//! and everything else enhanced by a factor `k`:
+//!
+//! * if memory executes *separately* from computation (the dotted curve
+//!   of Figure 3): `time = m + (1-m)/k`;
+//! * if memory can be *completely overlapped* with computation (the
+//!   continuous curve): `time = max(m, (1-m)/k)` — which saturates at
+//!   `1/m ≈ 3` for the measured `m ≈ 0.32`, the paper's headline limit.
+
+/// Speed-up when memory runs separately from enhanced computation.
+pub fn amdahl_separate(mem_fraction: f64, enhancement: f64) -> f64 {
+    1.0 / (mem_fraction + (1.0 - mem_fraction) / enhancement)
+}
+
+/// Speed-up when memory fully overlaps enhanced computation.
+pub fn amdahl_overlapped(mem_fraction: f64, enhancement: f64) -> f64 {
+    1.0 / f64::max(mem_fraction, (1.0 - mem_fraction) / enhancement)
+}
+
+/// A sampled speed-up curve over enhancement factors.
+#[derive(Clone, Debug)]
+pub struct AmdahlCurve {
+    /// (enhancement factor, speed-up) samples.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl AmdahlCurve {
+    /// Samples `f` at the given enhancement factors.
+    pub fn sample(
+        mem_fraction: f64,
+        factors: &[f64],
+        f: fn(f64, f64) -> f64,
+    ) -> AmdahlCurve {
+        AmdahlCurve {
+            points: factors
+                .iter()
+                .map(|&k| (k, f(mem_fraction, k)))
+                .collect(),
+        }
+    }
+
+    /// The asymptotic limit of the curve (its last sample).
+    pub fn limit(&self) -> f64 {
+        self.points.last().map(|&(_, s)| s).unwrap_or(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_headline_limit() {
+        // memory 32% => asymptotic speed-up 1/0.32 = 3.125 ≈ 3
+        let s = amdahl_overlapped(0.32, 1e9);
+        assert!((s - 3.125).abs() < 1e-6);
+    }
+
+    #[test]
+    fn separate_is_never_faster_than_overlapped() {
+        for k in [1.0, 2.0, 4.0, 16.0] {
+            assert!(amdahl_separate(0.32, k) <= amdahl_overlapped(0.32, k) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn no_enhancement_means_no_speedup_when_separate() {
+        assert!((amdahl_separate(0.32, 1.0) - 1.0).abs() < 1e-12);
+        // overlapping memory with computation already helps at k=1:
+        // time = max(m, 1-m) = 0.68
+        assert!((amdahl_overlapped(0.32, 1.0) - 1.0 / 0.68).abs() < 1e-9);
+    }
+
+    #[test]
+    fn curve_is_monotone() {
+        let c = AmdahlCurve::sample(
+            0.32,
+            &[1.0, 2.0, 3.0, 4.0, 8.0, 16.0],
+            amdahl_overlapped,
+        );
+        for w in c.points.windows(2) {
+            assert!(w[1].1 >= w[0].1);
+        }
+        assert!(c.limit() > 3.0);
+    }
+}

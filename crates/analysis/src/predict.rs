@@ -1,0 +1,123 @@
+//! Branch predictability (paper §4.4, Table 2 and Figure 4).
+//!
+//! For a conditional branch with taken-probability `p`, the probability
+//! of a faulty prediction is `min(p, 1-p)`: a static predictor (trace
+//! picking) follows the usual direction and is wrong the rest of the
+//! time. The paper's striking result is that Prolog branches are very
+//! predictable (average ≈ 0.1), refuting the "90/50 branch-taken rule"
+//! for symbolic code.
+
+use symbol_intcode::{ExecStats, IciProgram, Op};
+
+/// Probability of faulty prediction of one branch.
+pub fn faulty_prediction(taken_probability: f64) -> f64 {
+    taken_probability.min(1.0 - taken_probability)
+}
+
+/// Predictability statistics of one profiled run.
+#[derive(Clone, Debug)]
+pub struct PredictStats {
+    /// Per-branch (execution count, faulty-prediction probability).
+    pub branches: Vec<(u64, f64)>,
+}
+
+impl PredictStats {
+    /// Collects every executed conditional branch of a run.
+    pub fn measure(program: &IciProgram, stats: &ExecStats) -> PredictStats {
+        let mut branches = Vec::new();
+        for (i, op) in program.ops().iter().enumerate() {
+            let conditional = matches!(
+                op,
+                Op::Br { .. } | Op::BrTag { .. } | Op::BrWord { .. } | Op::BrWEq { .. }
+            );
+            if !conditional {
+                continue;
+            }
+            if let Some(p) = stats.taken_probability(i) {
+                branches.push((stats.expect[i], faulty_prediction(p)));
+            }
+        }
+        PredictStats { branches }
+    }
+
+    /// Execution-weighted average probability of faulty prediction
+    /// (the paper's Table 2 metric).
+    pub fn average(&self) -> f64 {
+        let weight: u64 = self.branches.iter().map(|(w, _)| w).sum();
+        if weight == 0 {
+            return 0.0;
+        }
+        self.branches
+            .iter()
+            .map(|&(w, p)| w as f64 * p)
+            .sum::<f64>()
+            / weight as f64
+    }
+
+    /// Execution-weighted histogram of P_fp over [0, 0.5] with
+    /// `bins` buckets (Figure 4).
+    pub fn histogram(&self, bins: usize) -> Histogram {
+        let mut counts = vec![0f64; bins];
+        let mut total = 0f64;
+        for &(w, p) in &self.branches {
+            let idx = ((p / 0.5) * bins as f64).min(bins as f64 - 1.0) as usize;
+            counts[idx] += w as f64;
+            total += w as f64;
+        }
+        if total > 0.0 {
+            for c in &mut counts {
+                *c /= total;
+            }
+        }
+        Histogram { counts }
+    }
+}
+
+/// A normalized histogram over [0, 0.5].
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    /// Fraction of weight per bucket; sums to 1 when nonempty.
+    pub counts: Vec<f64>,
+}
+
+impl Histogram {
+    /// The bucket range `(lo, hi)` of bin `i`.
+    pub fn range(&self, i: usize) -> (f64, f64) {
+        let w = 0.5 / self.counts.len() as f64;
+        (i as f64 * w, (i + 1) as f64 * w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn faulty_prediction_folds_at_half() {
+        assert!((faulty_prediction(0.9) - 0.1).abs() < 1e-12);
+        assert!((faulty_prediction(0.1) - 0.1).abs() < 1e-12);
+        assert!((faulty_prediction(0.5) - 0.5).abs() < 1e-12);
+        assert!((faulty_prediction(0.0) - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_average() {
+        let s = PredictStats {
+            branches: vec![(90, 0.0), (10, 0.5)],
+        };
+        assert!((s.average() - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_is_normalized() {
+        let s = PredictStats {
+            branches: vec![(50, 0.05), (30, 0.45), (20, 0.2)],
+        };
+        let h = s.histogram(20);
+        let sum: f64 = h.counts.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        // 0.05 falls in bin 2 of 20 (width 0.025)
+        assert!(h.counts[2] > 0.0);
+        assert_eq!(h.range(0), (0.0, 0.025));
+    }
+}

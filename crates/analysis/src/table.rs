@@ -1,0 +1,143 @@
+//! Minimal text-table renderer for the experiment reports.
+
+use std::fmt;
+
+/// Column alignment.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Align {
+    /// Left-aligned (names).
+    Left,
+    /// Right-aligned (numbers).
+    Right,
+}
+
+/// A simple aligned text table.
+#[derive(Clone, Debug, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    aligns: Vec<Align>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given header; the first column is
+    /// left-aligned, the rest right-aligned.
+    pub fn new(header: &[&str]) -> Self {
+        let aligns = (0..header.len())
+            .map(|i| if i == 0 { Align::Left } else { Align::Right })
+            .collect();
+        TextTable {
+            header: header.iter().map(|s| (*s).to_owned()).collect(),
+            aligns,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (shorter rows are padded with blanks).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row has more cells than the header.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert!(
+            cells.len() <= self.header.len(),
+            "row has {} cells but the table has {} columns",
+            cells.len(),
+            self.header.len()
+        );
+        let mut cells = cells;
+        cells.resize(self.header.len(), String::new());
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl fmt::Display for TextTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for i in 0..cols {
+                if i > 0 {
+                    write!(f, "  ")?;
+                }
+                match self.aligns[i] {
+                    Align::Left => write!(f, "{:<width$}", cells[i], width = widths[i])?,
+                    Align::Right => write!(f, "{:>width$}", cells[i], width = widths[i])?,
+                }
+            }
+            writeln!(f)
+        };
+        write_row(f, &self.header)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a float with `d` decimals.
+pub fn f(x: f64, d: usize) -> String {
+    format!("{x:.d$}")
+}
+
+/// Formats an optional float, blank when absent.
+pub fn opt(x: Option<f64>, d: usize) -> String {
+    x.map(|v| f(v, d)).unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = TextTable::new(&["name", "value"]);
+        t.row(vec!["aa".into(), "1.0".into()]);
+        t.row(vec!["b".into(), "12.5".into()]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[2].starts_with("aa"));
+        assert!(lines[3].ends_with("12.5"));
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut t = TextTable::new(&["a", "b", "c"]);
+        t.row(vec!["x".into()]);
+        assert_eq!(t.len(), 1);
+        let _ = t.to_string();
+    }
+
+    #[test]
+    #[should_panic(expected = "columns")]
+    fn long_rows_panic() {
+        let mut t = TextTable::new(&["a"]);
+        t.row(vec!["x".into(), "y".into()]);
+    }
+
+    #[test]
+    fn float_helpers() {
+        assert_eq!(f(1.23456, 2), "1.23");
+        assert_eq!(opt(None, 2), "");
+        assert_eq!(opt(Some(2.5), 1), "2.5");
+    }
+}

@@ -1,0 +1,158 @@
+//! Arithmetic expression compilation for `is/2` and the comparisons.
+
+use symbol_prolog::{SymbolTable, Term};
+
+use crate::error::CompileError;
+use crate::instr::{ArithOp, Const, Operand};
+
+use super::clause::ClauseCompiler;
+
+/// Maps a functor name to the binary [`ArithOp`] it denotes.
+fn binary_op(name: &str) -> Option<ArithOp> {
+    Some(match name {
+        "+" => ArithOp::Add,
+        "-" => ArithOp::Sub,
+        "*" => ArithOp::Mul,
+        "/" | "//" => ArithOp::Div,
+        "mod" | "rem" => ArithOp::Mod,
+        "/\\" => ArithOp::And,
+        "\\/" => ArithOp::Or,
+        "xor" => ArithOp::Xor,
+        "<<" => ArithOp::Shl,
+        ">>" => ArithOp::Shr,
+        _ => return None,
+    })
+}
+
+/// Compiles the evaluation of arithmetic expression `expr`, emitting
+/// code into `cc` and returning the operand holding the integer result.
+///
+/// Variables are dereferenced and type-checked at run time (`DerefInt`
+/// backtracks on non-integers, which is how the machine model treats
+/// arithmetic type errors).
+///
+/// # Errors
+///
+/// Returns [`CompileError::BadArithmetic`] for expressions built from
+/// unknown functors or non-numeric atoms.
+pub fn eval(
+    cc: &mut ClauseCompiler<'_>,
+    expr: &Term,
+    symbols: &SymbolTable,
+) -> Result<Operand, CompileError> {
+    match expr {
+        Term::Int(i) => Ok(Operand::Const(Const::Int(*i))),
+        Term::Var(v) => {
+            let src = cc.var_value_slot(*v);
+            let dst = cc.fresh_temp();
+            cc.emit(crate::instr::BamInstr::DerefInt { src, dst });
+            Ok(Operand::Slot(dst))
+        }
+        Term::Struct(f, args)
+            if args.len() == 2 && binary_op(symbols.name(*f)).is_some() =>
+        {
+            let op = binary_op(symbols.name(*f)).expect("guarded");
+            let a = eval(cc, &args[0], symbols)?;
+            let b = eval(cc, &args[1], symbols)?;
+            let dst = cc.fresh_temp();
+            cc.emit(crate::instr::BamInstr::Arith { op, a, b, dst });
+            Ok(Operand::Slot(dst))
+        }
+        Term::Struct(f, args) if args.len() == 1 && symbols.name(*f) == "-" => {
+            let a = eval(cc, &args[0], symbols)?;
+            let dst = cc.fresh_temp();
+            cc.emit(crate::instr::BamInstr::Arith {
+                op: ArithOp::Sub,
+                a: Operand::Const(Const::Int(0)),
+                b: a,
+                dst,
+            });
+            Ok(Operand::Slot(dst))
+        }
+        Term::Struct(f, args) if args.len() == 1 && symbols.name(*f) == "+" => {
+            eval(cc, &args[0], symbols)
+        }
+        Term::Struct(f, args) if args.len() == 1 && symbols.name(*f) == "abs" => {
+            // abs(a) = max(a, 0 - a)
+            let a = eval(cc, &args[0], symbols)?;
+            let neg = cc.fresh_temp();
+            cc.emit(crate::instr::BamInstr::Arith {
+                op: ArithOp::Sub,
+                a: Operand::Const(Const::Int(0)),
+                b: a,
+                dst: neg,
+            });
+            let dst = cc.fresh_temp();
+            cc.emit(crate::instr::BamInstr::Arith {
+                op: ArithOp::Max,
+                a,
+                b: Operand::Slot(neg),
+                dst,
+            });
+            Ok(Operand::Slot(dst))
+        }
+        Term::Struct(f, args) if args.len() == 2 && symbols.name(*f) == "max" => {
+            let a = eval(cc, &args[0], symbols)?;
+            let b = eval(cc, &args[1], symbols)?;
+            let dst = cc.fresh_temp();
+            cc.emit(crate::instr::BamInstr::Arith {
+                op: ArithOp::Max,
+                a,
+                b,
+                dst,
+            });
+            Ok(Operand::Slot(dst))
+        }
+        Term::Struct(f, args) if args.len() == 2 && symbols.name(*f) == "min" => {
+            // min(a, b) = -max(-a, -b)
+            let a = eval(cc, &args[0], symbols)?;
+            let b = eval(cc, &args[1], symbols)?;
+            let na = cc.fresh_temp();
+            cc.emit(crate::instr::BamInstr::Arith {
+                op: ArithOp::Sub,
+                a: Operand::Const(Const::Int(0)),
+                b: a,
+                dst: na,
+            });
+            let nb = cc.fresh_temp();
+            cc.emit(crate::instr::BamInstr::Arith {
+                op: ArithOp::Sub,
+                a: Operand::Const(Const::Int(0)),
+                b,
+                dst: nb,
+            });
+            let m = cc.fresh_temp();
+            cc.emit(crate::instr::BamInstr::Arith {
+                op: ArithOp::Max,
+                a: Operand::Slot(na),
+                b: Operand::Slot(nb),
+                dst: m,
+            });
+            let dst = cc.fresh_temp();
+            cc.emit(crate::instr::BamInstr::Arith {
+                op: ArithOp::Sub,
+                a: Operand::Const(Const::Int(0)),
+                b: Operand::Slot(m),
+                dst,
+            });
+            Ok(Operand::Slot(dst))
+        }
+        other => Err(CompileError::BadArithmetic {
+            expr: format!("{}", other.display(symbols)),
+        }),
+    }
+}
+
+/// Maps a comparison goal name to its [`crate::instr::Cmp`].
+pub fn comparison(name: &str) -> Option<crate::instr::Cmp> {
+    use crate::instr::Cmp;
+    Some(match name {
+        "=:=" => Cmp::Eq,
+        "=\\=" => Cmp::Ne,
+        "<" => Cmp::Lt,
+        "=<" => Cmp::Le,
+        ">" => Cmp::Gt,
+        ">=" => Cmp::Ge,
+        _ => return None,
+    })
+}

@@ -1,0 +1,490 @@
+//! Single-clause compilation.
+//!
+//! Head unification is compiled to explicit dereference / branch /
+//! load / bind sequences with separate read- and write-mode paths
+//! (BAM-style specialized unification); bodies become put sequences and
+//! calls with last-call optimization.
+
+use std::collections::HashSet;
+
+use symbol_prolog::{symbols::wk, Clause, PredId, SymbolTable, Term};
+
+use crate::error::CompileError;
+use crate::instr::{
+    BamInstr, BamLabel, Const, Functor, Operand, Slot, TypeTest,
+};
+use crate::vars::{analyze, is_builtin, VarInfo};
+
+use super::arith;
+
+/// Pseudo-label denoting the global backtracking routine.
+pub const FAIL: BamLabel = BamLabel(u32::MAX);
+
+/// State for compiling one clause of a predicate.
+#[derive(Debug)]
+pub struct ClauseCompiler<'a> {
+    symbols: &'a SymbolTable,
+    clause: &'a Clause,
+    info: VarInfo,
+    code: Vec<BamInstr>,
+    seen: HashSet<usize>,
+    next_temp: usize,
+    labels: &'a mut u32,
+    /// Predicates called by this clause (for later definedness checks).
+    pub called: Vec<PredId>,
+}
+
+impl<'a> ClauseCompiler<'a> {
+    /// Creates a compiler for `clause`. `temp_base` reserves lower
+    /// temporary indices for the predicate's indexing code; `labels` is
+    /// the predicate-wide label counter.
+    pub fn new(
+        clause: &'a Clause,
+        symbols: &'a SymbolTable,
+        temp_base: usize,
+        labels: &'a mut u32,
+    ) -> Self {
+        let info = analyze(clause, symbols, temp_base);
+        // Scratch temps go above the variable temps.
+        let next_temp = temp_base + clause.num_vars();
+        ClauseCompiler {
+            symbols,
+            clause,
+            info,
+            code: Vec::new(),
+            seen: HashSet::new(),
+            next_temp,
+            labels,
+            called: Vec::new(),
+        }
+    }
+
+    /// Emits one instruction (also used by the arithmetic helper).
+    pub fn emit(&mut self, i: BamInstr) {
+        self.code.push(i);
+    }
+
+    /// Allocates a fresh scratch temporary.
+    pub fn fresh_temp(&mut self) -> Slot {
+        let t = Slot::Temp(self.next_temp);
+        self.next_temp += 1;
+        t
+    }
+
+    fn fresh_label(&mut self) -> BamLabel {
+        let l = BamLabel(*self.labels);
+        *self.labels += 1;
+        l
+    }
+
+    /// Slot holding the current value of variable `v`, materializing a
+    /// fresh heap variable on first occurrence.
+    pub fn var_value_slot(&mut self, v: usize) -> Slot {
+        if self.seen.insert(v) {
+            let dst = self.info.slot(v);
+            self.emit(BamInstr::PushFresh { dst });
+        }
+        self.info.slot(v)
+    }
+
+    /// Compiles the whole clause body of code (head + body + return).
+    /// Returns the code, the called predicates, and the first unused
+    /// temporary index (so the next clause can continue numbering).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CompileError`] from unsupported goals.
+    pub fn compile(mut self) -> Result<(Vec<BamInstr>, Vec<PredId>, usize), CompileError> {
+        let needs_env = self.info.needs_env();
+        if needs_env {
+            self.emit(BamInstr::Allocate(self.info.env_size()));
+        }
+        if let Some(cs) = self.info.cut_slot() {
+            self.emit(BamInstr::SaveCutBarrier(Slot::Perm(cs)));
+        }
+
+        // Head unification, argument by argument.
+        if let Term::Struct(_, args) = &self.clause.head {
+            let args = args.clone();
+            for (i, t) in args.iter().enumerate() {
+                self.get(t, Slot::Arg(i));
+            }
+        }
+
+        // Body.
+        let body = self.clause.body.clone();
+        let mut seen_call = false;
+        let mut ended_with_execute = false;
+        for (i, goal) in body.iter().enumerate() {
+            let last = i + 1 == body.len();
+            if is_builtin(goal, self.symbols) {
+                self.compile_builtin(goal, seen_call)?;
+            } else {
+                let (name, arity) = goal.functor().ok_or_else(|| {
+                    CompileError::UnsupportedGoal {
+                        goal: format!("{}", goal.display(self.symbols)),
+                    }
+                })?;
+                let pred = PredId::new(name, arity);
+                self.called.push(pred);
+                let goal_args: Vec<Term> = match goal {
+                    Term::Struct(_, a) => a.clone(),
+                    _ => Vec::new(),
+                };
+                for (k, t) in goal_args.iter().enumerate() {
+                    self.put(t, k, last && needs_env);
+                }
+                if last {
+                    if needs_env {
+                        self.emit(BamInstr::Deallocate);
+                    }
+                    self.emit(BamInstr::Execute(pred));
+                    ended_with_execute = true;
+                } else {
+                    self.emit(BamInstr::Call(pred));
+                    seen_call = true;
+                }
+            }
+        }
+
+        if !ended_with_execute {
+            if needs_env {
+                self.emit(BamInstr::Deallocate);
+            }
+            self.emit(BamInstr::Proceed);
+        }
+        let next_temp = self.next_temp;
+        Ok((self.code, self.called, next_temp))
+    }
+
+    // ---------------- head unification ----------------
+
+    /// Compiles unification of head subterm `t` against the value in
+    /// `src` (specialized read/write expansion).
+    fn get(&mut self, t: &Term, src: Slot) {
+        match t {
+            Term::Var(v) => {
+                if self.seen.insert(*v) {
+                    let dst = self.info.slot(*v);
+                    self.emit(BamInstr::Move {
+                        src: Operand::Slot(src),
+                        dst,
+                    });
+                } else {
+                    let a = self.info.slot(*v);
+                    self.emit(BamInstr::GeneralUnify { a, b: src });
+                }
+            }
+            Term::Int(i) => self.get_const(Const::Int(*i), src),
+            Term::Atom(a) => self.get_const(Const::Atom(*a), src),
+            Term::Struct(f, args) if *f == wk::DOT && args.len() == 2 => {
+                let d = self.fresh_temp();
+                self.emit(BamInstr::Deref { src, dst: d });
+                let lw = self.fresh_label();
+                let lend = self.fresh_label();
+                self.emit(BamInstr::BranchVar { slot: d, target: lw });
+                self.emit(BamInstr::BranchNotTag {
+                    slot: d,
+                    tag: crate::instr::TagClass::Lst,
+                    target: FAIL,
+                });
+                // Read mode: load car and cdr, then unify recursively.
+                let hs = self.fresh_temp();
+                let ts = self.fresh_temp();
+                self.emit(BamInstr::LoadArg {
+                    base: d,
+                    idx: 0,
+                    dst: hs,
+                });
+                self.emit(BamInstr::LoadArg {
+                    base: d,
+                    idx: 1,
+                    dst: ts,
+                });
+                let seen_before = self.seen.clone();
+                self.get(&args[0], hs);
+                self.get(&args[1], ts);
+                self.emit(BamInstr::Jump(lend));
+                // Write mode: build the whole list and bind. Sub-terms
+                // are built before `NewList` captures the heap top, so
+                // the two cell words stay contiguous.
+                self.emit(BamInstr::Label(lw));
+                self.seen = seen_before;
+                let oh = self.build(&args[0]);
+                let ot = self.build(&args[1]);
+                let bt = self.fresh_temp();
+                self.emit(BamInstr::NewList { dst: bt });
+                self.push_operand(oh);
+                self.push_operand(ot);
+                self.emit(BamInstr::BindSlot { var: d, value: bt });
+                self.emit(BamInstr::Label(lend));
+            }
+            Term::Struct(f, args) => {
+                let fct = Functor::new(*f, args.len());
+                let d = self.fresh_temp();
+                self.emit(BamInstr::Deref { src, dst: d });
+                let lw = self.fresh_label();
+                let lend = self.fresh_label();
+                self.emit(BamInstr::BranchVar { slot: d, target: lw });
+                self.emit(BamInstr::BranchNotTag {
+                    slot: d,
+                    tag: crate::instr::TagClass::Str,
+                    target: FAIL,
+                });
+                self.emit(BamInstr::BranchNotFunctor {
+                    slot: d,
+                    f: fct,
+                    target: FAIL,
+                });
+                let mut arg_slots = Vec::new();
+                for i in 0..args.len() {
+                    let s = self.fresh_temp();
+                    self.emit(BamInstr::LoadArg {
+                        base: d,
+                        idx: i + 1,
+                        dst: s,
+                    });
+                    arg_slots.push(s);
+                }
+                let seen_before = self.seen.clone();
+                for (a, s) in args.iter().zip(&arg_slots) {
+                    self.get(a, *s);
+                }
+                self.emit(BamInstr::Jump(lend));
+                self.emit(BamInstr::Label(lw));
+                self.seen = seen_before;
+                let ops: Vec<Operand> = args.iter().map(|a| self.build(a)).collect();
+                let bt = self.fresh_temp();
+                self.emit(BamInstr::NewStruct { dst: bt, f: fct });
+                for o in ops {
+                    self.push_operand(o);
+                }
+                self.emit(BamInstr::BindSlot { var: d, value: bt });
+                self.emit(BamInstr::Label(lend));
+            }
+        }
+    }
+
+    fn get_const(&mut self, c: Const, src: Slot) {
+        let d = self.fresh_temp();
+        self.emit(BamInstr::Deref { src, dst: d });
+        let lw = self.fresh_label();
+        let lend = self.fresh_label();
+        self.emit(BamInstr::BranchVar { slot: d, target: lw });
+        self.emit(BamInstr::BranchNotConst {
+            slot: d,
+            c,
+            target: FAIL,
+        });
+        self.emit(BamInstr::Jump(lend));
+        self.emit(BamInstr::Label(lw));
+        self.emit(BamInstr::BindConst { var: d, c });
+        self.emit(BamInstr::Label(lend));
+    }
+
+    // ---------------- term building (write mode / puts) ----------------
+
+    /// Emits code constructing `t` on the heap bottom-up; returns the
+    /// operand holding (a reference to) the built term.
+    fn build(&mut self, t: &Term) -> Operand {
+        match t {
+            Term::Int(i) => Operand::Const(Const::Int(*i)),
+            Term::Atom(a) => Operand::Const(Const::Atom(*a)),
+            Term::Var(v) => {
+                let s = self.var_value_slot(*v);
+                Operand::Slot(s)
+            }
+            Term::Struct(f, args) if *f == wk::DOT && args.len() == 2 => {
+                let oh = self.build(&args[0]);
+                let ot = self.build(&args[1]);
+                let d = self.fresh_temp();
+                self.emit(BamInstr::NewList { dst: d });
+                self.push_operand(oh);
+                self.push_operand(ot);
+                Operand::Slot(d)
+            }
+            Term::Struct(f, args) => {
+                let ops: Vec<Operand> = args.iter().map(|a| self.build(a)).collect();
+                let d = self.fresh_temp();
+                self.emit(BamInstr::NewStruct {
+                    dst: d,
+                    f: Functor::new(*f, args.len()),
+                });
+                for o in ops {
+                    self.push_operand(o);
+                }
+                Operand::Slot(d)
+            }
+        }
+    }
+
+    fn push_operand(&mut self, o: Operand) {
+        match o {
+            Operand::Const(c) => self.emit(BamInstr::PushConst { c }),
+            Operand::Slot(src) => self.emit(BamInstr::PushValue { src }),
+        }
+    }
+
+    /// Compiles placing goal argument `t` into `Arg(k)`.
+    /// `unsafe_context` is true for the final call of a clause with an
+    /// environment (permanent variables must be globalized then).
+    fn put(&mut self, t: &Term, k: usize, unsafe_context: bool) {
+        match t {
+            Term::Var(v) => {
+                let s = self.var_value_slot(*v);
+                if unsafe_context && matches!(s, Slot::Perm(_)) {
+                    self.emit(BamInstr::MoveUnsafe {
+                        src: s,
+                        dst: Slot::Arg(k),
+                    });
+                } else {
+                    self.emit(BamInstr::Move {
+                        src: Operand::Slot(s),
+                        dst: Slot::Arg(k),
+                    });
+                }
+            }
+            other => {
+                let o = self.build(other);
+                self.emit(BamInstr::Move {
+                    src: o,
+                    dst: Slot::Arg(k),
+                });
+            }
+        }
+    }
+
+    /// Materializes an operand into a slot.
+    fn force_slot(&mut self, o: Operand) -> Slot {
+        match o {
+            Operand::Slot(s) => s,
+            Operand::Const(c) => {
+                let d = self.fresh_temp();
+                self.emit(BamInstr::Move {
+                    src: Operand::Const(c),
+                    dst: d,
+                });
+                d
+            }
+        }
+    }
+
+    // ---------------- builtins ----------------
+
+    fn compile_builtin(&mut self, goal: &Term, seen_call: bool) -> Result<(), CompileError> {
+        let (name_atom, arity) = goal.functor().expect("builtin goals are callable");
+        let name = self.symbols.name(name_atom).to_owned();
+        let args: Vec<Term> = match goal {
+            Term::Struct(_, a) => a.clone(),
+            _ => Vec::new(),
+        };
+        match (name.as_str(), arity) {
+            ("true", 0) => {}
+            ("fail", 0) => self.emit(BamInstr::Fail),
+            ("!", 0) => {
+                let barrier = if seen_call {
+                    self.info.cut_slot().map(Slot::Perm)
+                } else {
+                    None
+                };
+                self.emit(BamInstr::Cut(barrier));
+            }
+            ("halt", 0) => self.emit(BamInstr::Halt { success: true }),
+            ("=", 2) => self.compile_unify_goal(&args[0], &args[1]),
+            ("is", 2) => {
+                let syms = self.symbols;
+                let o = arith::eval(self, &args[1], syms)?;
+                match &args[0] {
+                    Term::Var(v) if !self.seen.contains(v) => {
+                        self.seen.insert(*v);
+                        let dst = self.info.slot(*v);
+                        self.emit(BamInstr::Move { src: o, dst });
+                    }
+                    lhs => {
+                        let l = self.build(lhs);
+                        let ls = self.force_slot(l);
+                        let rs = self.force_slot(o);
+                        self.emit(BamInstr::GeneralUnify { a: ls, b: rs });
+                    }
+                }
+            }
+            ("==", 2) | ("\\==", 2) => {
+                let a = self.build(&args[0]);
+                let b = self.build(&args[1]);
+                let a = self.force_slot(a);
+                let b = self.force_slot(b);
+                self.emit(BamInstr::StructEqBranch {
+                    a,
+                    b,
+                    want_equal: name == "==",
+                    target: FAIL,
+                });
+            }
+            ("var", 1) | ("nonvar", 1) | ("atom", 1) | ("integer", 1) | ("atomic", 1) => {
+                let test = match name.as_str() {
+                    "var" => TypeTest::Var,
+                    "nonvar" => TypeTest::NonVar,
+                    "atom" => TypeTest::Atom,
+                    "integer" => TypeTest::Integer,
+                    _ => TypeTest::Atomic,
+                };
+                let o = self.build(&args[0]);
+                let s = self.force_slot(o);
+                let d = self.fresh_temp();
+                self.emit(BamInstr::Deref { src: s, dst: d });
+                self.emit(BamInstr::TypeTestBranch {
+                    slot: d,
+                    test,
+                    target: FAIL,
+                });
+            }
+            (cmp_name, 2) if arith::comparison(cmp_name).is_some() => {
+                let cmp = arith::comparison(cmp_name).expect("guarded");
+                let syms = self.symbols;
+                let a = arith::eval(self, &args[0], syms)?;
+                let b = arith::eval(self, &args[1], syms)?;
+                self.emit(BamInstr::BranchCmpFalse {
+                    cmp,
+                    a,
+                    b,
+                    target: FAIL,
+                });
+            }
+            _ => {
+                return Err(CompileError::UnsupportedGoal {
+                    goal: format!("{}", goal.display(self.symbols)),
+                })
+            }
+        }
+        Ok(())
+    }
+
+    fn compile_unify_goal(&mut self, a: &Term, b: &Term) {
+        // `Var = t` with Var unseen and not occurring in t: plain move.
+        match (a, b) {
+            (Term::Var(v), t) | (t, Term::Var(v))
+                if !self.seen.contains(v) && !occurs(*v, t) =>
+            {
+                let o = self.build(t);
+                self.seen.insert(*v);
+                let dst = self.info.slot(*v);
+                self.emit(BamInstr::Move { src: o, dst });
+            }
+            _ => {
+                let oa = self.build(a);
+                let ob = self.build(b);
+                let sa = self.force_slot(oa);
+                let sb = self.force_slot(ob);
+                self.emit(BamInstr::GeneralUnify { a: sa, b: sb });
+            }
+        }
+    }
+}
+
+fn occurs(v: usize, t: &Term) -> bool {
+    match t {
+        Term::Var(w) => *w == v,
+        Term::Int(_) | Term::Atom(_) => false,
+        Term::Struct(_, args) => args.iter().any(|a| occurs(v, a)),
+    }
+}

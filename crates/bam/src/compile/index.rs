@@ -1,0 +1,313 @@
+//! Predicate-level compilation: first-argument indexing.
+//!
+//! With more than one clause and no variable in any clause's first head
+//! argument, a `SwitchOnTerm` dispatches on the dereferenced call
+//! argument, followed where useful by `SwitchOnConst`/`SwitchOnStruct`.
+//! Chains of surviving alternatives use `Try`/`Retry`/`Trust`; a chain
+//! of one clause is a plain jump — no choice point, which is how the
+//! BAM model exploits the determinism of most Prolog predicates.
+
+use symbol_prolog::{symbols::wk, PredId, Predicate, SymbolTable, Term};
+
+use crate::compile::clause::{ClauseCompiler, FAIL};
+use crate::error::CompileError;
+use crate::instr::{BamInstr, BamLabel, Const, Functor, Slot};
+
+/// First head-argument pattern of a clause.
+#[derive(Clone, PartialEq, Eq, Debug)]
+enum Pattern {
+    Var,
+    Cst(Const),
+    Lst,
+    Str(Functor),
+}
+
+fn pattern(head: &Term) -> Option<Pattern> {
+    let first = match head {
+        Term::Struct(_, args) => args.first()?,
+        _ => return None,
+    };
+    Some(match first {
+        Term::Var(_) => Pattern::Var,
+        Term::Int(i) => Pattern::Cst(Const::Int(*i)),
+        Term::Atom(a) => Pattern::Cst(Const::Atom(*a)),
+        Term::Struct(f, args) if *f == wk::DOT && args.len() == 2 => Pattern::Lst,
+        Term::Struct(f, args) => Pattern::Str(Functor::new(*f, args.len())),
+    })
+}
+
+/// Compiled code for one predicate plus bookkeeping.
+#[derive(Clone, Debug)]
+pub struct CompiledPred {
+    /// The predicate.
+    pub id: PredId,
+    /// BAM instructions (entry at index 0).
+    pub code: Vec<BamInstr>,
+    /// Predicates this one calls.
+    pub called: Vec<PredId>,
+}
+
+/// Compiles all clauses of `pred` with first-argument indexing.
+///
+/// # Errors
+///
+/// Propagates [`CompileError`] from clause compilation.
+pub fn compile_predicate(
+    pred: &Predicate,
+    symbols: &SymbolTable,
+) -> Result<CompiledPred, CompileError> {
+    let mut labels: u32 = 0;
+    let fresh = |labels: &mut u32| {
+        let l = BamLabel(*labels);
+        *labels += 1;
+        l
+    };
+
+    // Compile every clause body first (they follow the dispatch code).
+    // Temporary index 0 is reserved for the switch scratch register.
+    let mut clause_labels = Vec::new();
+    let mut clause_code = Vec::new();
+    let mut called = Vec::new();
+    let mut temp_base = 1;
+    {
+        // Reserve labels for clause entries before compiling (clause
+        // compilation allocates labels from the same counter).
+        for _ in &pred.clauses {
+            clause_labels.push(fresh(&mut labels));
+        }
+    }
+    for clause in &pred.clauses {
+        let cc = ClauseCompiler::new(clause, symbols, temp_base, &mut labels);
+        let (code, calls, next_temp) = cc.compile()?;
+        clause_code.push(code);
+        called.extend(calls);
+        temp_base = next_temp;
+    }
+
+    let arity = pred.id.arity;
+    let n = pred.clauses.len();
+    let patterns: Option<Vec<Pattern>> = pred
+        .clauses
+        .iter()
+        .map(|c| pattern(&c.head))
+        .collect();
+
+    let mut out = Vec::new();
+    out.push(BamInstr::SetCutBarrier);
+
+    let indexable = match &patterns {
+        Some(ps) => n > 1 && ps.iter().all(|p| *p != Pattern::Var),
+        None => false,
+    };
+
+    if !indexable {
+        emit_chain(
+            &mut out,
+            &(0..n).collect::<Vec<_>>(),
+            &clause_labels,
+            arity,
+            &mut labels,
+        );
+    } else {
+        let ps = patterns.expect("indexable implies patterns");
+        let scratch = Slot::Temp(0);
+
+        let consts: Vec<usize> = (0..n).filter(|&i| matches!(ps[i], Pattern::Cst(_))).collect();
+        let lists: Vec<usize> = (0..n).filter(|&i| ps[i] == Pattern::Lst).collect();
+        let structs: Vec<usize> = (0..n).filter(|&i| matches!(ps[i], Pattern::Str(_))).collect();
+
+        let lvar = fresh(&mut labels);
+        let lcons = if consts.is_empty() { FAIL } else { fresh(&mut labels) };
+        let llst = if lists.is_empty() { FAIL } else { fresh(&mut labels) };
+        let lstr = if structs.is_empty() { FAIL } else { fresh(&mut labels) };
+
+        out.push(BamInstr::SwitchOnTerm {
+            arg: 0,
+            scratch,
+            var: lvar,
+            cons: lcons,
+            lst: llst,
+            strct: lstr,
+        });
+
+        // Variable call: all clauses in order.
+        out.push(BamInstr::Label(lvar));
+        emit_chain(
+            &mut out,
+            &(0..n).collect::<Vec<_>>(),
+            &clause_labels,
+            arity,
+            &mut labels,
+        );
+
+        // Constant dispatch.
+        if !consts.is_empty() {
+            out.push(BamInstr::Label(lcons));
+            let mut distinct: Vec<Const> = Vec::new();
+            for &i in &consts {
+                if let Pattern::Cst(c) = ps[i] {
+                    if !distinct.contains(&c) {
+                        distinct.push(c);
+                    }
+                }
+            }
+            if distinct.len() == 1 {
+                // All constant clauses share one constant: the value
+                // still has to match it.
+                emit_const_guarded(
+                    &mut out,
+                    scratch,
+                    distinct[0],
+                    &consts,
+                    &clause_labels,
+                    arity,
+                    &mut labels,
+                );
+            } else {
+                let mut table = Vec::new();
+                let mut bodies: Vec<(BamLabel, Vec<usize>)> = Vec::new();
+                for c in distinct {
+                    let matching: Vec<usize> = consts
+                        .iter()
+                        .copied()
+                        .filter(|&i| ps[i] == Pattern::Cst(c))
+                        .collect();
+                    if matching.len() == 1 {
+                        table.push((c, clause_labels[matching[0]]));
+                    } else {
+                        let l = fresh(&mut labels);
+                        table.push((c, l));
+                        bodies.push((l, matching));
+                    }
+                }
+                out.push(BamInstr::SwitchOnConst {
+                    slot: scratch,
+                    table,
+                    default: FAIL,
+                });
+                for (l, matching) in bodies {
+                    out.push(BamInstr::Label(l));
+                    emit_chain(&mut out, &matching, &clause_labels, arity, &mut labels);
+                }
+            }
+        }
+
+        // List dispatch.
+        if !lists.is_empty() {
+            out.push(BamInstr::Label(llst));
+            emit_chain(&mut out, &lists, &clause_labels, arity, &mut labels);
+        }
+
+        // Structure dispatch.
+        if !structs.is_empty() {
+            out.push(BamInstr::Label(lstr));
+            let mut distinct: Vec<Functor> = Vec::new();
+            for &i in &structs {
+                if let Pattern::Str(f) = ps[i] {
+                    if !distinct.contains(&f) {
+                        distinct.push(f);
+                    }
+                }
+            }
+            let mut table = Vec::new();
+            let mut bodies: Vec<(BamLabel, Vec<usize>)> = Vec::new();
+            for f in distinct {
+                let matching: Vec<usize> = structs
+                    .iter()
+                    .copied()
+                    .filter(|&i| ps[i] == Pattern::Str(f))
+                    .collect();
+                if matching.len() == 1 {
+                    table.push((f, clause_labels[matching[0]]));
+                } else {
+                    let l = fresh(&mut labels);
+                    table.push((f, l));
+                    bodies.push((l, matching));
+                }
+            }
+            out.push(BamInstr::SwitchOnStruct {
+                slot: scratch,
+                table,
+                default: FAIL,
+            });
+            for (l, matching) in bodies {
+                out.push(BamInstr::Label(l));
+                emit_chain(&mut out, &matching, &clause_labels, arity, &mut labels);
+            }
+        }
+    }
+
+    // Clause bodies.
+    for (i, code) in clause_code.into_iter().enumerate() {
+        out.push(BamInstr::Label(clause_labels[i]));
+        out.extend(code);
+    }
+
+    called.sort_unstable();
+    called.dedup();
+    Ok(CompiledPred {
+        id: pred.id,
+        code: out,
+        called,
+    })
+}
+
+/// Emits a `Try`/`Retry`/`Trust` chain over `idxs` (a jump for one).
+fn emit_chain(
+    out: &mut Vec<BamInstr>,
+    idxs: &[usize],
+    clause_labels: &[BamLabel],
+    arity: usize,
+    labels: &mut u32,
+) {
+    match idxs {
+        [] => out.push(BamInstr::Fail),
+        [only] => out.push(BamInstr::Jump(clause_labels[*only])),
+        [first, rest @ ..] => {
+            let mut retry = BamLabel(*labels);
+            *labels += 1;
+            out.push(BamInstr::Try {
+                arity,
+                first: clause_labels[*first],
+                retry,
+            });
+            for (k, alt) in rest.iter().enumerate() {
+                out.push(BamInstr::Label(retry));
+                if k + 1 == rest.len() {
+                    out.push(BamInstr::Trust {
+                        arity,
+                        alt: clause_labels[*alt],
+                    });
+                } else {
+                    let next = BamLabel(*labels);
+                    *labels += 1;
+                    out.push(BamInstr::Retry {
+                        arity,
+                        alt: clause_labels[*alt],
+                        retry: next,
+                    });
+                    retry = next;
+                }
+            }
+        }
+    }
+}
+
+/// Emits a guard comparing `scratch` against the single constant `c`,
+/// then the chain over the matching clauses.
+fn emit_const_guarded(
+    out: &mut Vec<BamInstr>,
+    scratch: Slot,
+    c: Const,
+    idxs: &[usize],
+    clause_labels: &[BamLabel],
+    arity: usize,
+    labels: &mut u32,
+) {
+    out.push(BamInstr::BranchNotConst {
+        slot: scratch,
+        c,
+        target: FAIL,
+    });
+    emit_chain(out, idxs, clause_labels, arity, labels);
+}

@@ -1,0 +1,42 @@
+//! The Prolog → BAM compiler.
+
+pub mod arith;
+pub mod clause;
+pub mod index;
+
+use std::collections::HashSet;
+
+use symbol_prolog::{PredId, Program};
+
+use crate::error::CompileError;
+use crate::program::BamProgram;
+
+/// Compiles a whole normalized Prolog program to BAM code.
+///
+/// Every predicate is compiled with first-argument indexing; calls are
+/// checked against the set of defined predicates.
+///
+/// # Errors
+///
+/// Returns [`CompileError::UndefinedPredicate`] if any goal calls a
+/// predicate with no clauses, or propagates clause-level errors.
+pub fn compile_program(program: &Program) -> Result<BamProgram, CompileError> {
+    let symbols = program.symbols();
+    let mut preds = Vec::new();
+    let mut defined: HashSet<PredId> = HashSet::new();
+    for p in program.predicates() {
+        defined.insert(p.id);
+    }
+    for p in program.predicates() {
+        let compiled = index::compile_predicate(p, symbols)?;
+        for callee in &compiled.called {
+            if !defined.contains(callee) {
+                return Err(CompileError::UndefinedPredicate {
+                    pred: format!("{}", callee.display(symbols)),
+                });
+            }
+        }
+        preds.push(compiled);
+    }
+    Ok(BamProgram::new(preds))
+}

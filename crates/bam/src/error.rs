@@ -1,0 +1,55 @@
+//! Compilation errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error raised while compiling Prolog to BAM code.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum CompileError {
+    /// A goal calls a predicate with no clauses in the program.
+    UndefinedPredicate {
+        /// `name/arity` rendered for the message.
+        pred: String,
+    },
+    /// A goal form the compiler does not support (e.g. `write/1`).
+    UnsupportedGoal {
+        /// Rendered goal.
+        goal: String,
+    },
+    /// An arithmetic expression contains a non-evaluable term.
+    BadArithmetic {
+        /// Rendered expression.
+        expr: String,
+    },
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::UndefinedPredicate { pred } => {
+                write!(f, "call to undefined predicate {pred}")
+            }
+            CompileError::UnsupportedGoal { goal } => {
+                write!(f, "unsupported goal {goal}")
+            }
+            CompileError::BadArithmetic { expr } => {
+                write!(f, "non-evaluable arithmetic expression {expr}")
+            }
+        }
+    }
+}
+
+impl Error for CompileError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = CompileError::UndefinedPredicate {
+            pred: "foo/2".into(),
+        };
+        assert!(e.to_string().contains("foo/2"));
+    }
+}

@@ -1,0 +1,511 @@
+//! The BAM-style abstract instruction set.
+//!
+//! Instructions are deliberately lower-level than the WAM: head
+//! unification is compiled into explicit dereference / tag-branch /
+//! bind / push sequences with separate read- and write-mode code paths
+//! (there is no unification mode flag at run time), which is the key
+//! idea the Berkeley Abstract Machine brought to Prolog compilation and
+//! what makes the code a good substrate for instruction scheduling.
+//!
+//! Each `BamInstr` later expands into a short sequence of IntCode
+//! operations; the instruction boundary doubles as the compaction
+//! barrier of the "BAM processor" cost model (see DESIGN.md).
+
+use symbol_prolog::{Atom, PredId, SymbolTable};
+use std::fmt;
+
+/// A register slot visible to the BAM compiler.
+///
+/// `Arg(i)` and `Temp(k)` are machine registers; `Perm(k)` is the k-th
+/// slot of the current environment frame (a memory location).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Slot {
+    /// Argument register `A_i` (shared calling convention).
+    Arg(usize),
+    /// Clause-local temporary register `X_k`.
+    Temp(usize),
+    /// Permanent (environment) slot `Y_k`.
+    Perm(usize),
+}
+
+impl fmt::Display for Slot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Slot::Arg(i) => write!(f, "a{i}"),
+            Slot::Temp(k) => write!(f, "x{k}"),
+            Slot::Perm(k) => write!(f, "y{k}"),
+        }
+    }
+}
+
+/// An atomic constant.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Const {
+    /// Integer constant.
+    Int(i64),
+    /// Atom constant.
+    Atom(Atom),
+}
+
+impl Const {
+    /// Renders the constant using `symbols`.
+    pub fn display(self, symbols: &SymbolTable) -> String {
+        match self {
+            Const::Int(i) => i.to_string(),
+            Const::Atom(a) => symbols.name(a).to_owned(),
+        }
+    }
+}
+
+/// A functor: name plus arity (arity >= 1).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Functor {
+    /// Interned name.
+    pub name: Atom,
+    /// Arity (1..=255; arity 0 constants are [`Const::Atom`]).
+    pub arity: usize,
+}
+
+impl Functor {
+    /// Creates a functor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arity` is 0 or exceeds 255 (the word encoding packs
+    /// the arity into the low byte).
+    pub fn new(name: Atom, arity: usize) -> Self {
+        assert!(
+            (1..=255).contains(&arity),
+            "functor arity {arity} out of the encodable 1..=255 range"
+        );
+        Functor { name, arity }
+    }
+
+    /// The packed word-value encoding: `name << 8 | arity`.
+    pub fn encode(self) -> i64 {
+        ((self.name.0 as i64) << 8) | self.arity as i64
+    }
+
+    /// Inverse of [`Functor::encode`].
+    pub fn decode(value: i64) -> Self {
+        Functor {
+            name: Atom((value >> 8) as u32),
+            arity: (value & 0xff) as usize,
+        }
+    }
+}
+
+/// Label local to one predicate's code.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct BamLabel(pub u32);
+
+impl fmt::Display for BamLabel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+/// Tag classes testable by a single hardware tag branch.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum TagClass {
+    /// Unbound variable reference.
+    Var,
+    /// Integer.
+    Int,
+    /// Atom.
+    Atm,
+    /// List cell.
+    Lst,
+    /// Structure.
+    Str,
+}
+
+/// Arithmetic operations of `is/2`.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum ArithOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Truncating division (`//` and `/` on integers).
+    Div,
+    /// Remainder (`mod`).
+    Mod,
+    /// Bitwise and (`/\`).
+    And,
+    /// Bitwise or (`\/`).
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Left shift.
+    Shl,
+    /// Arithmetic right shift.
+    Shr,
+    /// Maximum of the operands.
+    Max,
+}
+
+/// Arithmetic comparison conditions.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Cmp {
+    /// `=:=`
+    Eq,
+    /// `=\=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `=<`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl Cmp {
+    /// The condition that holds exactly when `self` does not.
+    pub fn negate(self) -> Cmp {
+        match self {
+            Cmp::Eq => Cmp::Ne,
+            Cmp::Ne => Cmp::Eq,
+            Cmp::Lt => Cmp::Ge,
+            Cmp::Le => Cmp::Gt,
+            Cmp::Gt => Cmp::Le,
+            Cmp::Ge => Cmp::Lt,
+        }
+    }
+}
+
+/// An operand of a BAM instruction: a slot or a constant.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Operand {
+    /// Register/environment slot.
+    Slot(Slot),
+    /// Immediate constant.
+    Const(Const),
+}
+
+/// One BAM abstract instruction.
+///
+/// See the module docs for the design rationale. `FAIL` is not a label:
+/// failing control transfers (`Fail`, the implicit failure of `Bind`
+/// comparisons, etc.) jump to the global backtracking routine.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum BamInstr {
+    /// Pseudo-instruction: defines a local label.
+    Label(BamLabel),
+    /// Unconditional local jump.
+    Jump(BamLabel),
+    /// Backtrack: undo to the newest choice point and resume there.
+    Fail,
+
+    /// Call `pred`, setting the continuation to the next instruction.
+    Call(PredId),
+    /// Tail-call `pred` (continuation unchanged).
+    Execute(PredId),
+    /// Return through the continuation register.
+    Proceed,
+    /// Push an environment frame with `n` permanent slots.
+    Allocate(usize),
+    /// Pop the current environment frame.
+    Deallocate,
+
+    /// Push a choice point for a predicate of arity `arity`; on failure
+    /// resume at `retry`; fall through to the first alternative.
+    Try {
+        /// Predicate arity (number of argument registers to save).
+        arity: usize,
+        /// First alternative.
+        first: BamLabel,
+        /// Code address (label) of the following `Retry`/`Trust`.
+        retry: BamLabel,
+    },
+    /// Re-enter after failure: restore `arity` argument registers,
+    /// update the retry address, continue at `next_alt`.
+    Retry {
+        /// Predicate arity.
+        arity: usize,
+        /// Alternative to run now.
+        alt: BamLabel,
+        /// Label of the following `Retry`/`Trust` instruction.
+        retry: BamLabel,
+    },
+    /// Last alternative: restore registers, pop the choice point,
+    /// continue at `alt`.
+    Trust {
+        /// Predicate arity.
+        arity: usize,
+        /// Alternative to run now.
+        alt: BamLabel,
+    },
+    /// Four-way dispatch on the dereferenced tag of `Arg(arg)`.
+    /// The dereferenced value is left in `scratch` for reuse by the
+    /// selected branch.
+    SwitchOnTerm {
+        /// Index of the argument register switched on.
+        arg: usize,
+        /// Slot receiving the dereferenced value.
+        scratch: Slot,
+        /// Target when unbound.
+        var: BamLabel,
+        /// Target when integer or atom.
+        cons: BamLabel,
+        /// Target when list.
+        lst: BamLabel,
+        /// Target when structure.
+        strct: BamLabel,
+    },
+    /// Linear dispatch on an already-dereferenced constant in `slot`.
+    SwitchOnConst {
+        /// Slot holding the dereferenced constant.
+        slot: Slot,
+        /// (constant, target) pairs.
+        table: Vec<(Const, BamLabel)>,
+        /// Taken when nothing matches (usually fails).
+        default: BamLabel,
+    },
+    /// Linear dispatch on the functor of a structure in `slot`.
+    SwitchOnStruct {
+        /// Slot holding the dereferenced structure pointer.
+        slot: Slot,
+        /// (functor, target) pairs.
+        table: Vec<(Functor, BamLabel)>,
+        /// Taken when nothing matches (usually fails).
+        default: BamLabel,
+    },
+
+    /// Capture the cut barrier register at predicate entry
+    /// (`B0 := B`), before any choice point is pushed.
+    SetCutBarrier,
+    /// Save the cut barrier into a permanent slot.
+    SaveCutBarrier(Slot),
+    /// Cut: discard choice points newer than the barrier
+    /// (`None` = the barrier register set at predicate entry).
+    Cut(Option<Slot>),
+
+    /// Register/slot move (no dereference).
+    Move {
+        /// Source operand.
+        src: Operand,
+        /// Destination slot.
+        dst: Slot,
+    },
+    /// Move the value of a permanent variable into `dst`, globalizing
+    /// it first if it dereferences to an unbound cell of the current
+    /// (about to be deallocated) environment — the WAM's
+    /// `put_unsafe_value`.
+    MoveUnsafe {
+        /// Source (permanent) slot.
+        src: Slot,
+        /// Destination slot.
+        dst: Slot,
+    },
+    /// Full dereference: `dst = deref(src)`.
+    Deref {
+        /// Source slot.
+        src: Slot,
+        /// Destination slot.
+        dst: Slot,
+    },
+    /// `dst = heap[src + idx]` — load an argument of a list/structure.
+    LoadArg {
+        /// Slot holding a list or structure pointer.
+        base: Slot,
+        /// Word offset (0 = car / functor, 1 = cdr / first arg, ...).
+        idx: usize,
+        /// Destination slot.
+        dst: Slot,
+    },
+
+    /// Branch to `target` if `slot` holds an unbound variable.
+    BranchVar {
+        /// Tested slot (must be dereferenced).
+        slot: Slot,
+        /// Branch target.
+        target: BamLabel,
+    },
+    /// Branch to `target` if the tag of `slot` is NOT `tag`.
+    BranchNotTag {
+        /// Tested slot (must be dereferenced).
+        slot: Slot,
+        /// Expected tag class.
+        tag: TagClass,
+        /// Branch target.
+        target: BamLabel,
+    },
+    /// Branch to `target` if `slot` does not hold exactly constant `c`.
+    BranchNotConst {
+        /// Tested slot (must be dereferenced).
+        slot: Slot,
+        /// Expected constant.
+        c: Const,
+        /// Branch target.
+        target: BamLabel,
+    },
+    /// Branch to `target` if the functor word of the structure in
+    /// `slot` is not `f`.
+    BranchNotFunctor {
+        /// Slot holding a structure pointer.
+        slot: Slot,
+        /// Expected functor.
+        f: Functor,
+        /// Branch target.
+        target: BamLabel,
+    },
+
+    /// Bind the unbound variable in `var` to constant `c` (with trail).
+    BindConst {
+        /// Slot holding a dereferenced unbound variable.
+        var: Slot,
+        /// Constant to bind to.
+        c: Const,
+    },
+    /// Bind the unbound variable in `var` to the value in `value`.
+    BindSlot {
+        /// Slot holding a dereferenced unbound variable.
+        var: Slot,
+        /// Value to bind to.
+        value: Slot,
+    },
+    /// `dst = <Lst, H>`: a list pointer to the current heap top.
+    NewList {
+        /// Destination slot.
+        dst: Slot,
+    },
+    /// `dst = <Str, H>; heap[H++] = functor f`.
+    NewStruct {
+        /// Destination slot.
+        dst: Slot,
+        /// Functor pushed as the first word.
+        f: Functor,
+    },
+    /// `heap[H++] = c`.
+    PushConst {
+        /// Constant pushed.
+        c: Const,
+    },
+    /// `heap[H++] = src`.
+    PushValue {
+        /// Slot pushed.
+        src: Slot,
+    },
+    /// Push a fresh unbound variable and leave a reference in `dst`.
+    PushFresh {
+        /// Destination slot.
+        dst: Slot,
+    },
+    /// Full unification of two slots (calls the runtime routine;
+    /// backtracks on mismatch).
+    GeneralUnify {
+        /// Left term.
+        a: Slot,
+        /// Right term.
+        b: Slot,
+    },
+    /// Structural equality test (no binding): branch to `target` when
+    /// the equality result does not match `want_equal`.
+    StructEqBranch {
+        /// Left term.
+        a: Slot,
+        /// Right term.
+        b: Slot,
+        /// `true` for `==/2` (branch when unequal), `false` for `\==`.
+        want_equal: bool,
+        /// Branch target (usually fail).
+        target: BamLabel,
+    },
+
+    /// Dereference `src` and verify it is an integer (backtracks
+    /// otherwise), leaving the integer in `dst`.
+    DerefInt {
+        /// Source slot.
+        src: Slot,
+        /// Destination slot.
+        dst: Slot,
+    },
+    /// Integer arithmetic on dereferenced values.
+    Arith {
+        /// Operation.
+        op: ArithOp,
+        /// Left operand.
+        a: Operand,
+        /// Right operand.
+        b: Operand,
+        /// Destination slot (tagged integer result).
+        dst: Slot,
+    },
+    /// Branch to `target` if the comparison `a cmp b` FAILS.
+    BranchCmpFalse {
+        /// Condition that must hold to fall through.
+        cmp: Cmp,
+        /// Left operand (dereferenced integer).
+        a: Operand,
+        /// Right operand (dereferenced integer).
+        b: Operand,
+        /// Branch target (usually fail).
+        target: BamLabel,
+    },
+    /// Branch if the tag of the dereferenced `slot` is / is not in the
+    /// atomic classes required by a type-test builtin.
+    TypeTestBranch {
+        /// Tested slot (must be dereferenced).
+        slot: Slot,
+        /// The type test.
+        test: TypeTest,
+        /// Branch taken when the test FAILS.
+        target: BamLabel,
+    },
+    /// Stop execution reporting success or failure (driver code only).
+    Halt {
+        /// Whether the query succeeded.
+        success: bool,
+    },
+}
+
+/// Type-test builtins compiled to tag branches.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum TypeTest {
+    /// `var/1`.
+    Var,
+    /// `nonvar/1`.
+    NonVar,
+    /// `atom/1`.
+    Atom,
+    /// `integer/1`.
+    Integer,
+    /// `atomic/1` (atom or integer).
+    Atomic,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn functor_encoding_round_trips() {
+        let f = Functor::new(Atom(1234), 7);
+        assert_eq!(Functor::decode(f.encode()), f);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn functor_arity_zero_rejected() {
+        Functor::new(Atom(1), 0);
+    }
+
+    #[test]
+    fn cmp_negation_is_involutive() {
+        for c in [Cmp::Eq, Cmp::Ne, Cmp::Lt, Cmp::Le, Cmp::Gt, Cmp::Ge] {
+            assert_eq!(c.negate().negate(), c);
+        }
+    }
+
+    #[test]
+    fn slot_display() {
+        assert_eq!(Slot::Arg(0).to_string(), "a0");
+        assert_eq!(Slot::Temp(3).to_string(), "x3");
+        assert_eq!(Slot::Perm(2).to_string(), "y2");
+    }
+}

@@ -1,0 +1,194 @@
+//! Human-readable BAM code listings (for debugging, golden tests and
+//! the examples).
+
+use symbol_prolog::SymbolTable;
+
+use crate::instr::{BamInstr, Const, Operand, Slot};
+use crate::program::BamProgram;
+
+fn op(o: Operand, s: &SymbolTable) -> String {
+    match o {
+        Operand::Slot(sl) => sl.to_string(),
+        Operand::Const(c) => c.display(s),
+    }
+}
+
+fn slot(sl: Slot) -> String {
+    sl.to_string()
+}
+
+/// Renders one instruction.
+pub fn instr(i: &BamInstr, s: &SymbolTable) -> String {
+    use BamInstr::*;
+    match i {
+        Label(l) => format!("{l}:"),
+        Jump(l) => format!("    jump {l}"),
+        Fail => "    fail".into(),
+        Call(p) => format!("    call {}", p.display(s)),
+        Execute(p) => format!("    execute {}", p.display(s)),
+        Proceed => "    proceed".into(),
+        Allocate(n) => format!("    allocate {n}"),
+        Deallocate => "    deallocate".into(),
+        Try { arity, first, retry } => format!("    try/{arity} {first} retry={retry}"),
+        Retry { arity, alt, retry } => format!("    retry/{arity} {alt} retry={retry}"),
+        Trust { arity, alt } => format!("    trust/{arity} {alt}"),
+        SwitchOnTerm { arg, scratch, var, cons, lst, strct } => format!(
+            "    switch_on_term a{arg} ({scratch}) var={var} const={cons} list={lst} struct={strct}"
+        ),
+        SwitchOnConst { slot: sl, table, default } => {
+            let entries: Vec<String> = table
+                .iter()
+                .map(|(c, l)| format!("{}→{l}", c.display(s)))
+                .collect();
+            format!(
+                "    switch_on_const {} [{}] else {default}",
+                slot(*sl),
+                entries.join(", ")
+            )
+        }
+        SwitchOnStruct { slot: sl, table, default } => {
+            let entries: Vec<String> = table
+                .iter()
+                .map(|(f, l)| format!("{}/{}→{l}", s.name(f.name), f.arity))
+                .collect();
+            format!(
+                "    switch_on_struct {} [{}] else {default}",
+                slot(*sl),
+                entries.join(", ")
+            )
+        }
+        SetCutBarrier => "    set_cut_barrier".into(),
+        SaveCutBarrier(y) => format!("    save_cut_barrier {}", slot(*y)),
+        Cut(None) => "    cut".into(),
+        Cut(Some(y)) => format!("    cut {}", slot(*y)),
+        Move { src, dst } => format!("    move {} -> {}", op(*src, s), slot(*dst)),
+        MoveUnsafe { src, dst } => {
+            format!("    move_unsafe {} -> {}", slot(*src), slot(*dst))
+        }
+        Deref { src, dst } => format!("    deref {} -> {}", slot(*src), slot(*dst)),
+        LoadArg { base, idx, dst } => {
+            format!("    load_arg {}[{idx}] -> {}", slot(*base), slot(*dst))
+        }
+        BranchVar { slot: sl, target } => format!("    if_var {} -> {target}", slot(*sl)),
+        BranchNotTag { slot: sl, tag, target } => {
+            format!("    if_not_{tag:?} {} -> {target}", slot(*sl)).to_lowercase()
+        }
+        BranchNotConst { slot: sl, c, target } => {
+            format!("    if_not {} = {} -> {target}", slot(*sl), c.display(s))
+        }
+        BranchNotFunctor { slot: sl, f, target } => format!(
+            "    if_not_functor {} = {}/{} -> {target}",
+            slot(*sl),
+            s.name(f.name),
+            f.arity
+        ),
+        BindConst { var, c } => format!("    bind {} <- {}", slot(*var), c.display(s)),
+        BindSlot { var, value } => format!("    bind {} <- {}", slot(*var), slot(*value)),
+        NewList { dst } => format!("    new_list -> {}", slot(*dst)),
+        NewStruct { dst, f } => format!(
+            "    new_struct {}/{} -> {}",
+            s.name(f.name),
+            f.arity,
+            slot(*dst)
+        ),
+        PushConst { c } => format!("    push {}", c.display(s)),
+        PushValue { src } => format!("    push {}", slot(*src)),
+        PushFresh { dst } => format!("    push_fresh -> {}", slot(*dst)),
+        GeneralUnify { a, b } => format!("    unify {} {}", slot(*a), slot(*b)),
+        StructEqBranch { a, b, want_equal, target } => format!(
+            "    if {} {} {} -> {target}",
+            slot(*a),
+            if *want_equal { "\\==" } else { "==" },
+            slot(*b)
+        ),
+        DerefInt { src, dst } => format!("    deref_int {} -> {}", slot(*src), slot(*dst)),
+        Arith { op: o, a, b, dst } => format!(
+            "    {:?} {} {} -> {}",
+            o,
+            op(*a, s),
+            op(*b, s),
+            slot(*dst)
+        )
+        .to_lowercase(),
+        BranchCmpFalse { cmp, a, b, target } => format!(
+            "    unless {} {:?} {} -> {target}",
+            op(*a, s),
+            cmp,
+            op(*b, s)
+        ),
+        TypeTestBranch { slot: sl, test, target } => {
+            format!("    unless_{test:?} {} -> {target}", slot(*sl)).to_lowercase()
+        }
+        Halt { success } => format!("    halt {success}"),
+    }
+}
+
+/// Renders a whole program, one predicate per section.
+pub fn program(p: &BamProgram, s: &SymbolTable) -> String {
+    let mut out = String::new();
+    for pred in p.predicates() {
+        out.push_str(&format!("{}:\n", pred.id.display(s)));
+        for i in &pred.code {
+            out.push_str(&instr(i, s));
+            out.push('\n');
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders the constant `c` (re-exported convenience).
+pub fn constant(c: Const, s: &SymbolTable) -> String {
+    c.display(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symbol_prolog::parse_program;
+
+    fn listing(src: &str) -> String {
+        let p = parse_program(src).unwrap();
+        let bam = crate::compile(&p).unwrap();
+        program(&bam, p.symbols())
+    }
+
+    #[test]
+    fn fact_lists_as_proceed() {
+        let l = listing("a.");
+        assert!(l.contains("a/0:"), "{l}");
+        assert!(l.contains("proceed"), "{l}");
+        assert!(l.contains("set_cut_barrier"), "{l}");
+    }
+
+    #[test]
+    fn two_clause_predicate_shows_chain() {
+        let l = listing("p(1). p(2).");
+        assert!(l.contains("switch_on_term"), "{l}");
+        assert!(l.contains("switch_on_const"), "{l}");
+    }
+
+    #[test]
+    fn tail_call_shows_execute() {
+        let l = listing("p(X) :- q(X). q(_).");
+        assert!(l.contains("execute q/1"), "{l}");
+        assert!(!l.split("p/1:").nth(1).unwrap().split("q/1:").next().unwrap().contains("call "), "{l}");
+    }
+
+    #[test]
+    fn environment_shown_for_two_calls() {
+        let l = listing("p :- q, r. q. r.");
+        assert!(l.contains("allocate"), "{l}");
+        assert!(l.contains("deallocate"), "{l}");
+        assert!(l.contains("call q/0"), "{l}");
+        assert!(l.contains("execute r/0"), "{l}");
+    }
+
+    #[test]
+    fn head_structure_shows_both_modes() {
+        let l = listing("p(f(X)) :- q(X). q(_).");
+        assert!(l.contains("if_not_functor"), "{l}");
+        assert!(l.contains("new_struct f/1"), "{l}");
+        assert!(l.contains("load_arg"), "{l}");
+    }
+}

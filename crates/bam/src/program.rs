@@ -1,0 +1,50 @@
+//! Compiled BAM programs.
+
+use std::collections::HashMap;
+
+use symbol_prolog::PredId;
+
+use crate::compile::index::CompiledPred;
+use crate::instr::BamInstr;
+
+/// A compiled BAM program: one code unit per predicate.
+#[derive(Clone, Debug)]
+pub struct BamProgram {
+    preds: Vec<CompiledPred>,
+    by_id: HashMap<PredId, usize>,
+}
+
+impl BamProgram {
+    /// Wraps compiled predicates (in definition order).
+    pub fn new(preds: Vec<CompiledPred>) -> Self {
+        let by_id = preds
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (p.id, i))
+            .collect();
+        BamProgram { preds, by_id }
+    }
+
+    /// Iterates over predicates in definition order.
+    pub fn predicates(&self) -> impl Iterator<Item = &CompiledPred> {
+        self.preds.iter()
+    }
+
+    /// Looks up a predicate's code.
+    pub fn predicate(&self, id: PredId) -> Option<&CompiledPred> {
+        self.by_id.get(&id).map(|&i| &self.preds[i])
+    }
+
+    /// Total number of BAM instructions (excluding labels).
+    pub fn num_instructions(&self) -> usize {
+        self.preds
+            .iter()
+            .map(|p| {
+                p.code
+                    .iter()
+                    .filter(|i| !matches!(i, BamInstr::Label(_)))
+                    .count()
+            })
+            .sum()
+    }
+}

@@ -1,0 +1,251 @@
+//! Clause variable classification: permanent vs. temporary.
+//!
+//! A variable is *permanent* (environment-allocated, `Y` slot) when it
+//! occurs in more than one chunk, where a chunk is the head plus the
+//! goals up to and including the first user call, and thereafter each
+//! run of goals up to and including the next user call. All other
+//! variables are *temporaries* (`X` registers). This is the classic
+//! WAM/BAM rule: only values that must survive a call need a memory
+//! home.
+
+use std::collections::{HashMap, HashSet};
+use symbol_prolog::{Clause, Term};
+
+use crate::instr::Slot;
+
+/// Result of analyzing one clause.
+#[derive(Clone, Debug)]
+pub struct VarInfo {
+    /// Slot assigned to each clause variable index.
+    slots: HashMap<usize, Slot>,
+    /// Number of permanent slots (environment size before any cut slot).
+    pub num_perms: usize,
+    /// Goal indices (into `clause.body`) that are user calls.
+    pub call_positions: Vec<usize>,
+    /// Whether a cut occurs after at least one user call (a saved cut
+    /// barrier slot is then required).
+    pub cut_after_call: bool,
+    /// Whether the clause contains any cut.
+    pub has_cut: bool,
+    /// Length of the clause body (cached for `needs_env`).
+    body_len: usize,
+}
+
+impl VarInfo {
+    /// The slot assigned to clause variable `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not a variable of the analyzed clause.
+    pub fn slot(&self, v: usize) -> Slot {
+        self.slots[&v]
+    }
+
+    /// Whether variable `v` lives in the environment.
+    pub fn is_perm(&self, v: usize) -> bool {
+        matches!(self.slots.get(&v), Some(Slot::Perm(_)))
+    }
+
+    /// Extra environment slot index reserved for the cut barrier, if
+    /// one is needed.
+    pub fn cut_slot(&self) -> Option<usize> {
+        self.cut_after_call.then_some(self.num_perms)
+    }
+
+    /// Environment size in slots: permanents plus the cut barrier.
+    pub fn env_size(&self) -> usize {
+        self.num_perms + usize::from(self.cut_after_call)
+    }
+
+    /// Whether the clause needs an environment frame at all.
+    pub fn needs_env(&self) -> bool {
+        if self.env_size() > 0 {
+            return true;
+        }
+        // A call in non-tail position requires saving the continuation.
+        match self.call_positions.as_slice() {
+            [] => false,
+            [only] => *only + 1 != self.body_len,
+            _ => true,
+        }
+    }
+}
+
+/// Decides whether a goal is handled inline (builtin) rather than via a
+/// call. `is_user_call` is the complement used for chunk splitting.
+pub fn is_builtin(goal: &Term, symbols: &symbol_prolog::SymbolTable) -> bool {
+    let (name, arity) = match goal.functor() {
+        Some(fa) => fa,
+        None => return false,
+    };
+    let n = symbols.name(name);
+    matches!(
+        (n, arity),
+        ("true" | "fail" | "!" | "halt", 0)
+            | ("var" | "nonvar" | "atom" | "integer" | "atomic", 1)
+            | (
+                "=" | "is"
+                    | "<"
+                    | ">"
+                    | "=<"
+                    | ">="
+                    | "=:="
+                    | "=\\="
+                    | "=="
+                    | "\\==",
+                2
+            )
+    )
+}
+
+/// Analyzes `clause`, assigning a [`Slot`] to every variable.
+///
+/// `temp_base` is the first free temporary index (the caller reserves
+/// lower indices, e.g. for indexing scratch registers); temporaries for
+/// the clause's own variables are numbered from there, and the compiler
+/// allocates further scratch temporaries above them.
+pub fn analyze(clause: &Clause, symbols: &symbol_prolog::SymbolTable, temp_base: usize) -> VarInfo {
+    // Build chunks: chunk 0 = head + goals up to first call, etc.
+    let mut chunk_of_goal = Vec::with_capacity(clause.body.len());
+    let mut call_positions = Vec::new();
+    let mut chunk = 0usize;
+    for (i, g) in clause.body.iter().enumerate() {
+        chunk_of_goal.push(chunk);
+        if !is_builtin(g, symbols) {
+            call_positions.push(i);
+            chunk += 1;
+        }
+    }
+
+    // Record, per variable, the set of chunks it occurs in.
+    let mut occurs: HashMap<usize, HashSet<usize>> = HashMap::new();
+    let mut head_vars = Vec::new();
+    clause.head.collect_vars(&mut head_vars);
+    for v in head_vars {
+        occurs.entry(v).or_default().insert(0);
+    }
+    for (i, g) in clause.body.iter().enumerate() {
+        let mut vs = Vec::new();
+        g.collect_vars(&mut vs);
+        for v in vs {
+            occurs.entry(v).or_default().insert(chunk_of_goal[i]);
+        }
+    }
+
+    // Permanent = occurs in >= 2 chunks. Assign Y slots in variable
+    // order for determinism, X temps from temp_base.
+    let mut slots = HashMap::new();
+    let mut num_perms = 0;
+    let mut num_temps = 0;
+    let mut var_ids: Vec<usize> = occurs.keys().copied().collect();
+    var_ids.sort_unstable();
+    for v in var_ids {
+        if occurs[&v].len() >= 2 {
+            slots.insert(v, Slot::Perm(num_perms));
+            num_perms += 1;
+        } else {
+            slots.insert(v, Slot::Temp(temp_base + num_temps));
+            num_temps += 1;
+        }
+    }
+
+    // Cut analysis.
+    let cut_atom = symbol_prolog::symbols::wk::CUT;
+    let mut has_cut = false;
+    let mut cut_after_call = false;
+    let mut seen_call = false;
+    for g in &clause.body {
+        match g {
+            Term::Atom(a) if *a == cut_atom => {
+                has_cut = true;
+                if seen_call {
+                    cut_after_call = true;
+                }
+            }
+            g if !is_builtin(g, symbols) => seen_call = true,
+            _ => {}
+        }
+    }
+
+    VarInfo {
+        slots,
+        num_perms,
+        call_positions,
+        cut_after_call,
+        has_cut,
+        body_len: clause.body.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symbol_prolog::parse_program;
+
+    fn analyze_first(src: &str, pred: &str, arity: usize) -> (VarInfo, symbol_prolog::Program) {
+        let p = parse_program(src).unwrap();
+        let clause = p.predicate_named(pred, arity).unwrap().clauses[0].clone();
+        let info = analyze(&clause, p.symbols(), 8);
+        (info, p)
+    }
+
+    #[test]
+    fn single_chunk_vars_are_temps() {
+        let (info, _) = analyze_first("p(X, Y) :- X = Y.", "p", 2);
+        assert!(!info.is_perm(0));
+        assert!(!info.is_perm(1));
+        assert_eq!(info.num_perms, 0);
+        assert!(!info.needs_env());
+    }
+
+    #[test]
+    fn var_crossing_a_call_is_perm() {
+        let (info, _) = analyze_first("p(X, Y) :- q(X), r(Y).", "p", 2);
+        // X: head chunk only (chunk 0 incl. first call q). Y: chunks 0 and 1.
+        assert!(!info.is_perm(0));
+        assert!(info.is_perm(1));
+        assert_eq!(info.num_perms, 1);
+        assert!(info.needs_env());
+    }
+
+    #[test]
+    fn tail_call_only_needs_no_env() {
+        let (info, _) = analyze_first("p(X) :- q(X).", "p", 1);
+        assert!(!info.needs_env());
+        assert_eq!(info.call_positions, vec![0]);
+    }
+
+    #[test]
+    fn builtin_after_call_forces_env() {
+        let (info, _) = analyze_first("p(X, Y) :- q(X), Y = X.", "p", 2);
+        assert!(info.needs_env());
+    }
+
+    #[test]
+    fn neck_cut_needs_no_saved_barrier() {
+        let (info, _) = analyze_first("p(X) :- !, q(X).", "p", 1);
+        assert!(info.has_cut);
+        assert!(!info.cut_after_call);
+        assert_eq!(info.cut_slot(), None);
+    }
+
+    #[test]
+    fn deep_cut_gets_saved_barrier_slot() {
+        let (info, _) = analyze_first("p(X) :- q(X), !, r(X).", "p", 1);
+        assert!(info.cut_after_call);
+        assert_eq!(info.cut_slot(), Some(info.num_perms));
+        assert_eq!(info.env_size(), info.num_perms + 1);
+    }
+
+    #[test]
+    fn builtins_recognized() {
+        let p = parse_program("x.").unwrap();
+        let mut s = p.symbols().clone();
+        let is_atom = s.intern("is");
+        let t = Term::Struct(is_atom, vec![Term::Var(0), Term::Int(1)]);
+        assert!(is_builtin(&t, &s));
+        let user = s.intern("frobnicate");
+        let t = Term::Struct(user, vec![Term::Var(0)]);
+        assert!(!is_builtin(&t, &s));
+    }
+}

@@ -1,0 +1,164 @@
+//! Structural tests of the first-argument indexing compiler: the
+//! dispatch code emitted for different clause-head patterns.
+
+use symbol_bam::{BamInstr, Const};
+use symbol_prolog::parse_program;
+
+fn compile_pred(src: &str, name: &str, arity: usize) -> Vec<BamInstr> {
+    let p = parse_program(src).unwrap();
+    let bam = symbol_bam::compile(&p).unwrap();
+    let atom = p.symbols().lookup(name).unwrap();
+    bam.predicate(symbol_prolog::PredId::new(atom, arity))
+        .unwrap_or_else(|| panic!("{name}/{arity} missing"))
+        .code
+        .clone()
+}
+
+fn count<F: Fn(&BamInstr) -> bool>(code: &[BamInstr], f: F) -> usize {
+    code.iter().filter(|i| f(i)).count()
+}
+
+#[test]
+fn single_clause_needs_no_choice_point() {
+    let code = compile_pred("p(1). main :- p(1).", "p", 1);
+    assert_eq!(count(&code, |i| matches!(i, BamInstr::Try { .. })), 0);
+    assert_eq!(count(&code, |i| matches!(i, BamInstr::SwitchOnTerm { .. })), 0);
+}
+
+#[test]
+fn distinct_constants_dispatch_without_choice_points() {
+    let code = compile_pred("p(1). p(2). p(3). main :- p(2).", "p", 1);
+    // switch_on_term + switch_on_const, but no try/retry/trust: each
+    // constant selects exactly one clause
+    assert_eq!(count(&code, |i| matches!(i, BamInstr::SwitchOnTerm { .. })), 1);
+    assert_eq!(count(&code, |i| matches!(i, BamInstr::SwitchOnConst { .. })), 1);
+    // the variable entry still needs the full chain
+    assert_eq!(count(&code, |i| matches!(i, BamInstr::Try { .. })), 1);
+    assert_eq!(count(&code, |i| matches!(i, BamInstr::Retry { .. })), 1);
+    assert_eq!(count(&code, |i| matches!(i, BamInstr::Trust { .. })), 1);
+}
+
+#[test]
+fn const_table_contains_every_constant() {
+    let code = compile_pred("p(10). p(20). p(30). main :- p(10).", "p", 1);
+    let table = code
+        .iter()
+        .find_map(|i| match i {
+            BamInstr::SwitchOnConst { table, .. } => Some(table.clone()),
+            _ => None,
+        })
+        .expect("has a constant switch");
+    let consts: Vec<Const> = table.iter().map(|(c, _)| *c).collect();
+    assert_eq!(consts.len(), 3);
+    assert!(consts.contains(&Const::Int(10)));
+    assert!(consts.contains(&Const::Int(30)));
+}
+
+#[test]
+fn variable_head_disables_indexing() {
+    let code = compile_pred("p(1). p(X) :- q(X). q(_). main :- p(1).", "p", 1);
+    assert_eq!(count(&code, |i| matches!(i, BamInstr::SwitchOnTerm { .. })), 0);
+    assert_eq!(count(&code, |i| matches!(i, BamInstr::Try { .. })), 1);
+    assert_eq!(count(&code, |i| matches!(i, BamInstr::Trust { .. })), 1);
+}
+
+#[test]
+fn list_and_nil_split_by_type() {
+    let code = compile_pred(
+        "app([], L, L). app([X|T], L, [X|R]) :- app(T, L, R). main :- app([], [], []).",
+        "app",
+        3,
+    );
+    // switch_on_term sends [] to the constant clause and cons cells to
+    // the list clause directly: no choice point on either typed path
+    assert_eq!(count(&code, |i| matches!(i, BamInstr::SwitchOnTerm { .. })), 1);
+    // the var chain is the only try/trust pair
+    assert_eq!(count(&code, |i| matches!(i, BamInstr::Try { .. })), 1);
+    assert_eq!(count(&code, |i| matches!(i, BamInstr::Trust { .. })), 1);
+}
+
+#[test]
+fn structure_heads_dispatch_on_functor() {
+    let code = compile_pred(
+        "eval(plus(A, B), R) :- R is A + B.
+         eval(minus(A, B), R) :- R is A - B.
+         eval(times(A, B), R) :- R is A * B.
+         main :- eval(plus(1, 2), 3).",
+        "eval",
+        2,
+    );
+    let table_len = code
+        .iter()
+        .find_map(|i| match i {
+            BamInstr::SwitchOnStruct { table, .. } => Some(table.len()),
+            _ => None,
+        })
+        .expect("has a structure switch");
+    assert_eq!(table_len, 3);
+}
+
+#[test]
+fn repeated_constants_share_a_chain() {
+    let code = compile_pred(
+        "p(1, a). p(2, b). p(1, c). main :- p(1, a).",
+        "p",
+        2,
+    );
+    // constant 1 selects a try/trust chain of its two clauses
+    let table = code
+        .iter()
+        .find_map(|i| match i {
+            BamInstr::SwitchOnConst { table, .. } => Some(table.clone()),
+            _ => None,
+        })
+        .expect("constant switch");
+    assert_eq!(table.len(), 2, "distinct constants only");
+    // chains: full var chain (3 clauses: try+retry+trust) plus the
+    // 2-clause chain for constant 1 (try+trust)
+    assert_eq!(count(&code, |i| matches!(i, BamInstr::Try { .. })), 2);
+    assert_eq!(count(&code, |i| matches!(i, BamInstr::Trust { .. })), 2);
+    assert_eq!(count(&code, |i| matches!(i, BamInstr::Retry { .. })), 1);
+}
+
+#[test]
+fn every_predicate_sets_its_cut_barrier_first() {
+    let p = parse_program("p :- q, !. q. main :- p.").unwrap();
+    let bam = symbol_bam::compile(&p).unwrap();
+    for pred in bam.predicates() {
+        assert_eq!(
+            pred.code.first(),
+            Some(&BamInstr::SetCutBarrier),
+            "{}",
+            pred.id.display(p.symbols())
+        );
+    }
+}
+
+#[test]
+fn deep_cut_saves_the_barrier() {
+    let code = compile_pred("p(X) :- q(X), !, r(X). q(1). r(1). main :- p(1).", "p", 1);
+    assert_eq!(count(&code, |i| matches!(i, BamInstr::SaveCutBarrier(_))), 1);
+    assert_eq!(count(&code, |i| matches!(i, BamInstr::Cut(Some(_)))), 1);
+}
+
+#[test]
+fn neck_cut_uses_the_register_barrier() {
+    let code = compile_pred("p(X) :- !, q(X). q(1). main :- p(1).", "p", 1);
+    assert_eq!(count(&code, |i| matches!(i, BamInstr::SaveCutBarrier(_))), 0);
+    assert_eq!(count(&code, |i| matches!(i, BamInstr::Cut(None))), 1);
+}
+
+#[test]
+fn last_call_is_execute_after_deallocate() {
+    let code = compile_pred("p :- q, r. q. r. main :- p.", "p", 0);
+    let dealloc = code
+        .iter()
+        .position(|i| matches!(i, BamInstr::Deallocate))
+        .expect("deallocates");
+    let exec = code
+        .iter()
+        .position(|i| matches!(i, BamInstr::Execute(_)))
+        .expect("executes");
+    assert!(dealloc < exec, "deallocate precedes the tail call");
+    assert_eq!(count(&code, |i| matches!(i, BamInstr::Proceed)), 0);
+}

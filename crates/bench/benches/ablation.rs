@@ -1,0 +1,44 @@
+//! Ablation study (experiment E9): times one ablation variant's
+//! kernel, then prints the full ablation table over a benchmark
+//! subset.
+
+use criterion::{criterion_group, Criterion};
+use std::hint::black_box;
+
+use symbol_bench::compiled;
+use symbol_compactor::{compact, CompactMode, TracePolicy};
+use symbol_core::experiments::ablation;
+use symbol_vliw::MachineConfig;
+
+fn bench(c: &mut Criterion) {
+    let (cc, run) = compiled("qsort");
+    let machine = MachineConfig::units(3);
+    let no_spec = TracePolicy {
+        speculate: false,
+        ..TracePolicy::default()
+    };
+    c.bench_function("ablation/compact_no_speculation/qsort", |b| {
+        b.iter(|| {
+            compact(
+                black_box(&cc.ici),
+                &run.stats,
+                &machine,
+                CompactMode::TraceSchedule,
+                &no_spec,
+            )
+        })
+    });
+}
+
+fn print_report() {
+    let rows = ablation::run(&["conc30", "nreverse", "qsort", "serialise", "times10", "queens_8"])
+        .expect("ablation runs");
+    println!("\n{}", ablation::render(&rows));
+}
+
+criterion_group!(benches, bench);
+fn main() {
+    benches();
+    criterion::Criterion::default().final_summary();
+    print_report();
+}

@@ -1,0 +1,30 @@
+//! Figure 2 — dynamic instruction mix. Times the mix measurement on
+//! profiled runs, then regenerates the figure for the full suite.
+
+use criterion::{criterion_group, Criterion};
+use std::hint::black_box;
+
+use symbol_analysis::ClassMix;
+use symbol_bench::{compiled, TIMING_SUBSET};
+use symbol_core::experiments::{measure_all, reports};
+
+fn bench(c: &mut Criterion) {
+    for name in TIMING_SUBSET {
+        let (cc, run) = compiled(name);
+        c.bench_function(&format!("fig2_mix/{name}"), |b| {
+            b.iter(|| ClassMix::measure(black_box(&cc.ici), black_box(&run.stats)))
+        });
+    }
+}
+
+fn print_report() {
+    let results = measure_all().expect("suite measures");
+    println!("\n{}", reports::fig2_mix(&results));
+}
+
+criterion_group!(benches, bench);
+fn main() {
+    benches();
+    criterion::Criterion::default().final_summary();
+    print_report();
+}

@@ -1,0 +1,31 @@
+//! Figure 4 — distribution of the probability of faulty prediction.
+//! Times histogram construction, then regenerates the figure.
+
+use criterion::{criterion_group, Criterion};
+use std::hint::black_box;
+
+use symbol_analysis::PredictStats;
+use symbol_bench::{compiled, TIMING_SUBSET};
+use symbol_core::experiments::{measure_all, reports};
+
+fn bench(c: &mut Criterion) {
+    for name in TIMING_SUBSET {
+        let (cc, run) = compiled(name);
+        let stats = PredictStats::measure(&cc.ici, &run.stats);
+        c.bench_function(&format!("fig4_histogram/{name}"), |b| {
+            b.iter(|| black_box(&stats).histogram(20))
+        });
+    }
+}
+
+fn print_report() {
+    let results = measure_all().expect("suite measures");
+    println!("\n{}", reports::fig4_histogram(&results));
+}
+
+criterion_group!(benches, bench);
+fn main() {
+    benches();
+    criterion::Criterion::default().final_summary();
+    print_report();
+}

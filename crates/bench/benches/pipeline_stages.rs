@@ -1,0 +1,76 @@
+//! Times every stage of the evaluation system (paper Figure 1) in
+//! isolation: parsing, BAM compilation, IntCode translation, sequential
+//! emulation, compaction and VLIW simulation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use symbol_bench::compiled;
+use symbol_compactor::{compact, CompactMode, TracePolicy};
+use symbol_core::benchmarks;
+use symbol_vliw::{MachineConfig, SimConfig, VliwSim};
+
+fn stages(c: &mut Criterion) {
+    let src = benchmarks::by_name("qsort").expect("qsort exists").source;
+
+    c.bench_function("stage/parse", |b| {
+        b.iter(|| symbol_prolog::parse_program(black_box(src)).expect("parses"))
+    });
+
+    let program = symbol_prolog::parse_program(src).expect("parses");
+    c.bench_function("stage/compile_bam", |b| {
+        b.iter(|| symbol_bam::compile(black_box(&program)).expect("compiles"))
+    });
+
+    let bam = symbol_bam::compile(&program).expect("compiles");
+    let main = symbol_prolog::PredId::new(
+        program.symbols().lookup("main").expect("main"),
+        0,
+    );
+    let layout = symbol_intcode::Layout::default();
+    c.bench_function("stage/translate_ici", |b| {
+        b.iter(|| {
+            symbol_intcode::translate(black_box(&bam), main, &layout).expect("translates")
+        })
+    });
+
+    let (compiled_qsort, run) = compiled("qsort");
+    c.bench_function("stage/emulate_sequential", |b| {
+        b.iter(|| {
+            symbol_intcode::Emulator::new(&compiled_qsort.ici, &compiled_qsort.layout)
+                .run(&symbol_intcode::ExecConfig::default())
+                .expect("runs")
+        })
+    });
+
+    let machine = MachineConfig::units(3);
+    c.bench_function("stage/compact_trace", |b| {
+        b.iter(|| {
+            compact(
+                black_box(&compiled_qsort.ici),
+                &run.stats,
+                &machine,
+                CompactMode::TraceSchedule,
+                &TracePolicy::default(),
+            )
+        })
+    });
+
+    let compacted = compact(
+        &compiled_qsort.ici,
+        &run.stats,
+        &machine,
+        CompactMode::TraceSchedule,
+        &TracePolicy::default(),
+    );
+    c.bench_function("stage/simulate_vliw", |b| {
+        b.iter(|| {
+            VliwSim::new(&compacted.program, machine, &compiled_qsort.layout)
+                .run(&SimConfig::default())
+                .expect("simulates")
+        })
+    });
+}
+
+criterion_group!(benches, stages);
+criterion_main!(benches);

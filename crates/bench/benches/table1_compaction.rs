@@ -1,0 +1,52 @@
+//! Table 1 — trace scheduling vs basic-block compaction on the
+//! unbounded shared-memory machine. Times both compactions, then
+//! regenerates the table for the full suite.
+
+use criterion::{criterion_group, Criterion};
+use std::hint::black_box;
+
+use symbol_bench::{compiled, TIMING_SUBSET};
+use symbol_compactor::{compact, CompactMode, TracePolicy};
+use symbol_core::experiments::{measure_all, reports};
+use symbol_vliw::MachineConfig;
+
+fn bench(c: &mut Criterion) {
+    let machine = MachineConfig::unbounded();
+    for name in TIMING_SUBSET {
+        let (cc, run) = compiled(name);
+        c.bench_function(&format!("table1/trace/{name}"), |b| {
+            b.iter(|| {
+                compact(
+                    black_box(&cc.ici),
+                    &run.stats,
+                    &machine,
+                    CompactMode::TraceSchedule,
+                    &TracePolicy::default(),
+                )
+            })
+        });
+        c.bench_function(&format!("table1/basic_block/{name}"), |b| {
+            b.iter(|| {
+                compact(
+                    black_box(&cc.ici),
+                    &run.stats,
+                    &machine,
+                    CompactMode::BasicBlock,
+                    &TracePolicy::default(),
+                )
+            })
+        });
+    }
+}
+
+fn print_report() {
+    let results = measure_all().expect("suite measures");
+    println!("\n{}", reports::table1_compaction(&results));
+}
+
+criterion_group!(benches, bench);
+fn main() {
+    benches();
+    criterion::Criterion::default().final_summary();
+    print_report();
+}

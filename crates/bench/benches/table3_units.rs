@@ -1,0 +1,46 @@
+//! Table 3 / Figure 6 — the unit sweep: compaction plus validated
+//! VLIW simulation per machine width. Times the full
+//! compact-and-simulate kernel, then regenerates the table and chart.
+
+use criterion::{criterion_group, Criterion};
+use std::hint::black_box;
+
+use symbol_bench::compiled;
+use symbol_compactor::{compact, CompactMode, TracePolicy};
+use symbol_core::experiments::{measure_all, reports};
+use symbol_vliw::{MachineConfig, SimConfig, VliwSim};
+
+fn bench(c: &mut Criterion) {
+    let (cc, run) = compiled("nreverse");
+    for units in [1usize, 3, 5] {
+        let machine = MachineConfig::units(units);
+        c.bench_function(&format!("table3/compact_and_simulate/{units}u"), |b| {
+            b.iter(|| {
+                let compacted = compact(
+                    black_box(&cc.ici),
+                    &run.stats,
+                    &machine,
+                    CompactMode::TraceSchedule,
+                    &TracePolicy::default(),
+                );
+                VliwSim::new(&compacted.program, machine, &cc.layout)
+                    .run(&SimConfig::default())
+                    .expect("simulates")
+                    .cycles
+            })
+        });
+    }
+}
+
+fn print_report() {
+    let results = measure_all().expect("suite measures");
+    println!("\n{}", reports::table3_units(&results));
+    println!("\n{}", reports::fig6_chart(&results));
+}
+
+criterion_group!(benches, bench);
+fn main() {
+    benches();
+    criterion::Criterion::default().final_summary();
+    print_report();
+}

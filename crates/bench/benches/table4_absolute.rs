@@ -1,0 +1,43 @@
+//! Table 4 — absolute execution times against the paper's published
+//! machine measurements. Times the SYMBOL-3 simulation, then
+//! regenerates the table.
+
+use criterion::{criterion_group, Criterion};
+use std::hint::black_box;
+
+use symbol_bench::compiled;
+use symbol_compactor::{compact, CompactMode, TracePolicy};
+use symbol_core::experiments::{measure_all, reports};
+use symbol_vliw::{MachineConfig, SimConfig, VliwSim};
+
+fn bench(c: &mut Criterion) {
+    let (cc, run) = compiled("serialise");
+    let machine = MachineConfig::units(3);
+    let compacted = compact(
+        &cc.ici,
+        &run.stats,
+        &machine,
+        CompactMode::TraceSchedule,
+        &TracePolicy::default(),
+    );
+    c.bench_function("table4/symbol3_simulation/serialise", |b| {
+        b.iter(|| {
+            VliwSim::new(black_box(&compacted.program), machine, &cc.layout)
+                .run(&SimConfig::default())
+                .expect("simulates")
+                .cycles
+        })
+    });
+}
+
+fn print_report() {
+    let results = measure_all().expect("suite measures");
+    println!("\n{}", reports::table4_absolute(&results));
+}
+
+criterion_group!(benches, bench);
+fn main() {
+    benches();
+    criterion::Criterion::default().final_summary();
+    print_report();
+}

@@ -1,0 +1,42 @@
+//! Table 5 — SYMBOL-3 and BAM speed-up over the sequential machine.
+//! Times the BAM-model kernel, then regenerates the table.
+
+use criterion::{criterion_group, Criterion};
+use std::hint::black_box;
+
+use symbol_bench::compiled;
+use symbol_compactor::{compact, CompactMode, TracePolicy};
+use symbol_core::experiments::{measure_all, reports};
+use symbol_vliw::{MachineConfig, SimConfig, VliwSim};
+
+fn bench(c: &mut Criterion) {
+    let (cc, run) = compiled("serialise");
+    let machine = MachineConfig::bam();
+    c.bench_function("table5/bam_model/serialise", |b| {
+        b.iter(|| {
+            let compacted = compact(
+                black_box(&cc.ici),
+                &run.stats,
+                &machine,
+                CompactMode::BamGroups,
+                &TracePolicy::default(),
+            );
+            VliwSim::new(&compacted.program, machine, &cc.layout)
+                .run(&SimConfig::default())
+                .expect("simulates")
+                .cycles
+        })
+    });
+}
+
+fn print_report() {
+    let results = measure_all().expect("suite measures");
+    println!("\n{}", reports::table5_speedups(&results));
+}
+
+criterion_group!(benches, bench);
+fn main() {
+    benches();
+    criterion::Criterion::default().final_summary();
+    print_report();
+}

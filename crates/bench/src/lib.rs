@@ -1,0 +1,47 @@
+//! # symbol-bench
+//!
+//! The benchmark harness of the SYMBOL reproduction.
+//!
+//! * The `tables` binary regenerates every table and figure of the
+//!   paper in one run:
+//!   `cargo run --release -p symbol-bench --bin tables`.
+//! * The Criterion benches under `benches/` — one per table and figure
+//!   — time the regeneration kernels on representative workloads and
+//!   print the regenerated rows next to the paper's numbers.
+
+use symbol_core::benchmarks::{self, Benchmark};
+use symbol_core::experiments::{measure, BenchResult};
+use symbol_core::pipeline::Compiled;
+
+/// Small benchmarks used inside timed Criterion loops (the full suite
+/// runs once, outside the timed section, to print the actual tables).
+pub const TIMING_SUBSET: &[&str] = &["conc30", "nreverse", "ops8", "qsort"];
+
+/// Compiles and profiles one named benchmark.
+///
+/// # Panics
+///
+/// Panics if the benchmark is unknown or fails to compile/run — the
+/// harness cannot proceed without it.
+pub fn compiled(name: &str) -> (Compiled, symbol_intcode::RunResult) {
+    let b = benchmarks::by_name(name).unwrap_or_else(|| panic!("unknown benchmark {name}"));
+    let c = Compiled::from_source(b.source).expect("benchmark compiles");
+    let run = c.run_sequential().expect("benchmark runs");
+    (c, run)
+}
+
+/// Measures a list of benchmarks (used by the report-printing side of
+/// each bench).
+///
+/// # Panics
+///
+/// Panics if any benchmark fails its self-check anywhere.
+pub fn measure_named(names: &[&str]) -> Vec<BenchResult> {
+    names
+        .iter()
+        .map(|n| {
+            let b: &Benchmark = benchmarks::by_name(n).expect("known benchmark");
+            measure(b).expect("benchmark measures")
+        })
+        .collect()
+}

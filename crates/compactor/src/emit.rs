@@ -1,0 +1,167 @@
+//! Whole-program compaction: traces → schedules → a laid-out
+//! [`VliwProgram`].
+
+use std::collections::HashMap;
+
+use symbol_intcode::{ExecStats, IciProgram, Label};
+use symbol_vliw::{MachineConfig, VliwInstr, VliwProgram};
+
+use crate::cfg::Cfg;
+use crate::liveness::{LiveAtLabel, Liveness};
+use crate::schedule::{
+    rewrite_trace, schedule_comp_block, schedule_trace, LabelAlloc, ScheduleOptions,
+};
+use crate::trace::{average_trace_length, pick_traces, single_block_traces, Trace, TracePolicy};
+
+/// Which compaction strategy to apply.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum CompactMode {
+    /// Global compaction: trace scheduling with compensation code.
+    TraceSchedule,
+    /// Baseline: compaction within basic blocks only.
+    BasicBlock,
+    /// The BAM cost model: basic blocks with compaction barriers at
+    /// BAM-instruction boundaries (run on a 1-unit machine).
+    BamGroups,
+}
+
+/// Statistics about one compaction run.
+#[derive(Clone, Debug)]
+pub struct CompactStats {
+    /// Number of scheduling regions (traces or blocks).
+    pub regions: usize,
+    /// Execution-weighted average region length in ops (Table 1's
+    /// "Average Length").
+    pub avg_region_len: f64,
+    /// Number of compensation blocks emitted.
+    pub comp_blocks: usize,
+    /// Static op count before compaction.
+    pub ops_in: usize,
+    /// Static op count after (compensation copies included).
+    pub ops_out: usize,
+}
+
+impl CompactStats {
+    /// Static code growth factor due to compensation copies.
+    pub fn code_growth(&self) -> f64 {
+        if self.ops_in == 0 {
+            1.0
+        } else {
+            self.ops_out as f64 / self.ops_in as f64
+        }
+    }
+}
+
+/// The result of compaction.
+#[derive(Clone, Debug)]
+pub struct Compacted {
+    /// The scheduled program.
+    pub program: VliwProgram,
+    /// Compaction statistics.
+    pub stats: CompactStats,
+}
+
+/// Compacts `program` for `machine` according to `mode`, guided by the
+/// sequential-execution statistics.
+pub fn compact(
+    program: &IciProgram,
+    exec: &ExecStats,
+    machine: &MachineConfig,
+    mode: CompactMode,
+    policy: &TracePolicy,
+) -> Compacted {
+    let cfg = Cfg::build(program, exec);
+    let live = Liveness::compute(program, &cfg);
+    let live_at = LiveAtLabel::new(&cfg, &live);
+    let mut labels = LabelAlloc::new(program.label_table().len());
+
+    // Basic-block compaction still benefits from a hot-path-first
+    // layout (the paper's code generator laid clauses out that way):
+    // blocks are placed along traces (without tail duplication), but
+    // barriers keep all code motion inside each block.
+    let traces: Vec<Trace> = match mode {
+        CompactMode::TraceSchedule => pick_traces(&cfg, policy),
+        CompactMode::BasicBlock => {
+            let bb_policy = TracePolicy {
+                tail_dup_ops: 0,
+                ..*policy
+            };
+            pick_traces(&cfg, &bb_policy)
+        }
+        CompactMode::BamGroups => single_block_traces(&cfg),
+    };
+    let opts = ScheduleOptions {
+        speculate: policy.speculate && mode == CompactMode::TraceSchedule,
+        group_barriers: mode == CompactMode::BamGroups,
+        block_barriers: mode == CompactMode::BasicBlock,
+    };
+
+    // Labels for blocks that need one but have none in the source
+    // program (fall-through targets).
+    let mut extra_label: HashMap<usize, Label> = HashMap::new();
+    // Any label already bound at a block's start?
+    let mut first_label_of_block: HashMap<usize, Vec<Label>> = HashMap::new();
+    for (l, &b) in &cfg.label_block {
+        first_label_of_block.entry(b).or_default().push(*l);
+    }
+
+    // Schedule every trace.
+    let mut scheduled = Vec::new();
+    let mut all_comps = Vec::new();
+    for t in &traces {
+        let t_ops = rewrite_trace(program, &cfg, t, |block| {
+            if let Some(ls) = first_label_of_block.get(&block) {
+                ls[0]
+            } else {
+                *extra_label.entry(block).or_insert_with(|| labels.fresh())
+            }
+        });
+        let st = schedule_trace(&t_ops, machine, &live_at, &mut labels, &opts);
+        all_comps.extend(st.comps.clone());
+        scheduled.push(st);
+    }
+
+    // Layout: traces in pick order, then compensation blocks.
+    let mut instrs: Vec<VliwInstr> = Vec::new();
+    let mut label_at: HashMap<Label, usize> = HashMap::new();
+    for (t, st) in traces.iter().zip(&scheduled) {
+        let head = t.blocks[0];
+        let at = instrs.len();
+        if let Some(ls) = first_label_of_block.get(&head) {
+            for &l in ls {
+                label_at.insert(l, at);
+            }
+        }
+        if let Some(&l) = extra_label.get(&head) {
+            label_at.insert(l, at);
+        }
+        instrs.extend(st.words.iter().cloned());
+    }
+    for comp in &all_comps {
+        let words = schedule_comp_block(comp, machine, &live_at, &mut labels);
+        label_at.insert(comp.label, instrs.len());
+        instrs.extend(words);
+    }
+
+    let ops_in = program.ops().len();
+    let ops_out: usize = instrs.iter().map(VliwInstr::len).sum();
+    let avg_region_len = match mode {
+        CompactMode::TraceSchedule => average_trace_length(&cfg, &traces),
+        _ => cfg.average_block_length(),
+    };
+    let stats = CompactStats {
+        regions: traces.len(),
+        avg_region_len,
+        comp_blocks: all_comps.len(),
+        ops_in,
+        ops_out,
+    };
+
+    let program = VliwProgram::new(instrs, label_at, labels.total(), program.entry());
+    // Every schedule — including cold code the profile never executes —
+    // must satisfy the machine statically.
+    if let Err(v) = crate::verify::verify_program(&program, machine) {
+        panic!("compactor produced an illegal schedule: {v}");
+    }
+    Compacted { program, stats }
+}

@@ -1,0 +1,191 @@
+//! Temporary-register liveness.
+//!
+//! The speculation safety rules only ever ask about *renamed
+//! temporaries* (fixed machine registers are always live, so writes to
+//! them are never speculated). This keeps the dataflow sets small.
+
+use std::collections::{HashMap, HashSet};
+
+use symbol_intcode::layout::reg;
+use symbol_intcode::{IciProgram, R};
+
+use crate::cfg::Cfg;
+
+fn is_temp(r: R) -> bool {
+    r.0 >= reg::FIRST_TEMP
+}
+
+/// Per-block live-in sets of temporary registers.
+#[derive(Clone, Debug)]
+pub struct Liveness {
+    live_in: Vec<HashSet<R>>,
+}
+
+impl Liveness {
+    /// Computes liveness over `cfg` by backward iteration. Indirect
+    /// control transfers conservatively make the live-ins of every
+    /// address-taken block live.
+    pub fn compute(program: &IciProgram, cfg: &Cfg) -> Liveness {
+        let ops = program.ops();
+        let nb = cfg.blocks.len();
+
+        // Per-block use/def (temps only).
+        let mut use_b: Vec<HashSet<R>> = Vec::with_capacity(nb);
+        let mut def_b: Vec<HashSet<R>> = Vec::with_capacity(nb);
+        let mut has_indirect: Vec<bool> = Vec::with_capacity(nb);
+        for b in &cfg.blocks {
+            let mut uses = HashSet::new();
+            let mut defs: HashSet<R> = HashSet::new();
+            for op in &ops[b.start..b.end] {
+                for u in op.uses() {
+                    if is_temp(u) && !defs.contains(&u) {
+                        uses.insert(u);
+                    }
+                }
+                if let Some(d) = op.def() {
+                    if is_temp(d) {
+                        defs.insert(d);
+                    }
+                }
+            }
+            has_indirect.push(matches!(
+                ops[b.end - 1],
+                symbol_intcode::Op::JmpR { .. }
+            ));
+            use_b.push(uses);
+            def_b.push(defs);
+        }
+
+        let entry_blocks: Vec<usize> = program
+            .address_taken()
+            .iter()
+            .filter_map(|l| cfg.label_block.get(l).copied())
+            .collect();
+
+        let mut live_in: Vec<HashSet<R>> = vec![HashSet::new(); nb];
+        let mut changed = true;
+        while changed {
+            changed = false;
+            // The conservative "indirect" out-set: union of live-ins of
+            // all address-taken blocks (recomputed per pass).
+            let mut indirect_out: HashSet<R> = HashSet::new();
+            for &e in &entry_blocks {
+                indirect_out.extend(live_in[e].iter().copied());
+            }
+            for id in (0..nb).rev() {
+                let mut out: HashSet<R> = HashSet::new();
+                for e in &cfg.blocks[id].succs {
+                    out.extend(live_in[e.dest()].iter().copied());
+                }
+                if has_indirect[id] {
+                    out.extend(indirect_out.iter().copied());
+                }
+                // in = use ∪ (out - def)
+                let mut inn = use_b[id].clone();
+                for r in out {
+                    if !def_b[id].contains(&r) {
+                        inn.insert(r);
+                    }
+                }
+                if inn != live_in[id] {
+                    live_in[id] = inn;
+                    changed = true;
+                }
+            }
+        }
+        Liveness { live_in }
+    }
+
+    /// Whether temp `r` is live at the entry of `block`. Fixed machine
+    /// registers are reported live unconditionally.
+    pub fn live_at_entry(&self, block: usize, r: R) -> bool {
+        !is_temp(r) || self.live_in[block].contains(&r)
+    }
+
+    /// The raw live-in set (temps only) of `block`.
+    pub fn live_in(&self, block: usize) -> &HashSet<R> {
+        &self.live_in[block]
+    }
+}
+
+/// Convenience: map each label to its block's live-in check.
+#[derive(Clone, Debug, Default)]
+pub struct LiveAtLabel {
+    map: HashMap<symbol_intcode::Label, HashSet<R>>,
+}
+
+impl LiveAtLabel {
+    /// Builds the label-indexed view used by the scheduler.
+    pub fn new(cfg: &Cfg, live: &Liveness) -> Self {
+        let mut map = HashMap::new();
+        for (l, &b) in &cfg.label_block {
+            map.insert(*l, live.live_in(b).clone());
+        }
+        LiveAtLabel { map }
+    }
+
+    /// Whether `r` must be treated as live at `label`'s target.
+    pub fn live(&self, label: symbol_intcode::Label, r: R) -> bool {
+        if !is_temp(r) {
+            return true;
+        }
+        match self.map.get(&label) {
+            Some(s) => s.contains(&r),
+            None => true, // unknown label: be conservative
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symbol_intcode::{Asm, Cond, Op, Operand, Word};
+
+    #[test]
+    fn temp_live_across_branch_edge() {
+        // t written, branch to L (uses t there), fall-through halt.
+        let mut a = Asm::new();
+        let entry = a.fresh_label();
+        let l = a.fresh_label();
+        let t = a.fresh_reg();
+        let u = a.fresh_reg();
+        a.bind(entry);
+        a.emit(Op::MvI { d: t, w: Word::int(1) });
+        a.emit(Op::MvI { d: u, w: Word::int(2) });
+        a.emit(Op::Br {
+            cond: Cond::Eq,
+            a: t,
+            b: Operand::Imm(1),
+            t: l,
+        });
+        a.emit(Op::Halt { success: false });
+        a.bind(l);
+        a.emit(Op::Br {
+            cond: Cond::Eq,
+            a: u,
+            b: Operand::Imm(3),
+            t: entry,
+        });
+        a.emit(Op::Halt { success: true });
+        let p = a.finish(entry);
+        let layout = symbol_intcode::Layout {
+            heap_size: 16,
+            env_size: 16,
+            cp_size: 16,
+            trail_size: 16,
+            pdl_size: 16,
+        };
+        let stats = symbol_intcode::Emulator::new(&p, &layout)
+            .run(&symbol_intcode::ExecConfig::default())
+            .unwrap()
+            .stats;
+        let cfg = Cfg::build(&p, &stats);
+        let live = Liveness::compute(&p, &cfg);
+        let lbl = LiveAtLabel::new(&cfg, &live);
+        // u is live at the branch target, t is not (dead after branch)
+        assert!(lbl.live(l, u));
+        assert!(!lbl.live(l, t));
+        // fixed registers always live
+        assert!(lbl.live(l, symbol_intcode::layout::reg::H));
+    }
+}

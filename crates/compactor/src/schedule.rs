@@ -1,0 +1,651 @@
+#![allow(clippy::needless_range_loop)] // index loops mirror the DAG math
+
+//! Trace rewriting, dependence analysis, list scheduling and
+//! compensation-code generation.
+//!
+//! This is the back end's core (paper §3.2): an in-house arrangement of
+//! Trace Scheduling. A trace's ops are rewritten so the on-trace path
+//! falls through (off-trace transfers are the taken edges), a
+//! dependence DAG is built over registers, memory and control, and a
+//! greedy list scheduler packs the ops into instruction words of the
+//! target [`MachineConfig`]. Ops delayed below a side exit are copied
+//! onto the exit edge (compensation code); ops hoisted above a side
+//! exit are speculated only when provably safe and are marked so the
+//! simulator treats their faults as benign.
+
+use std::collections::HashMap;
+
+use symbol_intcode::{Cond, Label, Op, OpClass, R};
+use symbol_vliw::{MachineConfig, SlotOp, VliwInstr};
+
+use crate::cfg::{Cfg, Edge};
+use crate::liveness::LiveAtLabel;
+use crate::trace::Trace;
+
+/// One op of a rewritten trace.
+#[derive(Clone, Debug)]
+pub struct TraceOp {
+    /// The (possibly sense-inverted) operation.
+    pub op: Op,
+    /// Original op index in the IntCode program (`usize::MAX` for ops
+    /// synthesized during rewriting, e.g. the terminal jump).
+    pub orig: usize,
+    /// BAM group id (for the BAM-machine barrier mode).
+    pub group: u32,
+    /// Index of the containing block within the trace (for the
+    /// basic-block barrier mode).
+    pub block: u32,
+}
+
+/// A compensation block generated for one side exit.
+#[derive(Clone, Debug)]
+pub struct CompBlock {
+    /// Fresh label the exit branch was retargeted to.
+    pub label: Label,
+    /// The delayed ops, in original order.
+    pub ops: Vec<Op>,
+    /// Where the off-trace path continues.
+    pub target: Label,
+}
+
+/// Result of scheduling one trace.
+#[derive(Clone, Debug)]
+pub struct ScheduledTrace {
+    /// The instruction words.
+    pub words: Vec<VliwInstr>,
+    /// Compensation blocks for the side exits.
+    pub comps: Vec<CompBlock>,
+    /// Number of ops that entered the scheduler.
+    pub num_ops: usize,
+}
+
+/// Allocates labels beyond the IntCode program's namespace.
+#[derive(Debug)]
+pub struct LabelAlloc {
+    next: u32,
+}
+
+impl LabelAlloc {
+    /// Starts allocating after `existing` labels.
+    pub fn new(existing: usize) -> Self {
+        LabelAlloc {
+            next: existing as u32,
+        }
+    }
+
+    /// A fresh label.
+    pub fn fresh(&mut self) -> Label {
+        let l = Label(self.next);
+        self.next += 1;
+        l
+    }
+
+    /// Total labels allocated (existing + fresh).
+    pub fn total(&self) -> u32 {
+        self.next
+    }
+}
+
+/// Rewrites a trace's ops for scheduling: inverts branches the trace
+/// follows through their taken edge (so the trace is the fall-through
+/// path), deletes internal unconditional jumps, and appends a terminal
+/// jump when the last block falls through to off-trace code.
+///
+/// `block_label` must yield a label bound at any block's start (it may
+/// allocate one).
+pub fn rewrite_trace(
+    program: &symbol_intcode::IciProgram,
+    cfg: &Cfg,
+    trace: &Trace,
+    mut block_label: impl FnMut(usize) -> Label,
+) -> Vec<TraceOp> {
+    let ops = program.ops();
+    let groups = program.groups();
+    let mut out = Vec::new();
+    for (k, &b) in trace.blocks.iter().enumerate() {
+        let block = &cfg.blocks[b];
+        let last = block.end - 1;
+        let kb = k as u32;
+        let next_in_trace = trace.blocks.get(k + 1).copied();
+        for i in block.start..block.end {
+            let op = &ops[i];
+            let is_terminator = i == last;
+            if !is_terminator {
+                out.push(TraceOp {
+                    op: op.clone(),
+                    orig: i,
+                    group: groups[i],
+                    block: kb,
+                });
+                continue;
+            }
+            match (op, next_in_trace) {
+                // Internal unconditional jump: the trace continues at
+                // its target; drop it.
+                (Op::Jmp { .. }, Some(_)) => {}
+                // Conditional branch followed in-trace.
+                (o, Some(next)) if o.is_control() => {
+                    let taken_dest = o
+                        .target()
+                        .map(|t| cfg.label_block[&t])
+                        .expect("conditional branches have targets");
+                    if taken_dest == next {
+                        // Trace follows the taken edge: invert so the
+                        // trace falls through; off-trace = old
+                        // fall-through block.
+                        let fall = block
+                            .succs
+                            .iter()
+                            .find_map(|e| match e {
+                                Edge::Fall(d) => Some(*d),
+                                Edge::Taken(_) => None,
+                            })
+                            .expect("conditional branch has a fall-through");
+                        let mut inv = invert(o.clone());
+                        inv.set_target(block_label(fall));
+                        out.push(TraceOp {
+                            op: inv,
+                            orig: i,
+                            group: groups[i],
+                            block: kb,
+                        });
+                    } else {
+                        // Trace follows the fall-through: keep as-is.
+                        out.push(TraceOp {
+                            op: op.clone(),
+                            orig: i,
+                            group: groups[i],
+                            block: kb,
+                        });
+                    }
+                }
+                (o, Some(_)) => {
+                    // Plain fall-through into the next trace block.
+                    out.push(TraceOp {
+                        op: o.clone(),
+                        orig: i,
+                        group: groups[i],
+                        block: kb,
+                    });
+                }
+                // Last block of the trace.
+                (o, None) => {
+                    out.push(TraceOp {
+                        op: o.clone(),
+                        orig: i,
+                        group: groups[i],
+                        block: kb,
+                    });
+                    if o.falls_through() {
+                        // Execution continues at the original
+                        // fall-through block: make it explicit.
+                        let fall = block
+                            .succs
+                            .iter()
+                            .find_map(|e| match e {
+                                Edge::Fall(d) => Some(*d),
+                                Edge::Taken(_) if !o.is_control() => Some(e.dest()),
+                                _ => None,
+                            });
+                        if let Some(f) = fall {
+                            out.push(TraceOp {
+                                op: Op::Jmp {
+                                    t: block_label(f),
+                                },
+                                orig: usize::MAX,
+                                group: groups[i],
+                                block: kb,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+fn invert(op: Op) -> Op {
+    match op {
+        Op::Br { cond, a, b, t } => Op::Br {
+            cond: cond.negate(),
+            a,
+            b,
+            t,
+        },
+        Op::BrTag { a, tag, eq, t } => Op::BrTag { a, tag, eq: !eq, t },
+        Op::BrWord { a, w, eq, t } => Op::BrWord { a, w, eq: !eq, t },
+        Op::BrWEq { a, b, eq, t } => Op::BrWEq { a, b, eq: !eq, t },
+        other => other,
+    }
+}
+
+/// Scheduling options beyond the machine description.
+#[derive(Copy, Clone, Debug)]
+pub struct ScheduleOptions {
+    /// Allow hoisting safe ops above side exits (speculation).
+    pub speculate: bool,
+    /// Insert BAM-instruction group barriers (the BAM cost model).
+    pub group_barriers: bool,
+    /// Insert basic-block barriers: code motion stays inside blocks,
+    /// but blocks of a trace are laid out hot-path-first (the paper's
+    /// basic-block compaction baseline).
+    pub block_barriers: bool,
+}
+
+impl Default for ScheduleOptions {
+    fn default() -> Self {
+        ScheduleOptions {
+            speculate: true,
+            group_barriers: false,
+            block_barriers: false,
+        }
+    }
+}
+
+/// Schedules a rewritten trace onto `machine`.
+///
+/// Returns instruction words (with explicit empty words for latency
+/// stalls) plus compensation blocks for its side exits.
+pub fn schedule_trace(
+    trace_ops: &[TraceOp],
+    machine: &MachineConfig,
+    live: &LiveAtLabel,
+    labels: &mut LabelAlloc,
+    opts: &ScheduleOptions,
+) -> ScheduledTrace {
+    let n = trace_ops.len();
+    if n == 0 {
+        return ScheduledTrace {
+            words: Vec::new(),
+            comps: Vec::new(),
+            num_ops: 0,
+        };
+    }
+
+    // ---------------- dependence DAG ----------------
+    let mut adj: Vec<Vec<(usize, u32)>> = vec![Vec::new(); n];
+    let mut indeg = vec![0usize; n];
+    let add_edge = |adj: &mut Vec<Vec<(usize, u32)>>, indeg: &mut Vec<usize>, from: usize, to: usize, lat: u32| {
+        adj[from].push((to, lat));
+        indeg[to] += 1;
+    };
+
+    // Register dependences.
+    {
+        let mut last_def: HashMap<R, usize> = HashMap::new();
+        let mut last_uses: HashMap<R, Vec<usize>> = HashMap::new();
+        for (j, top) in trace_ops.iter().enumerate() {
+            for u in top.op.uses() {
+                if let Some(&d) = last_def.get(&u) {
+                    let lat = machine.latency(&trace_ops[d].op);
+                    add_edge(&mut adj, &mut indeg, d, j, lat);
+                }
+                last_uses.entry(u).or_default().push(j);
+            }
+            if let Some(d) = top.op.def() {
+                if let Some(&pd) = last_def.get(&d) {
+                    add_edge(&mut adj, &mut indeg, pd, j, 1); // WAW
+                }
+                if let Some(us) = last_uses.get(&d) {
+                    for &u in us {
+                        if u != j {
+                            add_edge(&mut adj, &mut indeg, u, j, 0); // WAR
+                        }
+                    }
+                }
+                last_def.insert(d, j);
+                last_uses.insert(d, Vec::new());
+            }
+        }
+    }
+
+    // Memory dependences: conservative, with same-base/different-offset
+    // disambiguation (the base register version must match).
+    {
+        #[derive(PartialEq, Clone, Copy)]
+        struct MemRef {
+            base: R,
+            version: usize,
+            off: i32,
+            store: bool,
+            pos: usize,
+        }
+        let mut version: HashMap<R, usize> = HashMap::new();
+        let mut refs: Vec<MemRef> = Vec::new();
+        for (j, top) in trace_ops.iter().enumerate() {
+            let mr = match &top.op {
+                Op::Ld { base, off, .. } => Some(MemRef {
+                    base: *base,
+                    version: *version.get(base).unwrap_or(&0),
+                    off: *off,
+                    store: false,
+                    pos: j,
+                }),
+                Op::St { base, off, .. } => Some(MemRef {
+                    base: *base,
+                    version: *version.get(base).unwrap_or(&0),
+                    off: *off,
+                    store: true,
+                    pos: j,
+                }),
+                _ => None,
+            };
+            if let Some(m) = mr {
+                for p in &refs {
+                    if !p.store && !m.store {
+                        continue; // load-load independent
+                    }
+                    let disambiguated =
+                        p.base == m.base && p.version == m.version && p.off != m.off;
+                    if disambiguated {
+                        continue;
+                    }
+                    // store→load / store→store need a full cycle;
+                    // load→store may share a cycle (load reads the
+                    // pre-state).
+                    let lat = u32::from(p.store);
+                    add_edge(&mut adj, &mut indeg, p.pos, m.pos, lat);
+                }
+                refs.push(m);
+            }
+            if let Some(d) = top.op.def() {
+                *version.entry(d).or_insert(0) += 1;
+            }
+        }
+    }
+
+    // Control dependences.
+    let branch_positions: Vec<usize> = (0..n)
+        .filter(|&i| trace_ops[i].op.is_control())
+        .collect();
+    {
+        // Branch-order chain.
+        for w in branch_positions.windows(2) {
+            let lat = u32::from(!machine.multiway_branch);
+            add_edge(&mut adj, &mut indeg, w[0], w[1], lat);
+        }
+        // Ops after a side exit: hoisting rules.
+        for &b in &branch_positions {
+            let off_target = trace_ops[b].op.target();
+            for j in (b + 1)..n {
+                let top = &trace_ops[j];
+                if top.op.is_control() {
+                    continue; // covered by the chain
+                }
+                let safe = opts.speculate
+                    && !matches!(top.op, Op::St { .. })
+                    && match (top.op.def(), off_target) {
+                        (Some(d), Some(t)) => !live.live(t, d),
+                        (Some(_), None) => false,
+                        (None, _) => true,
+                    };
+                if !safe {
+                    add_edge(&mut adj, &mut indeg, b, j, 1);
+                }
+            }
+        }
+        // Values visible at a control transfer must be *ready* when
+        // the successor code resumes, `1 + taken_branch_penalty`
+        // cycles after the transfer word. On machines with a branch
+        // bubble the bubble itself covers a 2-cycle load; without one
+        // (the BAM model) producers must retire a cycle before the
+        // transfer. An op that instead sinks fully below the exit ends
+        // up in the compensation block and needs no edge — but a
+        // nonzero drain edge pins it above, which is the conservative
+        // choice.
+        let resume = 1 + machine.taken_branch_penalty;
+        for &b in &branch_positions {
+            for i in 0..b {
+                if trace_ops[i].op.is_control() {
+                    continue;
+                }
+                let drain = machine.latency(&trace_ops[i].op).saturating_sub(resume);
+                if drain > 0 {
+                    add_edge(&mut adj, &mut indeg, i, b, drain);
+                }
+            }
+        }
+        // Everything must issue no later than the terminal transfer
+        // (with the same drain requirement).
+        let term = n - 1;
+        if trace_ops[term].op.is_control() {
+            for i in 0..term {
+                let drain = machine.latency(&trace_ops[i].op).saturating_sub(resume);
+                add_edge(&mut adj, &mut indeg, i, term, drain);
+            }
+        }
+    }
+
+    // BAM-instruction group / basic-block barriers.
+    if opts.group_barriers || opts.block_barriers {
+        let seg_id = |i: usize| {
+            if opts.group_barriers {
+                trace_ops[i].group as u64 | ((trace_ops[i].block as u64) << 32)
+            } else {
+                trace_ops[i].block as u64
+            }
+        };
+        let mut seg_start = 0usize;
+        for j in 1..=n {
+            let boundary = j == n || seg_id(j) != seg_id(j - 1);
+            if boundary && j < n {
+                // next segment: find its extent
+                let mut k = j;
+                while k < n && seg_id(k) == seg_id(j) {
+                    k += 1;
+                }
+                for a in seg_start..j {
+                    for b in j..k {
+                        add_edge(&mut adj, &mut indeg, a, b, 0);
+                    }
+                }
+                seg_start = j;
+            }
+        }
+    }
+
+    // ---------------- priorities (critical-path height) ----------------
+    let mut height = vec![0u32; n];
+    for i in (0..n).rev() {
+        for &(to, lat) in &adj[i] {
+            height[i] = height[i].max(height[to] + lat.max(1));
+        }
+    }
+
+    // ---------------- list scheduling ----------------
+    let mut cycle_of = vec![u32::MAX; n];
+    let mut earliest = vec![0u32; n];
+    let mut remaining = n;
+    let mut cycle: u32 = 0;
+    // Guard against scheduler deadlock (a DAG bug would loop forever).
+    let max_cycles = (n as u32 + 4) * 8 + 64;
+
+    while remaining > 0 {
+        assert!(
+            cycle < max_cycles,
+            "scheduler failed to place all ops (dependence cycle?)"
+        );
+        // Ready ops at this cycle, by priority.
+        let mut ready: Vec<usize> = (0..n)
+            .filter(|&i| cycle_of[i] == u32::MAX && indeg[i] == 0 && earliest[i] <= cycle)
+            .collect();
+        ready.sort_by_key(|&i| (std::cmp::Reverse(height[i]), i));
+
+        let mut used = [0usize; 4]; // mem, alu, move, ctl
+        let mut total_used = 0usize;
+        let mut placed_any = false;
+        let mut placed: Vec<usize> = Vec::new();
+        for i in ready {
+            let class = trace_ops[i].op.class();
+            let idx = class_index(class);
+            let budget = machine.slots(class);
+            let fits = total_used < machine.issue_width
+                && used[idx] < budget
+                && (!machine.split_formats
+                    || fits_split_formats(machine, &used, class));
+            if fits {
+                used[idx] += 1;
+                total_used += 1;
+                cycle_of[i] = cycle;
+                placed.push(i);
+                placed_any = true;
+                remaining -= 1;
+            }
+        }
+        for i in placed {
+            for &(to, lat) in &adj[i] {
+                indeg[to] -= 1;
+                earliest[to] = earliest[to].max(cycle + lat);
+            }
+        }
+        let _ = placed_any;
+        cycle += 1;
+    }
+
+    let max_cycle = *cycle_of.iter().max().expect("nonempty");
+
+    // ---------------- compensation code ----------------
+    let mut comps = Vec::new();
+    let mut retarget: HashMap<usize, Label> = HashMap::new();
+    for &b in &branch_positions {
+        if b == n - 1 {
+            continue; // the terminal transfer has no delayed ops below it
+        }
+        let target = match trace_ops[b].op.target() {
+            Some(t) => t,
+            None => continue,
+        };
+        let delayed: Vec<usize> = (0..b)
+            .filter(|&i| cycle_of[i] > cycle_of[b])
+            .collect();
+        if delayed.is_empty() {
+            continue;
+        }
+        let label = labels.fresh();
+        let ops = delayed
+            .iter()
+            .map(|&i| trace_ops[i].op.clone())
+            .collect();
+        comps.push(CompBlock {
+            label,
+            ops,
+            target,
+        });
+        retarget.insert(b, label);
+    }
+
+    // ---------------- emit words ----------------
+    let mut words: Vec<VliwInstr> = (0..=max_cycle).map(|_| VliwInstr::default()).collect();
+    let mut by_cycle: Vec<Vec<usize>> = vec![Vec::new(); max_cycle as usize + 1];
+    for i in 0..n {
+        by_cycle[cycle_of[i] as usize].push(i);
+    }
+    for c in 0..=max_cycle as usize {
+        by_cycle[c].sort_unstable(); // branch priority = original order
+        let mut unit_next = [0usize; 4];
+        for &i in &by_cycle[c] {
+            let mut op = trace_ops[i].op.clone();
+            if let Some(l) = retarget.get(&i) {
+                op.set_target(*l);
+            }
+            let class = op.class();
+            let idx = class_index(class);
+            let unit = assign_unit(machine, class, &mut unit_next, idx);
+            let speculative = branch_positions
+                .iter()
+                .any(|&b| b < i && cycle_of[i] <= cycle_of[b]);
+            words[c].slots.push(SlotOp {
+                unit,
+                op,
+                speculative,
+            });
+        }
+    }
+
+    ScheduledTrace {
+        words,
+        comps,
+        num_ops: n,
+    }
+}
+
+fn class_index(c: OpClass) -> usize {
+    match c {
+        OpClass::Memory => 0,
+        OpClass::Alu => 1,
+        OpClass::Move => 2,
+        OpClass::Control => 3,
+    }
+}
+
+fn fits_split_formats(machine: &MachineConfig, used: &[usize; 4], adding: OpClass) -> bool {
+    let (mut alu, mut mov, mut ctl) = (used[1], used[2], used[3]);
+    match adding {
+        OpClass::Alu => alu += 1,
+        OpClass::Move => mov += 1,
+        OpClass::Control => ctl += 1,
+        OpClass::Memory => return true, // memory fits either format
+    }
+    ctl + alu.max(mov) <= machine.units
+}
+
+fn assign_unit(
+    machine: &MachineConfig,
+    class: OpClass,
+    unit_next: &mut [usize; 4],
+    idx: usize,
+) -> usize {
+    let unit = if machine.split_formats && class == OpClass::Control {
+        // control ops take the highest units to keep formats apart
+        machine.units - 1 - unit_next[idx]
+    } else {
+        unit_next[idx] % machine.units
+    };
+    unit_next[idx] += 1;
+    unit
+}
+
+/// Schedules a compensation block: straight-line ops plus the final
+/// jump, packed for the machine (no further compensation arises).
+pub fn schedule_comp_block(
+    comp: &CompBlock,
+    machine: &MachineConfig,
+    live: &LiveAtLabel,
+    labels: &mut LabelAlloc,
+) -> Vec<VliwInstr> {
+    let mut ops: Vec<TraceOp> = comp
+        .ops
+        .iter()
+        .map(|o| TraceOp {
+            op: o.clone(),
+            orig: usize::MAX,
+            group: 0,
+            block: 0,
+        })
+        .collect();
+    ops.push(TraceOp {
+        op: Op::Jmp { t: comp.target },
+        orig: usize::MAX,
+        group: 0,
+        block: 0,
+    });
+    let st = schedule_trace(
+        &ops,
+        machine,
+        live,
+        labels,
+        &ScheduleOptions {
+            speculate: false,
+            group_barriers: false,
+            block_barriers: false,
+        },
+    );
+    assert!(st.comps.is_empty(), "compensation blocks are straight-line");
+    st.words
+}
+
+/// Can a [`Cond`]-negation round-trip? (sanity helper used in tests)
+pub fn negate_roundtrip(c: Cond) -> bool {
+    c.negate().negate() == c
+}

@@ -1,0 +1,13 @@
+% conc30 -- concatenate a 30-element list (Aquarius benchmark "conc30").
+% Deterministic list traversal; the smallest benchmark in the suite.
+
+main :-
+    conc([1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,
+          16,17,18,19,20,21,22,23,24,25,26,27,28,29,30],
+         [31,32],
+         R),
+    R = [1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,
+         16,17,18,19,20,21,22,23,24,25,26,27,28,29,30,31,32].
+
+conc([], L, L).
+conc([X|T], L, [X|R]) :- conc(T, L, R).

@@ -1,0 +1,42 @@
+% crypt -- Van Roy's cryptarithmetic multiplication puzzle: find digits
+% for  OEE x EE  such that the partial products have parity patterns
+% EOEE and EOE and the total has pattern OOEE (O = odd, E = even).
+% One solution is 348 x 28 (partials 2784 and 696, total 9744).
+
+main :-
+    crypt([A, B, C, D, E]),
+    N1 is 100 * A + 10 * B + C,
+    N2 is 10 * D + E,
+    T is N1 * N2,
+    T >= 1000, T =< 9999.
+
+crypt([A, B, C, D, E]) :-
+    odd(A), even(B), even(C),
+    even(D), D =\= 0, even(E),
+    N1 is 100 * A + 10 * B + C,
+    P1 is N1 * E, eoee(P1),
+    P2 is N1 * D, eoe(P2),
+    T is P1 + 10 * P2, ooee(T).
+
+odd(1). odd(3). odd(5). odd(7). odd(9).
+even(0). even(2). even(4). even(6). even(8).
+
+eoee(N) :-
+    N >= 1000, N =< 9999,
+    D1 is (N // 1000) mod 2, D1 =:= 0,
+    D2 is (N // 100) mod 2,  D2 =:= 1,
+    D3 is (N // 10) mod 2,   D3 =:= 0,
+    D4 is N mod 2,           D4 =:= 0.
+
+eoe(N) :-
+    N >= 100, N =< 999,
+    D1 is (N // 100) mod 2, D1 =:= 0,
+    D2 is (N // 10) mod 2,  D2 =:= 1,
+    D3 is N mod 2,          D3 =:= 0.
+
+ooee(N) :-
+    N >= 1000, N =< 9999,
+    D1 is (N // 1000) mod 2, D1 =:= 1,
+    D2 is (N // 100) mod 2,  D2 =:= 1,
+    D3 is (N // 10) mod 2,   D3 =:= 0,
+    D4 is N mod 2,           D4 =:= 0.

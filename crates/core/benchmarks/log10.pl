@@ -1,0 +1,23 @@
+% log10 -- symbolic differentiation of the 10-fold logarithm
+% log(log(...log(x)...)) (Warren's DERIV family, Aquarius "log10").
+% The expected result size is checked (66 nodes).
+
+main :-
+    d(log(log(log(log(log(log(log(log(log(log(x)))))))))), x, D),
+    size(D, N),
+    N = 66.
+
+d(U + V, X, DU + DV) :- !, d(U, X, DU), d(V, X, DV).
+d(U - V, X, DU - DV) :- !, d(U, X, DU), d(V, X, DV).
+d(U * V, X, DU * V + U * DV) :- !, d(U, X, DU), d(V, X, DV).
+d(U / V, X, (DU * V - U * DV) / (V * V)) :- !, d(U, X, DU), d(V, X, DV).
+d(log(U), X, DU / U) :- !, d(U, X, DU).
+d(X, X, 1) :- !.
+d(_, _, 0).
+
+size(X + Y, S) :- !, size(X, A), size(Y, B), S is A + B + 1.
+size(X - Y, S) :- !, size(X, A), size(Y, B), S is A + B + 1.
+size(X * Y, S) :- !, size(X, A), size(Y, B), S is A + B + 1.
+size(X / Y, S) :- !, size(X, A), size(Y, B), S is A + B + 1.
+size(log(X), S) :- !, size(X, A), S is A + 1.
+size(_, 1).

@@ -1,0 +1,23 @@
+% mu -- Hofstadter's MU puzzle: derive "muiiu" from the axiom "mi" with
+% the four MIU rewrite rules, depth-bounded search (Aquarius "mu").
+
+main :- theorem(5, [m,u,i,i,u]).
+
+theorem(_, [m,i]).
+theorem(D, R) :-
+    D > 0,
+    D1 is D - 1,
+    theorem(D1, S),
+    rule(S, R).
+
+% Rule I: xI -> xIU
+rule(S, R) :- conc(X, [i], S), conc(X, [i,u], R).
+% Rule II: Mx -> Mxx
+rule([m|T], [m|R]) :- conc(T, T, R).
+% Rule III: xIIIy -> xUy
+rule(S, R) :- conc(X, [i,i,i|Y], S), conc(X, [u|Y], R).
+% Rule IV: xUUy -> xy
+rule(S, R) :- conc(X, [u,u|Y], S), conc(X, Y, R).
+
+conc([], L, L).
+conc([X|T], L, [X|R]) :- conc(T, L, R).

@@ -1,0 +1,15 @@
+% nreverse -- naive reverse of a 30-element list (the classic LIPS
+% benchmark; "reverse" in the paper's tables).
+
+main :-
+    nrev([1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,
+          16,17,18,19,20,21,22,23,24,25,26,27,28,29,30],
+         R),
+    R = [30,29,28,27,26,25,24,23,22,21,20,19,18,17,16,
+         15,14,13,12,11,10,9,8,7,6,5,4,3,2,1].
+
+nrev([], []).
+nrev([H|T], R) :- nrev(T, RT), conc(RT, [H], R).
+
+conc([], L, L).
+conc([X|T], L, [X|R]) :- conc(T, L, R).

@@ -1,0 +1,23 @@
+% ops8 -- symbolic differentiation of the 8-operator expression
+% (x+1) * ((x*x+2) * (x*x*x+3)) (Warren's DERIV family, "ops8").
+% The expected result size is checked (63 nodes).
+
+main :-
+    d((x + 1) * ((x * x + 2) * (x * x * x + 3)), x, D),
+    size(D, N),
+    N = 63.
+
+d(U + V, X, DU + DV) :- !, d(U, X, DU), d(V, X, DV).
+d(U - V, X, DU - DV) :- !, d(U, X, DU), d(V, X, DV).
+d(U * V, X, DU * V + U * DV) :- !, d(U, X, DU), d(V, X, DV).
+d(U / V, X, (DU * V - U * DV) / (V * V)) :- !, d(U, X, DU), d(V, X, DV).
+d(log(U), X, DU / U) :- !, d(U, X, DU).
+d(X, X, 1) :- !.
+d(_, _, 0).
+
+size(X + Y, S) :- !, size(X, A), size(Y, B), S is A + B + 1.
+size(X - Y, S) :- !, size(X, A), size(Y, B), S is A + B + 1.
+size(X * Y, S) :- !, size(X, A), size(Y, B), S is A + B + 1.
+size(X / Y, S) :- !, size(X, A), size(Y, B), S is A + B + 1.
+size(log(X), S) :- !, size(X, A), S is A + 1.
+size(_, 1).

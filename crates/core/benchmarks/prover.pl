@@ -1,0 +1,34 @@
+% prover -- a propositional sequent-calculus theorem prover in the
+% style of Warren's PROVER benchmark. Proves a batch of classical
+% tautologies (and refutes one non-theorem) over and/or/not/imp.
+
+main :-
+    prove(imp(imp(a, b), imp(imp(b, c), imp(a, c)))),
+    prove(imp(and(a, b), a)),
+    prove(imp(a, or(a, b))),
+    prove(imp(imp(imp(a, b), a), a)),
+    prove(or(a, not(a))),
+    prove(imp(not(not(a)), a)),
+    prove(imp(not(and(a, b)), or(not(a), not(b)))),
+    prove(imp(and(imp(a, b), imp(b, c)), imp(a, c))),
+    prove(imp(and(or(a, b), and(imp(a, c), imp(b, c))), c)),
+    \+ prove(imp(a, b)).
+
+prove(F) :- pr([], [F]).
+
+% pr(Gamma, Delta): the sequent Gamma |- Delta is provable.
+pr(L, R) :- memb(X, L), memb(X, R).
+pr(L, R) :- selq(not(X), L, L1), pr(L1, [X|R]).
+pr(L, R) :- selq(not(X), R, R1), pr([X|L], R1).
+pr(L, R) :- selq(and(X, Y), L, L1), pr([X,Y|L1], R).
+pr(L, R) :- selq(and(X, Y), R, R1), pr(L, [X|R1]), pr(L, [Y|R1]).
+pr(L, R) :- selq(or(X, Y), R, R1), pr(L, [X,Y|R1]).
+pr(L, R) :- selq(or(X, Y), L, L1), pr([X|L1], R), pr([Y|L1], R).
+pr(L, R) :- selq(imp(X, Y), R, R1), pr([X|L], [Y|R1]).
+pr(L, R) :- selq(imp(X, Y), L, L1), pr(L1, [X|R]), pr([Y|L1], R).
+
+memb(X, [X|_]).
+memb(X, [_|T]) :- memb(X, T).
+
+selq(X, [X|T], T).
+selq(X, [Y|T], [Y|R]) :- selq(X, T, R).

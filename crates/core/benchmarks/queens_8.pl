@@ -1,0 +1,30 @@
+% queens_8 -- first solution of the 8-queens problem via permutation
+% generation with incremental attack checks (Aquarius "queens_8").
+
+main :-
+    queens(8, Qs),
+    len(Qs, 8).
+
+queens(N, Qs) :- range(1, N, Ns), place(Ns, [], Qs).
+
+place([], Qs, Qs).
+place(Unplaced, Safe, Qs) :-
+    sel(Q, Unplaced, Unplaced1),
+    not_attack(Safe, Q, 1),
+    place(Unplaced1, [Q|Safe], Qs).
+
+not_attack([], _, _).
+not_attack([Y|Ys], X, N) :-
+    X =\= Y + N,
+    X =\= Y - N,
+    N1 is N + 1,
+    not_attack(Ys, X, N1).
+
+sel(X, [X|T], T).
+sel(X, [Y|T], [Y|R]) :- sel(X, T, R).
+
+range(N, N, [N]).
+range(M, N, [M|Ns]) :- M < N, M1 is M + 1, range(M1, N, Ns).
+
+len([], 0).
+len([_|T], N) :- len(T, M), N is M + 1.

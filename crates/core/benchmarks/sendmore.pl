@@ -1,0 +1,33 @@
+% sendmore -- the SEND + MORE = MONEY cryptarithmetic puzzle solved by
+% column-wise digit selection with carries (Aquarius "sendmore").
+% The unique solution is S=9 E=5 N=6 D=7 M=1 O=0 R=8 Y=2.
+
+main :-
+    send([S,E,N,D,M,O,R,Y]),
+    [S,E,N,D,M,O,R,Y] = [9,5,6,7,1,0,8,2].
+
+send([S,E,N,D,M,O,R,Y]) :-
+    M = 1,
+    digits(Ds0),
+    sel(D, Ds0, Ds1),
+    sel(E, Ds1, Ds2),
+    Y0 is D + E, Y is Y0 mod 10, C1 is Y0 // 10,
+    sel(Y, Ds2, Ds3),
+    sel(N, Ds3, Ds4),
+    carry(C2),
+    R is E + 10 * C2 - N - C1, R >= 0, R =< 9,
+    sel(R, Ds4, Ds5),
+    carry(C3),
+    O is N + 10 * C3 - E - C2, O >= 0, O =< 9,
+    sel(O, Ds5, Ds6),
+    sel(M, Ds6, Ds7),
+    S is O + 9 - C3, S >= 1,
+    sel(S, Ds7, _).
+
+digits([0,1,2,3,4,5,6,7,8,9]).
+
+carry(0).
+carry(1).
+
+sel(X, [X|T], T).
+sel(X, [Y|T], [Y|R]) :- sel(X, T, R).

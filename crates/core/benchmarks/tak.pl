@@ -1,0 +1,12 @@
+% tak -- the Takeuchi function, tak(18,12,6) = 7 (Aquarius "tak").
+% Heavy deterministic recursion with shallow backtracking on the guard.
+
+main :- tak(18, 12, 6, A), A = 7.
+
+tak(X, Y, Z, A) :- X =< Y, Z = A.
+tak(X, Y, Z, A) :-
+    X > Y,
+    X1 is X - 1, tak(X1, Y, Z, A1),
+    Y1 is Y - 1, tak(Y1, Z, X, A2),
+    Z1 is Z - 1, tak(Z1, X, Y, A3),
+    tak(A1, A2, A3, A).

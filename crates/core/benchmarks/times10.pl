@@ -1,0 +1,23 @@
+% times10 -- symbolic differentiation of x*x*x*x*x*x*x*x*x*x with
+% respect to x (Warren's DERIV family, Aquarius "times10").
+% The result term's size is checked (127 nodes for the 10-fold product).
+
+main :-
+    d(x*x*x*x*x*x*x*x*x*x, x, D),
+    size(D, N),
+    N = 127.
+
+d(U + V, X, DU + DV) :- !, d(U, X, DU), d(V, X, DV).
+d(U - V, X, DU - DV) :- !, d(U, X, DU), d(V, X, DV).
+d(U * V, X, DU * V + U * DV) :- !, d(U, X, DU), d(V, X, DV).
+d(U / V, X, (DU * V - U * DV) / (V * V)) :- !, d(U, X, DU), d(V, X, DV).
+d(log(U), X, DU / U) :- !, d(U, X, DU).
+d(X, X, 1) :- !.
+d(_, _, 0).
+
+size(X + Y, S) :- !, size(X, A), size(Y, B), S is A + B + 1.
+size(X - Y, S) :- !, size(X, A), size(Y, B), S is A + B + 1.
+size(X * Y, S) :- !, size(X, A), size(Y, B), S is A + B + 1.
+size(X / Y, S) :- !, size(X, A), size(Y, B), S is A + B + 1.
+size(log(X), S) :- !, size(X, A), S is A + 1.
+size(_, 1).

@@ -1,0 +1,35 @@
+% zebra -- the five-houses puzzle: who owns the zebra, who drinks
+% water? Solved by constraint-by-unification over a list of house/5
+% structures (Aquarius "zebra").
+% House attributes: house(Nationality, Color, Pet, Drink, Smoke).
+
+main :-
+    houses(Hs),
+    memb(house(ZebraOwner, _, zebra, _, _), Hs),
+    memb(house(WaterDrinker, _, _, water, _), Hs),
+    ZebraOwner = japanese,
+    WaterDrinker = norwegian.
+
+houses(Hs) :-
+    Hs = [house(norwegian, _, _, _, _), _, house(_, _, _, milk, _), _, _],
+    memb(house(english, red, _, _, _), Hs),
+    memb(house(spaniard, _, dog, _, _), Hs),
+    memb(house(_, green, _, coffee, _), Hs),
+    memb(house(ukrainian, _, _, tea, _), Hs),
+    left_of(house(_, ivory, _, _, _), house(_, green, _, _, _), Hs),
+    memb(house(_, _, snails, _, oldgold), Hs),
+    memb(house(_, yellow, _, _, kools), Hs),
+    next_to(house(_, _, _, _, chesterfields), house(_, _, fox, _, _), Hs),
+    next_to(house(_, _, _, _, kools), house(_, _, horse, _, _), Hs),
+    memb(house(_, _, _, orange_juice, luckystrike), Hs),
+    memb(house(japanese, _, _, _, parliaments), Hs),
+    next_to(house(norwegian, _, _, _, _), house(_, blue, _, _, _), Hs).
+
+left_of(L, R, [L, R | _]).
+left_of(L, R, [_ | T]) :- left_of(L, R, T).
+
+next_to(A, B, Hs) :- left_of(A, B, Hs).
+next_to(A, B, Hs) :- left_of(B, A, Hs).
+
+memb(X, [X | _]).
+memb(X, [_ | T]) :- memb(X, T).

@@ -1,0 +1,191 @@
+//! Experiment drivers: everything needed to regenerate the paper's
+//! tables and figures (see DESIGN.md's experiment index).
+//!
+//! [`measure`] runs one benchmark through the full evaluation system —
+//! sequential emulation, the BAM cost model, basic-block and trace
+//! compaction, and the 1–5 unit sweep — and returns every number the
+//! reports consume. [`measure_all`] does it for the whole suite.
+
+pub mod ablation;
+pub mod reports;
+
+use symbol_analysis::{ClassMix, PredictStats};
+use symbol_compactor::{
+    compact, equal_duration_cycles, sequential_cycles, CompactMode, SeqDurations, TracePolicy,
+};
+use symbol_vliw::{MachineConfig, SimConfig, SimOutcome, VliwSim};
+
+use crate::benchmarks::Benchmark;
+use crate::pipeline::{Compiled, PipelineError};
+
+/// Unit counts of the Table 3 sweep.
+pub const UNIT_SWEEP: [usize; 5] = [1, 2, 3, 4, 5];
+
+/// Everything measured for one benchmark.
+#[derive(Clone, Debug)]
+pub struct BenchResult {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Executed ops under the equal-duration hypothesis (Figure 2).
+    pub ops: u64,
+    /// Sequential-machine cycles (mem/ctrl = 2, rest 1).
+    pub seq_cycles: u64,
+    /// Dynamic instruction-class mix.
+    pub mix: ClassMix,
+    /// Execution-weighted average probability of faulty prediction.
+    pub pfp_average: f64,
+    /// Histogram of P_fp over [0, 0.5] (20 bins, Figure 4).
+    pub pfp_histogram: Vec<f64>,
+    /// BAM cost-model cycles.
+    pub bam_cycles: u64,
+    /// Trace-scheduled cycles for 1..=5 units.
+    pub unit_cycles: Vec<u64>,
+    /// Basic-block compaction on the unbounded machine (Table 1).
+    pub bb_unbounded_cycles: u64,
+    /// Trace scheduling on the unbounded machine (Table 1).
+    pub trace_unbounded_cycles: u64,
+    /// Execution-weighted average trace length in ops.
+    pub trace_length: f64,
+    /// Execution-weighted average basic-block length in ops.
+    pub block_length: f64,
+    /// Static code growth of trace scheduling (compensation +
+    /// duplication copies).
+    pub code_growth: f64,
+    /// Resource utilization on the 3-unit machine: fraction of
+    /// memory / ALU / move / control slot-cycles used (paper §3.2's
+    /// simulator statistics).
+    pub utilization3: [f64; 4],
+    /// Operations issued per cycle on the 3-unit machine.
+    pub issue_rate3: f64,
+}
+
+impl BenchResult {
+    /// Speed-up of the `units`-unit VLIW over the sequential machine.
+    pub fn unit_speedup(&self, units: usize) -> f64 {
+        self.seq_cycles as f64 / self.unit_cycles[units - 1] as f64
+    }
+
+    /// Speed-up of the BAM model over the sequential machine.
+    pub fn bam_speedup(&self) -> f64 {
+        self.seq_cycles as f64 / self.bam_cycles as f64
+    }
+
+    /// Table 1 speed-ups: (trace, basic-block) on the unbounded
+    /// shared-memory machine.
+    pub fn unbounded_speedups(&self) -> (f64, f64) {
+        (
+            self.seq_cycles as f64 / self.trace_unbounded_cycles as f64,
+            self.seq_cycles as f64 / self.bb_unbounded_cycles as f64,
+        )
+    }
+
+    /// SYMBOL-3 absolute time in milliseconds (3 units at 30 MHz).
+    pub fn symbol3_ms(&self) -> f64 {
+        self.unit_cycles[2] as f64 / crate::benchmarks::paper::SYMBOL3_CLOCK_HZ * 1e3
+    }
+}
+
+/// Measures one benchmark through every machine configuration.
+///
+/// Each simulated configuration re-checks the program's answer; a
+/// mismatch is reported as [`PipelineError::WrongAnswer`].
+///
+/// # Errors
+///
+/// Propagates compilation and execution errors.
+pub fn measure(bench: &Benchmark) -> Result<BenchResult, PipelineError> {
+    let compiled = Compiled::from_source(bench.source)?;
+    measure_compiled(bench.name, &compiled)
+}
+
+/// [`measure`] for an already-compiled program.
+///
+/// # Errors
+///
+/// Propagates execution errors; see [`measure`].
+pub fn measure_compiled(
+    name: &'static str,
+    compiled: &Compiled,
+) -> Result<BenchResult, PipelineError> {
+    let run = compiled.run_sequential()?;
+    let seq_cycles = sequential_cycles(&compiled.ici, &run.stats, &SeqDurations::default());
+    let mix = ClassMix::measure(&compiled.ici, &run.stats);
+    let predict = PredictStats::measure(&compiled.ici, &run.stats);
+    let policy = TracePolicy::default();
+
+    let simulate = |mode: CompactMode,
+                    machine: MachineConfig|
+     -> Result<(symbol_vliw::SimResult, f64, f64), PipelineError> {
+        let compacted = compact(&compiled.ici, &run.stats, &machine, mode, &policy);
+        let result = VliwSim::new(&compacted.program, machine, &compiled.layout)
+            .run(&SimConfig::default())?;
+        if result.outcome != SimOutcome::Success {
+            return Err(PipelineError::WrongAnswer);
+        }
+        Ok((
+            result,
+            compacted.stats.avg_region_len,
+            compacted.stats.code_growth(),
+        ))
+    };
+
+    let (bam_result, block_length, _) = simulate(CompactMode::BamGroups, MachineConfig::bam())?;
+    let (bb_unbounded, _, _) = simulate(CompactMode::BasicBlock, MachineConfig::unbounded())?;
+    let (trace_unbounded, trace_length, code_growth) =
+        simulate(CompactMode::TraceSchedule, MachineConfig::unbounded())?;
+    let mut unit_cycles = Vec::new();
+    let mut utilization3 = [0.0; 4];
+    let mut issue_rate3 = 0.0;
+    for units in UNIT_SWEEP {
+        let machine = MachineConfig::units(units);
+        let (r, _, _) = simulate(CompactMode::TraceSchedule, machine)?;
+        if units == 3 {
+            use symbol_intcode::OpClass::*;
+            utilization3 = [
+                r.utilization(&machine, Memory),
+                r.utilization(&machine, Alu),
+                r.utilization(&machine, Move),
+                r.utilization(&machine, Control),
+            ];
+            issue_rate3 = r.issue_rate();
+        }
+        unit_cycles.push(r.cycles);
+    }
+
+    Ok(BenchResult {
+        name,
+        ops: equal_duration_cycles(&run.stats),
+        seq_cycles,
+        mix,
+        pfp_average: predict.average(),
+        pfp_histogram: predict.histogram(20).counts,
+        bam_cycles: bam_result.cycles,
+        unit_cycles,
+        bb_unbounded_cycles: bb_unbounded.cycles,
+        trace_unbounded_cycles: trace_unbounded.cycles,
+        trace_length,
+        block_length,
+        code_growth,
+        utilization3,
+        issue_rate3,
+    })
+}
+
+/// Measures the entire benchmark suite (in table order). Benchmarks
+/// are measured on parallel threads — each measurement is independent
+/// (own compilation, own simulator state).
+///
+/// # Errors
+///
+/// Fails if any benchmark does not compile, run and re-verify under
+/// every configuration.
+pub fn measure_all() -> Result<Vec<BenchResult>, PipelineError> {
+    let handles: Vec<_> = crate::benchmarks::ALL
+        .iter()
+        .map(|b| std::thread::spawn(move || measure(b)))
+        .collect();
+    handles
+        .into_iter()
+        .map(|h| h.join().expect("measurement thread panicked"))
+        .collect()
+}

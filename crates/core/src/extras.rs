@@ -1,0 +1,112 @@
+//! Extra Prolog programs beyond the paper's benchmark suite.
+//!
+//! These exist to demonstrate that the tool chain is a general Prolog
+//! system, not a harness tuned to sixteen programs: classic workloads
+//! with different shapes (deep deterministic recursion, exponential
+//! call trees, generate-and-test, accumulator loops). They run through
+//! the same pipeline and the same self-check discipline.
+
+use crate::benchmarks::Benchmark;
+
+/// Additional programs (not part of the paper's tables).
+pub const EXTRAS: &[Benchmark] = &[
+    Benchmark {
+        name: "hanoi",
+        description: "towers of Hanoi, 10 discs (counts moves)",
+        source: "
+            main :- hanoi(10, N), N = 1023.
+            hanoi(D, N) :- moves(D, a, b, c, N).
+            moves(0, _, _, _, 0).
+            moves(D, From, To, Via, N) :-
+                D > 0, D1 is D - 1,
+                moves(D1, From, Via, To, N1),
+                moves(D1, Via, To, From, N2),
+                N is N1 + N2 + 1.
+        ",
+    },
+    Benchmark {
+        name: "fib",
+        description: "naive Fibonacci, fib(17) = 1597",
+        source: "
+            main :- fib(17, F), F = 1597.
+            fib(0, 0).
+            fib(1, 1).
+            fib(N, F) :- N > 1, A is N - 1, B is N - 2,
+                         fib(A, FA), fib(B, FB), F is FA + FB.
+        ",
+    },
+    Benchmark {
+        name: "ackermann",
+        description: "Ackermann function, ack(2, 4) = 11",
+        source: "
+            main :- ack(2, 4, A), A = 11.
+            ack(0, N, R) :- !, R is N + 1.
+            ack(M, 0, R) :- !, M1 is M - 1, ack(M1, 1, R).
+            ack(M, N, R) :- M1 is M - 1, N1 is N - 1,
+                            ack(M, N1, R1), ack(M1, R1, R).
+        ",
+    },
+    Benchmark {
+        name: "primes",
+        description: "sieve of Eratosthenes up to 60 (17 primes)",
+        source: "
+            main :- range(2, 60, L), sieve(L, P), len(P, N), N = 17.
+            range(N, N, [N]).
+            range(M, N, [M|T]) :- M < N, M1 is M + 1, range(M1, N, T).
+            sieve([], []).
+            sieve([P|T], [P|R]) :- strike(P, T, T1), sieve(T1, R).
+            strike(_, [], []).
+            strike(P, [X|T], R) :-
+                M is X mod P,
+                keep(M, X, R, R1),
+                strike(P, T, R1).
+            keep(0, _, R, R).
+            keep(M, X, [X|R], R) :- M > 0.
+            len([], 0).
+            len([_|T], N) :- len(T, M), N is M + 1.
+        ",
+    },
+    Benchmark {
+        name: "sumlist",
+        description: "accumulator loop over a 100-element list",
+        source: "
+            main :- range(1, 100, L), suml(L, 0, S), S = 5050.
+            range(N, N, [N]).
+            range(M, N, [M|T]) :- M < N, M1 is M + 1, range(M1, N, T).
+            suml([], A, A).
+            suml([X|T], A, S) :- A1 is A + X, suml(T, A1, S).
+        ",
+    },
+];
+
+/// Looks an extra program up by name.
+pub fn by_name(name: &str) -> Option<&'static Benchmark> {
+    EXTRAS.iter().find(|b| b.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::Compiled;
+
+    #[test]
+    fn all_extras_run_and_self_check() {
+        for b in EXTRAS {
+            let c = Compiled::from_source(b.source)
+                .unwrap_or_else(|e| panic!("{}: compile failed: {e}", b.name));
+            c.run_sequential()
+                .unwrap_or_else(|e| panic!("{}: run failed: {e}", b.name));
+        }
+    }
+
+    #[test]
+    fn extras_do_not_shadow_benchmarks() {
+        for b in EXTRAS {
+            assert!(
+                crate::benchmarks::by_name(b.name).is_none(),
+                "{} collides with the paper suite",
+                b.name
+            );
+        }
+    }
+}

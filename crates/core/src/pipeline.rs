@@ -1,0 +1,171 @@
+//! The evaluation-system pipeline (paper Figure 1): Prolog source →
+//! BAM → IntCode → sequential emulation, producing the compiled
+//! artifacts and statistics every experiment consumes.
+
+use std::error::Error;
+use std::fmt;
+
+use symbol_bam::BamProgram;
+use symbol_intcode::emu::{Emulator, ExecConfig, Outcome, RunResult};
+use symbol_intcode::layout::Layout;
+use symbol_intcode::program::IciProgram;
+use symbol_intcode::translate::{self, TranslateError};
+use symbol_prolog::{ParseError, PredId, Program};
+
+/// Any error the pipeline can produce.
+#[derive(Debug)]
+pub enum PipelineError {
+    /// Front-end syntax error.
+    Parse(ParseError),
+    /// BAM compilation error.
+    Compile(symbol_bam::CompileError),
+    /// ICI translation error.
+    Translate(TranslateError),
+    /// The program has no `main/0`.
+    NoMain,
+    /// The emulator hit a machine error.
+    Exec(symbol_intcode::emu::ExecError),
+    /// The VLIW simulator hit a machine-model violation or fault.
+    Sim(symbol_vliw::SimError),
+    /// The query failed or produced a wrong (self-checked) answer.
+    WrongAnswer,
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Parse(e) => write!(f, "parse: {e}"),
+            PipelineError::Compile(e) => write!(f, "compile: {e}"),
+            PipelineError::Translate(e) => write!(f, "translate: {e}"),
+            PipelineError::NoMain => write!(f, "program defines no main/0"),
+            PipelineError::Exec(e) => write!(f, "execution: {e}"),
+            PipelineError::Sim(e) => write!(f, "simulation: {e}"),
+            PipelineError::WrongAnswer => {
+                write!(f, "query failed its self-check (wrong answer)")
+            }
+        }
+    }
+}
+
+impl Error for PipelineError {}
+
+impl From<ParseError> for PipelineError {
+    fn from(e: ParseError) -> Self {
+        PipelineError::Parse(e)
+    }
+}
+
+impl From<symbol_bam::CompileError> for PipelineError {
+    fn from(e: symbol_bam::CompileError) -> Self {
+        PipelineError::Compile(e)
+    }
+}
+
+impl From<TranslateError> for PipelineError {
+    fn from(e: TranslateError) -> Self {
+        PipelineError::Translate(e)
+    }
+}
+
+impl From<symbol_intcode::emu::ExecError> for PipelineError {
+    fn from(e: symbol_intcode::emu::ExecError) -> Self {
+        PipelineError::Exec(e)
+    }
+}
+
+impl From<symbol_vliw::SimError> for PipelineError {
+    fn from(e: symbol_vliw::SimError) -> Self {
+        PipelineError::Sim(e)
+    }
+}
+
+/// A fully compiled benchmark: every intermediate representation kept
+/// for inspection and for the back-end experiments.
+#[derive(Debug)]
+pub struct Compiled {
+    /// The normalized source program.
+    pub program: Program,
+    /// BAM code.
+    pub bam: BamProgram,
+    /// Executable IntCode.
+    pub ici: IciProgram,
+    /// Memory layout the code was generated for.
+    pub layout: Layout,
+}
+
+impl Compiled {
+    /// Compiles Prolog source down to IntCode with the default layout.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PipelineError`] for syntax errors, unsupported
+    /// goals, undefined predicates or a missing `main/0`.
+    pub fn from_source(src: &str) -> Result<Self, PipelineError> {
+        Self::from_source_with_layout(src, Layout::default())
+    }
+
+    /// Compiles with an explicit memory layout.
+    ///
+    /// # Errors
+    ///
+    /// See [`Compiled::from_source`].
+    pub fn from_source_with_layout(src: &str, layout: Layout) -> Result<Self, PipelineError> {
+        let program = symbol_prolog::parse_program(src)?;
+        let bam = symbol_bam::compile(&program)?;
+        let main_atom = program.symbols().lookup("main").ok_or(PipelineError::NoMain)?;
+        let main = PredId::new(main_atom, 0);
+        if program.predicate(main).is_none() {
+            return Err(PipelineError::NoMain);
+        }
+        let ici = translate::translate(&bam, main, &layout)?;
+        Ok(Compiled {
+            program,
+            bam,
+            ici,
+            layout,
+        })
+    }
+
+    /// Runs the sequential emulator, requiring the query's self-check
+    /// to succeed.
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::WrongAnswer`] if the query fails;
+    /// [`PipelineError::Exec`] on machine errors or step-limit
+    /// exhaustion.
+    pub fn run_sequential(&self) -> Result<RunResult, PipelineError> {
+        let result = Emulator::new(&self.ici, &self.layout).run(&ExecConfig::default())?;
+        if result.outcome != Outcome::Success {
+            return Err(PipelineError::WrongAnswer);
+        }
+        Ok(result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compiles_and_runs_trivial_program() {
+        let c = Compiled::from_source("main :- X is 1 + 1, X = 2.").unwrap();
+        let r = c.run_sequential().unwrap();
+        assert!(r.steps > 0);
+    }
+
+    #[test]
+    fn missing_main_is_reported() {
+        let e = Compiled::from_source("foo.").unwrap_err();
+        assert!(matches!(e, PipelineError::NoMain));
+    }
+
+    #[test]
+    fn wrong_answer_is_reported() {
+        let c = Compiled::from_source("main :- 1 = 2.").unwrap();
+        assert!(matches!(
+            c.run_sequential().unwrap_err(),
+            PipelineError::WrongAnswer
+        ));
+    }
+}

@@ -1,0 +1,118 @@
+//! Property tests of the run-time unification machinery, via the whole
+//! pipeline: random ground terms are unified by the compiled `=/2`
+//! and compared against structural equality computed in Rust.
+
+use proptest::prelude::*;
+use symbol_core::pipeline::{Compiled, PipelineError};
+
+/// A printable random ground term.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum G {
+    Int(i64),
+    Atom(&'static str),
+    Struct(&'static str, Vec<G>),
+    List(Vec<G>),
+}
+
+impl G {
+    fn render(&self, out: &mut String) {
+        match self {
+            G::Int(i) => out.push_str(&i.to_string()),
+            G::Atom(a) => out.push_str(a),
+            G::Struct(f, args) => {
+                out.push_str(f);
+                out.push('(');
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    a.render(out);
+                }
+                out.push(')');
+            }
+            G::List(items) => {
+                out.push('[');
+                for (i, a) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    a.render(out);
+                }
+                out.push(']');
+            }
+        }
+    }
+
+    fn text(&self) -> String {
+        let mut s = String::new();
+        self.render(&mut s);
+        s
+    }
+}
+
+fn ground() -> impl Strategy<Value = G> {
+    let leaf = prop_oneof![
+        (-99i64..99).prop_map(G::Int),
+        prop::sample::select(vec!["a", "b", "foo"]).prop_map(G::Atom),
+    ];
+    leaf.prop_recursive(3, 16, 3, |inner| {
+        prop_oneof![
+            (
+                prop::sample::select(vec!["f", "g", "h"]),
+                prop::collection::vec(inner.clone(), 1..3)
+            )
+                .prop_map(|(f, a)| G::Struct(f, a)),
+            prop::collection::vec(inner, 0..3).prop_map(G::List),
+        ]
+    })
+}
+
+fn runs(src: &str) -> bool {
+    let c = Compiled::from_source(src).expect("compiles");
+    match c.run_sequential() {
+        Ok(_) => true,
+        Err(PipelineError::WrongAnswer) => false,
+        Err(e) => panic!("pipeline error: {e}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn ground_unification_agrees_with_equality(a in ground(), b in ground()) {
+        let src = format!("main :- {} = {}.", a.text(), b.text());
+        prop_assert_eq!(runs(&src), a == b, "{}", src);
+    }
+
+    #[test]
+    fn unification_is_reflexive(a in ground()) {
+        let src = format!("main :- {} = {}.", a.text(), a.text());
+        prop_assert!(runs(&src));
+    }
+
+    #[test]
+    fn struct_eq_agrees_with_unification_on_ground_terms(a in ground(), b in ground()) {
+        let eq = format!("main :- {} == {}.", a.text(), b.text());
+        prop_assert_eq!(runs(&eq), a == b);
+        let ne = format!("main :- {} \\== {}.", a.text(), b.text());
+        prop_assert_eq!(runs(&ne), a != b);
+    }
+
+    #[test]
+    fn variable_binds_to_any_ground_term(a in ground()) {
+        let src = format!("main :- X = {}, X == {}.", a.text(), a.text());
+        prop_assert!(runs(&src));
+    }
+
+    #[test]
+    fn unification_through_a_call_round_trips(a in ground()) {
+        let src = format!(
+            "main :- id({}, Y), Y == {}.
+             id(X, X).",
+            a.text(),
+            a.text()
+        );
+        prop_assert!(runs(&src));
+    }
+}

@@ -1,0 +1,43 @@
+//! Runs every shipped benchmark through the full pipeline on the
+//! sequential emulator, requiring each program's self-check to pass.
+//! This is the ground-truth correctness gate for the whole tool chain.
+
+use symbol_core::{benchmarks, pipeline::Compiled};
+
+fn run(name: &str) -> u64 {
+    let b = benchmarks::by_name(name).unwrap_or_else(|| panic!("unknown benchmark {name}"));
+    let compiled = Compiled::from_source(b.source)
+        .unwrap_or_else(|e| panic!("{name}: compile failed: {e}"));
+    let result = compiled
+        .run_sequential()
+        .unwrap_or_else(|e| panic!("{name}: run failed: {e}"));
+    result.steps
+}
+
+macro_rules! bench_test {
+    ($fn_name:ident, $name:literal) => {
+        #[test]
+        fn $fn_name() {
+            let steps = run($name);
+            assert!(steps > 0);
+            eprintln!("{}: {} sequential ops", $name, steps);
+        }
+    };
+}
+
+bench_test!(conc30_runs, "conc30");
+bench_test!(crypt_runs, "crypt");
+bench_test!(divide10_runs, "divide10");
+bench_test!(log10_runs, "log10");
+bench_test!(mu_runs, "mu");
+bench_test!(nreverse_runs, "nreverse");
+bench_test!(ops8_runs, "ops8");
+bench_test!(prover_runs, "prover");
+bench_test!(qsort_runs, "qsort");
+bench_test!(queens_8_runs, "queens_8");
+bench_test!(query_runs, "query");
+bench_test!(sendmore_runs, "sendmore");
+bench_test!(serialise_runs, "serialise");
+bench_test!(tak_runs, "tak");
+bench_test!(times10_runs, "times10");
+bench_test!(zebra_runs, "zebra");

@@ -1,0 +1,561 @@
+//! The IntCode sequential emulator.
+//!
+//! Executes an [`IciProgram`] one op at a time, validating the program
+//! and collecting the statistics the back-end compiler needs (paper
+//! §3.1): the *Expect* of every op (execution count) and, for every
+//! conditional branch, the probability of being taken.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::layout::Layout;
+use crate::op::{AluOp, Label, Op, OpClass, Operand, R};
+use crate::program::IciProgram;
+use crate::word::{Tag, Word};
+
+/// Execution limits.
+#[derive(Copy, Clone, Debug)]
+pub struct ExecConfig {
+    /// Abort after this many executed ops.
+    pub max_steps: u64,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        ExecConfig {
+            max_steps: 2_000_000_000,
+        }
+    }
+}
+
+/// Why execution stopped.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Outcome {
+    /// `Halt { success: true }` was reached: the query succeeded.
+    Success,
+    /// `Halt { success: false }`: the query exhausted all choices.
+    Failure,
+}
+
+/// Run-time error (a malformed program or exhausted resources).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ExecError {
+    /// Memory access outside the data space.
+    BadAddress {
+        /// The offending address.
+        addr: i64,
+        /// Op index.
+        at: usize,
+    },
+    /// Division or remainder by zero.
+    DivideByZero {
+        /// Op index.
+        at: usize,
+    },
+    /// Indirect jump through a non-code word.
+    BadCodeWord {
+        /// The word jumped through.
+        word: Word,
+        /// Op index.
+        at: usize,
+    },
+    /// The step limit was exceeded.
+    StepLimit {
+        /// The limit that was hit.
+        limit: u64,
+    },
+    /// Execution ran off the end of the program.
+    RanOffEnd,
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::BadAddress { addr, at } => {
+                write!(f, "bad memory address {addr} at op {at}")
+            }
+            ExecError::DivideByZero { at } => write!(f, "division by zero at op {at}"),
+            ExecError::BadCodeWord { word, at } => {
+                write!(f, "indirect jump through non-code word {word} at op {at}")
+            }
+            ExecError::StepLimit { limit } => write!(f, "step limit {limit} exceeded"),
+            ExecError::RanOffEnd => write!(f, "execution ran off the end of the program"),
+        }
+    }
+}
+
+impl Error for ExecError {}
+
+/// Per-op execution statistics.
+#[derive(Clone, Debug)]
+pub struct ExecStats {
+    /// Execution count of each op (the paper's *Expect*).
+    pub expect: Vec<u64>,
+    /// For conditional branches: times the branch was taken.
+    pub taken: Vec<u64>,
+}
+
+impl ExecStats {
+    /// Total executed ops.
+    pub fn total(&self) -> u64 {
+        self.expect.iter().sum()
+    }
+
+    /// Dynamic op count per class.
+    pub fn class_counts(&self, program: &IciProgram) -> [(OpClass, u64); 4] {
+        let mut counts = [
+            (OpClass::Memory, 0),
+            (OpClass::Alu, 0),
+            (OpClass::Move, 0),
+            (OpClass::Control, 0),
+        ];
+        for (i, op) in program.ops().iter().enumerate() {
+            let slot = match op.class() {
+                OpClass::Memory => 0,
+                OpClass::Alu => 1,
+                OpClass::Move => 2,
+                OpClass::Control => 3,
+            };
+            counts[slot].1 += self.expect[i];
+        }
+        counts
+    }
+
+    /// Probability that branch op `i` is taken (`None` if never
+    /// executed or not a conditional branch).
+    pub fn taken_probability(&self, i: usize) -> Option<f64> {
+        if self.expect[i] == 0 {
+            None
+        } else {
+            Some(self.taken[i] as f64 / self.expect[i] as f64)
+        }
+    }
+}
+
+/// Result of a completed run.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// Success or failure of the query.
+    pub outcome: Outcome,
+    /// Total executed ops.
+    pub steps: u64,
+    /// Per-op statistics.
+    pub stats: ExecStats,
+}
+
+/// The sequential machine state.
+#[derive(Debug)]
+pub struct Emulator<'a> {
+    program: &'a IciProgram,
+    regs: Vec<Word>,
+    mem: Vec<Word>,
+    pc: usize,
+    trace: Vec<usize>,
+    trace_cap: usize,
+}
+
+impl<'a> Emulator<'a> {
+    /// Creates an emulator with zeroed registers and memory.
+    pub fn new(program: &'a IciProgram, layout: &Layout) -> Self {
+        let max_reg = program
+            .ops()
+            .iter()
+            .flat_map(|o| {
+                o.uses()
+                    .into_iter()
+                    .chain(o.def())
+                    .map(|R(r)| r)
+                    .collect::<Vec<_>>()
+            })
+            .max()
+            .unwrap_or(0);
+        Emulator {
+            program,
+            regs: vec![Word::int(0); max_reg as usize + 1],
+            mem: vec![Word::int(0); layout.total()],
+            pc: program.label_addr(program.entry()),
+            trace: Vec::new(),
+            trace_cap: 0,
+        }
+    }
+
+    /// Enables a circular trace of the last `cap` executed op indices
+    /// (for diagnosing runaway programs).
+    pub fn set_trace(&mut self, cap: usize) {
+        self.trace_cap = cap;
+        self.trace = Vec::with_capacity(cap.min(1 << 20));
+    }
+
+    /// The traced op indices, oldest first.
+    pub fn trace(&self) -> Vec<usize> {
+        self.trace.clone()
+    }
+
+    /// Runs to completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`ExecError`] on malformed programs or exhausted
+    /// limits — never for ordinary Prolog failure (that is a normal
+    /// [`Outcome::Failure`]).
+    pub fn run(&mut self, cfg: &ExecConfig) -> Result<RunResult, ExecError> {
+        let (outcome, stats, steps) = self.run_with_stats(cfg);
+        outcome.map(|outcome| RunResult {
+            outcome,
+            steps,
+            stats,
+        })
+    }
+
+    /// Like [`Emulator::run`] but returns the statistics gathered so
+    /// far even when execution ends in an error — useful for
+    /// diagnosing runaway programs.
+    pub fn run_with_stats(
+        &mut self,
+        cfg: &ExecConfig,
+    ) -> (Result<Outcome, ExecError>, ExecStats, u64) {
+        let n = self.program.ops().len();
+        let mut expect = vec![0u64; n];
+        let mut taken = vec![0u64; n];
+        let mut steps: u64 = 0;
+        let res = self.step_loop(cfg, &mut expect, &mut taken, &mut steps);
+        (res, ExecStats { expect, taken }, steps)
+    }
+
+    fn step_loop(
+        &mut self,
+        cfg: &ExecConfig,
+        expect: &mut [u64],
+        taken: &mut [u64],
+        steps: &mut u64,
+    ) -> Result<Outcome, ExecError> {
+        let ops = self.program.ops();
+        let n = ops.len();
+        loop {
+            if self.pc >= n {
+                return Err(ExecError::RanOffEnd);
+            }
+            if *steps >= cfg.max_steps {
+                return Err(ExecError::StepLimit {
+                    limit: cfg.max_steps,
+                });
+            }
+            *steps += 1;
+            let at = self.pc;
+            expect[at] += 1;
+            if self.trace_cap > 0 {
+                if self.trace.len() == self.trace_cap {
+                    self.trace.remove(0);
+                }
+                self.trace.push(at);
+            }
+            match &ops[at] {
+                Op::Ld { d, base, off } => {
+                    let addr = self.regs[base.0 as usize].val + *off as i64;
+                    let w = self.load(addr, at)?;
+                    self.regs[d.0 as usize] = w;
+                    self.pc += 1;
+                }
+                Op::St { s, base, off } => {
+                    let addr = self.regs[base.0 as usize].val + *off as i64;
+                    let w = self.regs[s.0 as usize];
+                    self.store(addr, w, at)?;
+                    self.pc += 1;
+                }
+                Op::Mv { d, s } => {
+                    self.regs[d.0 as usize] = self.regs[s.0 as usize];
+                    self.pc += 1;
+                }
+                Op::MvI { d, w } => {
+                    self.regs[d.0 as usize] = *w;
+                    self.pc += 1;
+                }
+                Op::Alu { op, d, a, b } => {
+                    let av = self.regs[a.0 as usize].val;
+                    let bv = self.operand(b);
+                    let v = alu(*op, av, bv).ok_or(ExecError::DivideByZero { at })?;
+                    self.regs[d.0 as usize] = Word::int(v);
+                    self.pc += 1;
+                }
+                Op::AddA { d, a, b } => {
+                    let aw = self.regs[a.0 as usize];
+                    let bv = self.operand(b);
+                    self.regs[d.0 as usize] = Word {
+                        tag: aw.tag,
+                        val: aw.val.wrapping_add(bv),
+                    };
+                    self.pc += 1;
+                }
+                Op::MkTag { d, s, tag } => {
+                    let v = self.regs[s.0 as usize].val;
+                    self.regs[d.0 as usize] = Word { tag: *tag, val: v };
+                    self.pc += 1;
+                }
+                Op::Br { cond, a, b, t } => {
+                    let av = self.regs[a.0 as usize].val;
+                    let bv = self.operand(b);
+                    self.branch(cond.eval(av, bv), *t, at, taken);
+                }
+                Op::BrTag { a, tag, eq, t } => {
+                    let cond = (self.regs[a.0 as usize].tag == *tag) == *eq;
+                    self.branch(cond, *t, at, taken);
+                }
+                Op::BrWord { a, w, eq, t } => {
+                    let cond = (self.regs[a.0 as usize] == *w) == *eq;
+                    self.branch(cond, *t, at, taken);
+                }
+                Op::BrWEq { a, b, eq, t } => {
+                    let cond =
+                        (self.regs[a.0 as usize] == self.regs[b.0 as usize]) == *eq;
+                    self.branch(cond, *t, at, taken);
+                }
+                Op::Jmp { t } => {
+                    self.pc = self.program.label_addr(*t);
+                }
+                Op::JmpR { r } => {
+                    let w = self.regs[r.0 as usize];
+                    if w.tag != Tag::Cod {
+                        return Err(ExecError::BadCodeWord { word: w, at });
+                    }
+                    self.pc = self.program.label_addr(Label(w.val as u32));
+                }
+                Op::Halt { success } => {
+                    return Ok(if *success {
+                        Outcome::Success
+                    } else {
+                        Outcome::Failure
+                    });
+                }
+            }
+        }
+    }
+
+    fn branch(&mut self, cond: bool, t: Label, at: usize, taken: &mut [u64]) {
+        if cond {
+            taken[at] += 1;
+            self.pc = self.program.label_addr(t);
+        } else {
+            self.pc = at + 1;
+        }
+    }
+
+    fn operand(&self, o: &Operand) -> i64 {
+        match o {
+            Operand::Reg(r) => self.regs[r.0 as usize].val,
+            Operand::Imm(i) => *i,
+        }
+    }
+
+    fn load(&self, addr: i64, at: usize) -> Result<Word, ExecError> {
+        self.mem
+            .get(usize::try_from(addr).map_err(|_| ExecError::BadAddress { addr, at })?)
+            .copied()
+            .ok_or(ExecError::BadAddress { addr, at })
+    }
+
+    fn store(&mut self, addr: i64, w: Word, at: usize) -> Result<(), ExecError> {
+        let i = usize::try_from(addr).map_err(|_| ExecError::BadAddress { addr, at })?;
+        match self.mem.get_mut(i) {
+            Some(slot) => {
+                *slot = w;
+                Ok(())
+            }
+            None => Err(ExecError::BadAddress { addr, at }),
+        }
+    }
+
+    /// Read access to a memory word (for tests and answer inspection).
+    pub fn peek(&self, addr: i64) -> Option<Word> {
+        usize::try_from(addr).ok().and_then(|i| self.mem.get(i)).copied()
+    }
+
+    /// Read access to a register (for tests and answer inspection).
+    pub fn reg(&self, r: R) -> Word {
+        self.regs[r.0 as usize]
+    }
+}
+
+fn alu(op: AluOp, a: i64, b: i64) -> Option<i64> {
+    Some(match op {
+        AluOp::Add => a.wrapping_add(b),
+        AluOp::Sub => a.wrapping_sub(b),
+        AluOp::Mul => a.wrapping_mul(b),
+        AluOp::Div => {
+            if b == 0 {
+                return None;
+            }
+            a.wrapping_div(b)
+        }
+        AluOp::Mod => {
+            if b == 0 {
+                return None;
+            }
+            a.wrapping_rem(b)
+        }
+        AluOp::And => a & b,
+        AluOp::Or => a | b,
+        AluOp::Xor => a ^ b,
+        AluOp::Shl => a.wrapping_shl(b as u32),
+        AluOp::Shr => a.wrapping_shr(b as u32),
+        AluOp::Max => a.max(b),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::Asm;
+
+    fn run_ops(build: impl FnOnce(&mut Asm) -> Label) -> RunResult {
+        let mut a = Asm::new();
+        let entry = build(&mut a);
+        let p = a.finish(entry);
+        let layout = Layout {
+            heap_size: 64,
+            env_size: 64,
+            cp_size: 64,
+            trail_size: 64,
+            pdl_size: 64,
+        };
+        Emulator::new(&p, &layout)
+            .run(&ExecConfig::default())
+            .expect("clean run")
+    }
+
+    #[test]
+    fn halt_success() {
+        let r = run_ops(|a| {
+            let e = a.fresh_label();
+            a.bind(e);
+            a.emit(Op::Halt { success: true });
+            e
+        });
+        assert_eq!(r.outcome, Outcome::Success);
+        assert_eq!(r.steps, 1);
+    }
+
+    #[test]
+    fn alu_and_branch() {
+        let r = run_ops(|a| {
+            let e = a.fresh_label();
+            let yes = a.fresh_label();
+            let t = a.fresh_reg();
+            a.bind(e);
+            a.emit(Op::MvI { d: t, w: Word::int(2) });
+            a.emit(Op::Alu {
+                op: AluOp::Add,
+                d: t,
+                a: t,
+                b: Operand::Imm(3),
+            });
+            a.emit(Op::Br {
+                cond: crate::op::Cond::Eq,
+                a: t,
+                b: Operand::Imm(5),
+                t: yes,
+            });
+            a.emit(Op::Halt { success: false });
+            a.bind(yes);
+            a.emit(Op::Halt { success: true });
+            e
+        });
+        assert_eq!(r.outcome, Outcome::Success);
+    }
+
+    #[test]
+    fn memory_round_trip() {
+        let r = run_ops(|a| {
+            let e = a.fresh_label();
+            let base = a.fresh_reg();
+            let v = a.fresh_reg();
+            let v2 = a.fresh_reg();
+            let ok = a.fresh_label();
+            a.bind(e);
+            a.emit(Op::MvI { d: base, w: Word::int(10) });
+            a.emit(Op::MvI { d: v, w: Word::atom(7) });
+            a.emit(Op::St { s: v, base, off: 2 });
+            a.emit(Op::Ld { d: v2, base, off: 2 });
+            a.emit(Op::BrWEq { a: v, b: v2, eq: true, t: ok });
+            a.emit(Op::Halt { success: false });
+            a.bind(ok);
+            a.emit(Op::Halt { success: true });
+            e
+        });
+        assert_eq!(r.outcome, Outcome::Success);
+    }
+
+    #[test]
+    fn taken_statistics() {
+        let r = run_ops(|a| {
+            let e = a.fresh_label();
+            let lp = a.fresh_label();
+            let i = a.fresh_reg();
+            a.bind(e);
+            a.emit(Op::MvI { d: i, w: Word::int(0) });
+            a.bind(lp);
+            a.emit(Op::Alu {
+                op: AluOp::Add,
+                d: i,
+                a: i,
+                b: Operand::Imm(1),
+            });
+            a.emit(Op::Br {
+                cond: crate::op::Cond::Lt,
+                a: i,
+                b: Operand::Imm(10),
+                t: lp,
+            });
+            a.emit(Op::Halt { success: true });
+            e
+        });
+        // branch executed 10 times, taken 9
+        let br_idx = 2;
+        assert_eq!(r.stats.expect[br_idx], 10);
+        assert_eq!(r.stats.taken[br_idx], 9);
+        let p = r.stats.taken_probability(br_idx).unwrap();
+        assert!((p - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bad_address_is_reported() {
+        let mut a = Asm::new();
+        let e = a.fresh_label();
+        let base = a.fresh_reg();
+        a.bind(e);
+        a.emit(Op::MvI { d: base, w: Word::int(-5) });
+        a.emit(Op::Ld { d: base, base, off: 0 });
+        a.emit(Op::Halt { success: true });
+        let p = a.finish(e);
+        let layout = Layout {
+            heap_size: 16,
+            env_size: 16,
+            cp_size: 16,
+            trail_size: 16,
+            pdl_size: 16,
+        };
+        let err = Emulator::new(&p, &layout)
+            .run(&ExecConfig::default())
+            .unwrap_err();
+        assert!(matches!(err, ExecError::BadAddress { .. }));
+    }
+
+    #[test]
+    fn step_limit_enforced() {
+        let mut a = Asm::new();
+        let e = a.fresh_label();
+        a.bind(e);
+        a.emit(Op::Jmp { t: e });
+        let p = a.finish(e);
+        let layout = Layout {
+            heap_size: 16,
+            env_size: 16,
+            cp_size: 16,
+            trail_size: 16,
+            pdl_size: 16,
+        };
+        let err = Emulator::new(&p, &layout)
+            .run(&ExecConfig { max_steps: 100 })
+            .unwrap_err();
+        assert!(matches!(err, ExecError::StepLimit { .. }));
+    }
+}

@@ -1,0 +1,200 @@
+//! Data memory layout and fixed register assignments.
+//!
+//! The BAM execution model separates the data space into stack areas
+//! (paper §4.1): heap, environment stack, choice-point stack, trail and
+//! push-down list. We place them in one flat word-addressed memory with
+//! the heap lowest, so the classic "bind the higher address to the
+//! lower" rule keeps the heap free of pointers into the stacks.
+
+use crate::op::R;
+
+/// Fixed (architectural) registers. Everything at or above
+/// [`reg::FIRST_TEMP`] is renamed temporary space.
+pub mod reg {
+    use super::R;
+
+    /// Heap top.
+    pub const H: R = R(0);
+    /// Heap backtrack point (heap top at newest choice point).
+    pub const HB: R = R(1);
+    /// Current environment frame.
+    pub const E: R = R(2);
+    /// Environment stack top.
+    pub const ETOP: R = R(3);
+    /// Protected environment boundary (ETOP at newest choice point).
+    pub const EB: R = R(4);
+    /// Newest choice point frame.
+    pub const B: R = R(5);
+    /// Trail top.
+    pub const TR: R = R(6);
+    /// Continuation (return code word).
+    pub const CP: R = R(7);
+    /// Cut barrier (B at predicate entry).
+    pub const B0: R = R(8);
+    /// Runtime-routine return address.
+    pub const RR: R = R(9);
+    /// Runtime-routine argument 1.
+    pub const U1: R = R(10);
+    /// Runtime-routine argument 2.
+    pub const U2: R = R(11);
+    /// Runtime-routine boolean result.
+    pub const FLAG: R = R(12);
+    /// Push-down list top (unification work stack).
+    pub const PDL: R = R(13);
+
+    /// Base of the argument registers `A0..A15`.
+    pub const ARG_BASE: u32 = 16;
+    /// Number of argument registers.
+    pub const NUM_ARGS: u32 = 16;
+    /// First free id for renamed temporaries.
+    pub const FIRST_TEMP: u32 = ARG_BASE + NUM_ARGS;
+
+    /// The argument register `A_i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= NUM_ARGS`.
+    pub fn arg(i: usize) -> R {
+        assert!(
+            (i as u32) < NUM_ARGS,
+            "predicate arity {i} exceeds the {NUM_ARGS} argument registers"
+        );
+        R(ARG_BASE + i as u32)
+    }
+}
+
+/// Sizes and base addresses of the data areas.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct Layout {
+    /// Heap size in words (heap base is address 0).
+    pub heap_size: usize,
+    /// Environment stack size in words.
+    pub env_size: usize,
+    /// Choice-point stack size in words.
+    pub cp_size: usize,
+    /// Trail size in words.
+    pub trail_size: usize,
+    /// Push-down list size in words.
+    pub pdl_size: usize,
+}
+
+impl Default for Layout {
+    fn default() -> Self {
+        Layout {
+            heap_size: 1 << 21,
+            env_size: 1 << 19,
+            cp_size: 1 << 19,
+            trail_size: 1 << 19,
+            pdl_size: 1 << 14,
+        }
+    }
+}
+
+impl Layout {
+    /// Base of the heap (always 0).
+    pub fn heap_base(&self) -> i64 {
+        0
+    }
+
+    /// Base of the environment stack.
+    pub fn env_base(&self) -> i64 {
+        self.heap_size as i64
+    }
+
+    /// Base of the choice-point stack.
+    pub fn cp_base(&self) -> i64 {
+        (self.heap_size + self.env_size) as i64
+    }
+
+    /// Base of the trail.
+    pub fn trail_base(&self) -> i64 {
+        (self.heap_size + self.env_size + self.cp_size) as i64
+    }
+
+    /// Base of the push-down list.
+    pub fn pdl_base(&self) -> i64 {
+        (self.heap_size + self.env_size + self.cp_size + self.trail_size) as i64
+    }
+
+    /// Total memory size in words.
+    pub fn total(&self) -> usize {
+        self.heap_size + self.env_size + self.cp_size + self.trail_size + self.pdl_size
+    }
+}
+
+/// Choice-point frame offsets (negative, from the frame pointer `B`).
+///
+/// A frame of arity `n` spans `[B - (FIXED + n), B)`; argument `i`
+/// lives at `B - (ARGS_START + i)`.
+pub mod cp_frame {
+    /// `B - SAVED_H`: heap top at creation.
+    pub const SAVED_H: i32 = 1;
+    /// `B - SAVED_TR`: trail top at creation.
+    pub const SAVED_TR: i32 = 2;
+    /// `B - RETRY`: code word of the next alternative.
+    pub const RETRY: i32 = 3;
+    /// `B - PREV_B`: previous choice point.
+    pub const PREV_B: i32 = 4;
+    /// `B - SAVED_E`: environment frame at creation.
+    pub const SAVED_E: i32 = 5;
+    /// `B - SAVED_ETOP`: environment top at creation.
+    pub const SAVED_ETOP: i32 = 6;
+    /// `B - SAVED_CP`: continuation at creation.
+    pub const SAVED_CP: i32 = 7;
+    /// `B - SAVED_B0`: cut barrier at creation.
+    pub const SAVED_B0: i32 = 8;
+    /// `B - ARITY`: saved argument count.
+    pub const ARITY: i32 = 9;
+    /// `B - SAVED_EB`: protected environment boundary at creation.
+    ///
+    /// This is `max(EB, ETOP)` at push time, NOT plain `ETOP`: with
+    /// split environment/choice-point stacks the protected boundary
+    /// must be monotone over the choice-point stack, because a clause
+    /// that deallocates its frame before a tail call can push a newer
+    /// choice point with a *lower* ETOP than an older choice point's —
+    /// and the older one still needs the frames below its own
+    /// boundary.
+    pub const SAVED_EB: i32 = 10;
+    /// First argument slot: `B - (ARGS_START + i)` for `A_i`.
+    pub const ARGS_START: i32 = 11;
+    /// Fixed words per frame (excluding arguments).
+    pub const FIXED: i32 = 11;
+}
+
+/// Environment frame offsets (positive, from `E`).
+pub mod env_frame {
+    /// `E + PREV_E`: caller's environment frame.
+    pub const PREV_E: i32 = 0;
+    /// `E + SAVED_CP`: saved continuation.
+    pub const SAVED_CP: i32 = 1;
+    /// `E + SLOTS + k`: permanent slot `Y_k`.
+    pub const SLOTS: i32 = 2;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_are_disjoint_and_ordered() {
+        let l = Layout::default();
+        assert_eq!(l.heap_base(), 0);
+        assert!(l.heap_base() < l.env_base());
+        assert!(l.env_base() < l.cp_base());
+        assert!(l.cp_base() < l.trail_base());
+        assert!(l.trail_base() < l.pdl_base());
+        assert_eq!(l.total() as i64, l.pdl_base() + l.pdl_size as i64);
+    }
+
+    #[test]
+    fn arg_registers_bounded() {
+        assert_eq!(reg::arg(0), R(reg::ARG_BASE));
+        assert_eq!(reg::arg(3), R(reg::ARG_BASE + 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "argument registers")]
+    fn arg_register_overflow_panics() {
+        reg::arg(16);
+    }
+}

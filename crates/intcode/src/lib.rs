@@ -1,0 +1,48 @@
+//! # symbol-intcode
+//!
+//! The Intermediate Code (ICI) layer of the SYMBOL evaluation system:
+//!
+//! * a RISC-level [`op::Op`] set with tagged words and branch-on-tag
+//!   (the paper's Prolog-specific architectural support),
+//! * the BAM → ICI [`translate::translate`] pass (with per-clause
+//!   register renaming and the shared runtime routines),
+//! * the data memory [`layout::Layout`] of the BAM execution model
+//!   (heap / environment stack / choice-point stack / trail / PDL), and
+//! * the sequential [`emu::Emulator`] that validates programs and
+//!   collects the Expect counts and branch probabilities driving trace
+//!   selection.
+//!
+//! ```
+//! use symbol_prolog::parse_program;
+//! use symbol_intcode::{emu::{Emulator, ExecConfig, Outcome}, layout::Layout, translate};
+//! use symbol_prolog::PredId;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let src = "main :- app([1,2],[3],[1,2,3]).
+//!            app([], L, L). app([X|T], L, [X|R]) :- app(T, L, R).";
+//! let program = parse_program(src)?;
+//! let bam = symbol_bam::compile(&program)?;
+//! let main = PredId::new(program.symbols().lookup("main").unwrap(), 0);
+//! let layout = Layout::default();
+//! let ici = translate::translate(&bam, main, &layout)?;
+//! let result = Emulator::new(&ici, &layout).run(&ExecConfig::default())?;
+//! assert_eq!(result.outcome, Outcome::Success);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod asm;
+pub mod emu;
+pub mod layout;
+pub mod op;
+pub mod program;
+pub mod translate;
+pub mod word;
+
+pub use asm::Asm;
+pub use emu::{Emulator, ExecConfig, ExecError, ExecStats, Outcome, RunResult};
+pub use layout::Layout;
+pub use op::{AluOp, Cond, Label, Op, OpClass, Operand, R};
+pub use program::IciProgram;
+pub use translate::{translate, TranslateError};
+pub use word::{Tag, Word};

@@ -1,0 +1,173 @@
+//! The assembled IntCode program.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::op::{Label, Op};
+use crate::word::Tag;
+
+/// A complete IntCode program: a flat op vector plus the label map and
+/// the entry point.
+///
+/// Label ids are the stable identities used by code words in data
+/// memory; [`IciProgram::label_addr`] resolves them to instruction
+/// indices for this particular (sequential) layout. A rescheduled VLIW
+/// program keeps the same label ids but resolves them differently.
+#[derive(Clone, Debug)]
+pub struct IciProgram {
+    ops: Vec<Op>,
+    groups: Vec<u32>,
+    label_addr: Vec<usize>,
+    entry: Label,
+    entries: Vec<Label>,
+}
+
+impl IciProgram {
+    /// Builds a program, resolving and validating all labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a referenced label is unbound or binds past the end.
+    pub fn new(
+        ops: Vec<Op>,
+        groups: Vec<u32>,
+        label_at: HashMap<Label, usize>,
+        num_labels: u32,
+        entry: Label,
+    ) -> Self {
+        let mut label_addr = vec![usize::MAX; num_labels as usize];
+        for (l, at) in &label_at {
+            assert!(*at <= ops.len(), "label {l} bound past the end");
+            label_addr[l.0 as usize] = *at;
+        }
+        // Every label referenced by a branch or a code word must be bound.
+        let mut entries = vec![entry];
+        for op in &ops {
+            if let Some(t) = op.target() {
+                assert!(
+                    label_addr[t.0 as usize] != usize::MAX,
+                    "branch target {t} is unbound"
+                );
+            }
+            if let Op::MvI { w, .. } = op {
+                if w.tag == Tag::Cod {
+                    let l = Label(w.val as u32);
+                    assert!(
+                        label_addr[l.0 as usize] != usize::MAX,
+                        "code word label {l} is unbound"
+                    );
+                    entries.push(l);
+                }
+            }
+        }
+        entries.sort_unstable();
+        entries.dedup();
+        IciProgram {
+            ops,
+            groups,
+            label_addr,
+            entry,
+            entries,
+        }
+    }
+
+    /// The ops in sequential layout order.
+    pub fn ops(&self) -> &[Op] {
+        &self.ops
+    }
+
+    /// BAM-instruction group id of each op (parallel to [`Self::ops`]).
+    pub fn groups(&self) -> &[u32] {
+        &self.groups
+    }
+
+    /// Resolves a label to its instruction index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label is unbound (cannot happen for labels that
+    /// passed construction validation).
+    pub fn label_addr(&self, l: Label) -> usize {
+        let a = self.label_addr[l.0 as usize];
+        assert!(a != usize::MAX, "label {l} is unbound");
+        a
+    }
+
+    /// The raw label→address table (`usize::MAX` = unbound).
+    pub fn label_table(&self) -> &[usize] {
+        &self.label_addr
+    }
+
+    /// Program entry label.
+    pub fn entry(&self) -> Label {
+        self.entry
+    }
+
+    /// All *address-taken* labels: the entry plus every label stored in
+    /// a code word (continuations, retry addresses, routine returns).
+    /// These are the places indirect jumps can land.
+    pub fn address_taken(&self) -> &[Label] {
+        &self.entries
+    }
+
+    /// Number of ops.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the program is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+impl fmt::Display for IciProgram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Invert the label map for listing.
+        let mut at_labels: HashMap<usize, Vec<usize>> = HashMap::new();
+        for (lid, &addr) in self.label_addr.iter().enumerate() {
+            if addr != usize::MAX {
+                at_labels.entry(addr).or_default().push(lid);
+            }
+        }
+        for (i, op) in self.ops.iter().enumerate() {
+            if let Some(ls) = at_labels.get(&i) {
+                for l in ls {
+                    writeln!(f, "L{l}:")?;
+                }
+            }
+            writeln!(f, "  {i:6}  {op}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::R;
+
+    #[test]
+    #[should_panic(expected = "unbound")]
+    fn unbound_branch_target_panics() {
+        let ops = vec![Op::Jmp { t: Label(0) }];
+        IciProgram::new(ops, vec![0], HashMap::new(), 1, Label(0));
+    }
+
+    #[test]
+    fn entries_include_code_words() {
+        let mut labels = HashMap::new();
+        labels.insert(Label(0), 0);
+        labels.insert(Label(1), 1);
+        let ops = vec![
+            Op::MvI {
+                d: R(40),
+                w: crate::word::Word::code(1),
+            },
+            Op::Halt { success: true },
+        ];
+        let p = IciProgram::new(ops, vec![0, 0], labels, 2, Label(0));
+        assert!(p.address_taken().contains(&Label(1)));
+        assert!(p.address_taken().contains(&Label(0)));
+    }
+}

@@ -1,0 +1,199 @@
+//! Structural tests of the BAM → IntCode expansion: instruction shapes
+//! that the cost models and the compactor rely on.
+
+use symbol_intcode::{translate, Layout, Op, Tag};
+use symbol_prolog::PredId;
+
+fn ici_for(src: &str) -> symbol_intcode::IciProgram {
+    let p = symbol_prolog::parse_program(src).unwrap();
+    let bam = symbol_bam::compile(&p).unwrap();
+    let main = PredId::new(p.symbols().lookup("main").unwrap(), 0);
+    translate(&bam, main, &Layout::default()).unwrap()
+}
+
+#[test]
+fn every_branch_target_is_bound() {
+    // IciProgram::new validates this; construction succeeding is the test.
+    let ici = ici_for("main :- app([1],[2],[1,2]). app([],L,L). app([X|T],L,[X|R]) :- app(T,L,R).");
+    assert!(ici.len() > 100);
+}
+
+#[test]
+fn groups_are_monotone_within_expansion() {
+    let ici = ici_for("main :- 1 = 1.");
+    // group ids never decrease along the static layout of one
+    // predicate body; the driver and routines each restart groups,
+    // so just check the program has multiple distinct groups
+    let distinct: std::collections::HashSet<u32> = ici.groups().iter().copied().collect();
+    assert!(distinct.len() > 3, "expected several BAM groups");
+}
+
+#[test]
+fn code_words_mark_address_taken_labels() {
+    let ici = ici_for("main :- p, q. p. q.");
+    // at least: program entry, the call return point, the sentinel
+    // retry and done labels
+    assert!(ici.address_taken().len() >= 4);
+    for l in ici.address_taken() {
+        let addr = ici.label_addr(*l);
+        assert!(addr < ici.len());
+    }
+}
+
+#[test]
+fn large_constant_table_uses_binary_search() {
+    // 12 facts with distinct first-argument constants: the dispatch
+    // must use value comparisons (Br) rather than 12 word-equality
+    // branches in a row.
+    let src = "
+        main :- f(k06, X), X = 6.
+        f(k01, 1). f(k02, 2). f(k03, 3). f(k04, 4).
+        f(k05, 5). f(k06, 6). f(k07, 7). f(k08, 8).
+        f(k09, 9). f(k10, 10). f(k11, 11). f(k12, 12).
+        f(k13, 13). f(k14, 14). f(k15, 15). f(k16, 16).
+        f(k17, 17). f(k18, 18). f(k19, 19). f(k20, 20).
+    ";
+    let ici = ici_for(src);
+    let lt_branches = ici
+        .ops()
+        .iter()
+        .filter(|o| matches!(o, Op::Br { cond: symbol_intcode::Cond::Gt, .. }))
+        .count();
+    assert!(
+        lt_branches >= 2,
+        "expected binary-search pivot comparisons, found {lt_branches}"
+    );
+    // and it still runs correctly
+    let layout = Layout::default();
+    let r = symbol_intcode::Emulator::new(&ici, &layout)
+        .run(&symbol_intcode::ExecConfig::default())
+        .unwrap();
+    assert_eq!(r.outcome, symbol_intcode::Outcome::Success);
+}
+
+#[test]
+fn small_constant_table_stays_linear() {
+    let src = "main :- f(b, X), X = 2. f(a, 1). f(b, 2). f(c, 3).";
+    let ici = ici_for(src);
+    let pivots = ici
+        .ops()
+        .iter()
+        .filter(|o| matches!(o, Op::Br { cond: symbol_intcode::Cond::Gt, .. }))
+        .count();
+    assert_eq!(pivots, 0, "small tables use word-equality chains");
+}
+
+#[test]
+fn branch_on_tag_is_emitted_for_type_dispatch() {
+    let ici = ici_for(
+        "main :- app([], [], []).
+         app([], L, L).
+         app([X|T], L, [X|R]) :- app(T, L, R).",
+    );
+    let tag_branches = ici
+        .ops()
+        .iter()
+        .filter(|o| matches!(o, Op::BrTag { .. }))
+        .count();
+    assert!(
+        tag_branches > 5,
+        "tag branches are the Prolog-specific support; found {tag_branches}"
+    );
+}
+
+#[test]
+fn heap_pushes_pair_store_with_increment() {
+    let ici = ici_for("main :- X = [1], X = [1].");
+    // every store through H is followed (somewhere) by an H increment;
+    // count both and require them to be plausibly matched
+    let h = symbol_intcode::layout::reg::H;
+    let stores_via_h = ici
+        .ops()
+        .iter()
+        .filter(|o| matches!(o, Op::St { base, .. } if *base == h))
+        .count();
+    let h_incs = ici
+        .ops()
+        .iter()
+        .filter(|o| {
+            matches!(o, Op::Alu { op: symbol_intcode::AluOp::Add, d, a, .. }
+                if *d == h && *a == h)
+        })
+        .count();
+    assert!(stores_via_h > 0);
+    assert_eq!(stores_via_h, h_incs, "unbalanced heap pushes");
+}
+
+#[test]
+fn trail_checks_guard_every_binding() {
+    let ici = ici_for("main :- p(X), X = 2. p(1). p(2).");
+    // every conditional-trail sequence compares against HB
+    let hb = symbol_intcode::layout::reg::HB;
+    let hb_compares = ici
+        .ops()
+        .iter()
+        .filter(|o| {
+            matches!(o, Op::Br { b: symbol_intcode::Operand::Reg(r), .. } if *r == hb)
+        })
+        .count();
+    assert!(hb_compares > 0, "bindings must be trail-checked");
+}
+
+#[test]
+fn proceed_is_an_indirect_jump_through_cp() {
+    let ici = ici_for("main :- p. p.");
+    let cp = symbol_intcode::layout::reg::CP;
+    assert!(ici
+        .ops()
+        .iter()
+        .any(|o| matches!(o, Op::JmpR { r } if *r == cp)));
+}
+
+#[test]
+fn functor_words_encode_name_and_arity() {
+    let ici = ici_for("main :- X = f(1, 2), X = f(1, 2).");
+    let fun_words: Vec<i64> = ici
+        .ops()
+        .iter()
+        .filter_map(|o| match o {
+            Op::MvI { w, .. } if w.tag == Tag::Fun => Some(w.val),
+            _ => None,
+        })
+        .collect();
+    assert!(!fun_words.is_empty());
+    for v in fun_words {
+        assert_eq!(v & 0xff, 2, "arity lives in the low byte");
+    }
+}
+
+#[test]
+fn binary_search_handles_negative_keys() {
+    let src = "
+        main :- f(-3, X), X = ok3, f(7, Y), Y = ok7.
+        f(-9, ok9). f(-3, ok3). f(-1, ok1). f(0, ok0).
+        f(2, ok2). f(7, ok7). f(11, ok11). f(23, ok23).
+        f(31, ok31). f(47, ok47).
+    ";
+    let ici = ici_for(src);
+    let layout = Layout::default();
+    let r = symbol_intcode::Emulator::new(&ici, &layout)
+        .run(&symbol_intcode::ExecConfig::default())
+        .unwrap();
+    assert_eq!(r.outcome, symbol_intcode::Outcome::Success);
+}
+
+#[test]
+fn mixed_int_and_atom_keys_dispatch_correctly() {
+    let src = "
+        main :- f(a, 1), f(3, 30), f(k, 110), \\+ f(zz, _), \\+ f(99, _).
+        f(a, 1). f(b, 2). f(c, 3). f(1, 10). f(2, 20).
+        f(3, 30). f(d, 4). f(e, 5). f(g, 7). f(h, 8).
+        f(i, 9). f(j, 10). f(k, 110). f(4, 40). f(5, 50).
+    ";
+    let ici = ici_for(src);
+    let layout = Layout::default();
+    let r = symbol_intcode::Emulator::new(&ici, &layout)
+        .run(&symbol_intcode::ExecConfig::default())
+        .unwrap();
+    assert_eq!(r.outcome, symbol_intcode::Outcome::Success);
+}

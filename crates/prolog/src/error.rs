@@ -1,0 +1,45 @@
+//! Front-end error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced while tokenizing or parsing Prolog source.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ParseError {
+    /// 1-based line of the offending token.
+    pub line: usize,
+    /// 1-based column of the offending token.
+    pub col: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl ParseError {
+    /// Creates an error at the given source position.
+    pub fn new(line: usize, col: usize, message: impl Into<String>) -> Self {
+        ParseError {
+            line,
+            col,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "syntax error at {}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_position() {
+        let e = ParseError::new(3, 7, "unexpected token");
+        assert_eq!(e.to_string(), "syntax error at 3:7: unexpected token");
+    }
+}

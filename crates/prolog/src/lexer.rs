@@ -1,0 +1,455 @@
+//! Tokenizer for Prolog source text.
+//!
+//! Follows Edinburgh-style lexical conventions: alphanumeric and quoted
+//! and symbolic atoms, `_`/uppercase variables, integers (including
+//! `0'c` character codes), `%` and `/* */` comments. The clause
+//! terminator is a `.` followed by layout or end of input.
+
+use crate::error::ParseError;
+use std::fmt;
+
+/// A token together with its source position.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Token {
+    /// Kind and payload.
+    pub kind: Tok,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+}
+
+/// Token kinds.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Tok {
+    /// Named, quoted or symbolic atom, `!`, `;`.
+    Atom(String),
+    /// Variable name (starts with uppercase or `_`).
+    Var(String),
+    /// Integer literal.
+    Int(i64),
+    /// `(` immediately following an atom (functor application).
+    FunctorParen,
+    /// Free-standing `(`.
+    LParen,
+    /// `)`.
+    RParen,
+    /// `[`.
+    LBracket,
+    /// `]`.
+    RBracket,
+    /// `{`.
+    LBrace,
+    /// `}`.
+    RBrace,
+    /// `,` — argument separator / conjunction operator.
+    Comma,
+    /// `|` — list tail separator.
+    Bar,
+    /// Clause terminator `.`.
+    End,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Atom(a) => write!(f, "{a}"),
+            Tok::Var(v) => write!(f, "{v}"),
+            Tok::Int(i) => write!(f, "{i}"),
+            Tok::FunctorParen | Tok::LParen => write!(f, "("),
+            Tok::RParen => write!(f, ")"),
+            Tok::LBracket => write!(f, "["),
+            Tok::RBracket => write!(f, "]"),
+            Tok::LBrace => write!(f, "{{"),
+            Tok::RBrace => write!(f, "}}"),
+            Tok::Comma => write!(f, ","),
+            Tok::Bar => write!(f, "|"),
+            Tok::End => write!(f, "."),
+        }
+    }
+}
+
+const SYMBOLIC: &str = "+-*/\\^<>=~:.?@#&$";
+
+fn is_symbolic(c: char) -> bool {
+    SYMBOLIC.contains(c)
+}
+
+fn is_ident_cont(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// Tokenizes `src` completely.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on malformed input (unterminated quote or
+/// block comment, bad character literal, stray character).
+pub fn tokenize(src: &str) -> Result<Vec<Token>, ParseError> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    line: usize,
+    col: usize,
+    src: std::marker::PhantomData<&'a str>,
+    out: Vec<Token>,
+    /// Position just past the previous token, if it was an atom —
+    /// used to distinguish `f(` (functor application) from `f (`.
+    prev_atom_end: Option<(usize, usize)>,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            chars: src.chars().collect(),
+            pos: 0,
+            line: 1,
+            col: 1,
+            src: std::marker::PhantomData,
+            out: Vec::new(),
+            prev_atom_end: None,
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<char> {
+        self.chars.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        ParseError::new(self.line, self.col, msg)
+    }
+
+    fn push(&mut self, kind: Tok, line: usize, col: usize) {
+        self.prev_atom_end = match kind {
+            Tok::Atom(_) => Some((self.line, self.col)),
+            _ => None,
+        };
+        self.out.push(Token { kind, line, col });
+    }
+
+    fn run(mut self) -> Result<Vec<Token>, ParseError> {
+        while let Some(c) = self.peek() {
+            let (line, col) = (self.line, self.col);
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '%' => {
+                    while let Some(c) = self.bump() {
+                        if c == '\n' {
+                            break;
+                        }
+                    }
+                }
+                '/' if self.peek2() == Some('*') => {
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match self.bump() {
+                            Some('*') if self.peek() == Some('/') => {
+                                self.bump();
+                                break;
+                            }
+                            Some(_) => {}
+                            None => return Err(self.err("unterminated block comment")),
+                        }
+                    }
+                }
+                '(' => {
+                    // A '(' directly after an atom (no layout) is functor
+                    // application.
+                    let kind = if self.prev_atom_end == Some((line, col)) {
+                        Tok::FunctorParen
+                    } else {
+                        Tok::LParen
+                    };
+                    self.bump();
+                    self.push(kind, line, col);
+                }
+                ')' => {
+                    self.bump();
+                    self.push(Tok::RParen, line, col);
+                }
+                '[' => {
+                    self.bump();
+                    self.push(Tok::LBracket, line, col);
+                }
+                ']' => {
+                    self.bump();
+                    self.push(Tok::RBracket, line, col);
+                }
+                '{' => {
+                    self.bump();
+                    self.push(Tok::LBrace, line, col);
+                }
+                '}' => {
+                    self.bump();
+                    self.push(Tok::RBrace, line, col);
+                }
+                ',' => {
+                    self.bump();
+                    self.push(Tok::Comma, line, col);
+                }
+                '|' => {
+                    self.bump();
+                    self.push(Tok::Bar, line, col);
+                }
+                '!' => {
+                    self.bump();
+                    self.push(Tok::Atom("!".into()), line, col);
+                }
+                ';' => {
+                    self.bump();
+                    self.push(Tok::Atom(";".into()), line, col);
+                }
+                '\'' => {
+                    self.bump();
+                    let name = self.quoted()?;
+                    self.push(Tok::Atom(name), line, col);
+                }
+                '0' if self.peek2() == Some('\'') => {
+                    self.bump();
+                    self.bump();
+                    let ch = self
+                        .bump()
+                        .ok_or_else(|| self.err("bad character literal"))?;
+                    self.push(Tok::Int(ch as i64), line, col);
+                }
+                c if c.is_ascii_digit() => {
+                    let mut n: i64 = 0;
+                    while let Some(d) = self.peek() {
+                        if let Some(v) = d.to_digit(10) {
+                            n = n
+                                .checked_mul(10)
+                                .and_then(|n| n.checked_add(v as i64))
+                                .ok_or_else(|| self.err("integer literal overflows i64"))?;
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    self.push(Tok::Int(n), line, col);
+                }
+                c if c.is_ascii_lowercase() => {
+                    let mut name = String::new();
+                    while let Some(c) = self.peek() {
+                        if is_ident_cont(c) {
+                            name.push(c);
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    self.push(Tok::Atom(name), line, col);
+                }
+                c if c.is_ascii_uppercase() || c == '_' => {
+                    let mut name = String::new();
+                    while let Some(c) = self.peek() {
+                        if is_ident_cont(c) {
+                            name.push(c);
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    self.push(Tok::Var(name), line, col);
+                }
+                c if is_symbolic(c) => {
+                    let mut sym = String::new();
+                    while let Some(c) = self.peek() {
+                        if is_symbolic(c) {
+                            sym.push(c);
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    // A lone '.' followed by layout or EOF ends the clause.
+                    if sym == "." {
+                        self.push(Tok::End, line, col);
+                    } else {
+                        self.push(Tok::Atom(sym), line, col);
+                    }
+                }
+                other => return Err(self.err(format!("unexpected character {other:?}"))),
+            }
+        }
+        Ok(self.out)
+    }
+
+    fn quoted(&mut self) -> Result<String, ParseError> {
+        let mut name = String::new();
+        loop {
+            match self.bump() {
+                Some('\'') => {
+                    if self.peek() == Some('\'') {
+                        self.bump();
+                        name.push('\'');
+                    } else {
+                        return Ok(name);
+                    }
+                }
+                Some('\\') => match self.bump() {
+                    Some('n') => name.push('\n'),
+                    Some('t') => name.push('\t'),
+                    Some('\\') => name.push('\\'),
+                    Some('\'') => name.push('\''),
+                    Some(c) => name.push(c),
+                    None => return Err(self.err("unterminated quoted atom")),
+                },
+                Some(c) => name.push(c),
+                None => return Err(self.err("unterminated quoted atom")),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn simple_fact() {
+        assert_eq!(
+            kinds("foo(a, B)."),
+            vec![
+                Tok::Atom("foo".into()),
+                Tok::FunctorParen,
+                Tok::Atom("a".into()),
+                Tok::Comma,
+                Tok::Var("B".into()),
+                Tok::RParen,
+                Tok::End,
+            ]
+        );
+    }
+
+    #[test]
+    fn symbolic_atoms_and_end() {
+        assert_eq!(
+            kinds("a :- b."),
+            vec![
+                Tok::Atom("a".into()),
+                Tok::Atom(":-".into()),
+                Tok::Atom("b".into()),
+                Tok::End,
+            ]
+        );
+    }
+
+    #[test]
+    fn end_vs_symbolic_dot() {
+        // `=..` is a single symbolic atom, not `=` followed by End.
+        assert_eq!(kinds("a =.. b."), vec![
+            Tok::Atom("a".into()),
+            Tok::Atom("=..".into()),
+            Tok::Atom("b".into()),
+            Tok::End,
+        ]);
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            kinds("a. % line comment\n/* block \n comment */ b."),
+            vec![
+                Tok::Atom("a".into()),
+                Tok::End,
+                Tok::Atom("b".into()),
+                Tok::End
+            ]
+        );
+    }
+
+    #[test]
+    fn char_code_literal() {
+        assert_eq!(kinds("0'a."), vec![Tok::Int(97), Tok::End]);
+    }
+
+    #[test]
+    fn quoted_atom_with_escape() {
+        assert_eq!(
+            kinds("'hello world' 'it''s'."),
+            vec![
+                Tok::Atom("hello world".into()),
+                Tok::Atom("it's".into()),
+                Tok::End
+            ]
+        );
+    }
+
+    #[test]
+    fn list_tokens() {
+        assert_eq!(
+            kinds("[X|T]."),
+            vec![
+                Tok::LBracket,
+                Tok::Var("X".into()),
+                Tok::Bar,
+                Tok::Var("T".into()),
+                Tok::RBracket,
+                Tok::End
+            ]
+        );
+    }
+
+    #[test]
+    fn paren_after_space_is_not_functor_paren() {
+        assert_eq!(
+            kinds("a (b)."),
+            vec![
+                Tok::Atom("a".into()),
+                Tok::LParen,
+                Tok::Atom("b".into()),
+                Tok::RParen,
+                Tok::End
+            ]
+        );
+    }
+
+    #[test]
+    fn unterminated_quote_is_error() {
+        assert!(tokenize("'abc").is_err());
+    }
+
+    #[test]
+    fn integer_overflow_is_error() {
+        assert!(tokenize("99999999999999999999.").is_err());
+    }
+
+    #[test]
+    fn variables_and_underscore() {
+        assert_eq!(
+            kinds("X _foo _."),
+            vec![
+                Tok::Var("X".into()),
+                Tok::Var("_foo".into()),
+                Tok::Var("_".into()),
+                Tok::End
+            ]
+        );
+    }
+}

@@ -1,0 +1,92 @@
+//! Standard operator table.
+//!
+//! The parser consults this fixed Edinburgh-style table; user-defined
+//! operators (`op/3`) are not needed by the Aquarius benchmarks and are
+//! intentionally unsupported.
+
+/// Associativity class of an infix operator.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum InfixKind {
+    /// `xfx` — both arguments strictly below the operator priority.
+    Xfx,
+    /// `xfy` — right argument may be at the operator priority.
+    Xfy,
+    /// `yfx` — left argument may be at the operator priority.
+    Yfx,
+}
+
+/// Associativity class of a prefix operator.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum PrefixKind {
+    /// `fy` — argument may be at the operator priority.
+    Fy,
+    /// `fx` — argument strictly below the operator priority.
+    Fx,
+}
+
+/// Looks up `name` as an infix operator: `(priority, kind)`.
+pub fn infix(name: &str) -> Option<(u32, InfixKind)> {
+    use InfixKind::*;
+    Some(match name {
+        ":-" | "-->" => (1200, Xfx),
+        ";" => (1100, Xfy),
+        "->" => (1050, Xfy),
+        "," => (1000, Xfy),
+        "=" | "\\=" | "==" | "\\==" | "is" | "=:=" | "=\\=" | "<" | ">" | "=<" | ">=" | "@<"
+        | "@>" | "@=<" | "@>=" | "=.." => (700, Xfx),
+        "+" | "-" | "/\\" | "\\/" | "xor" => (500, Yfx),
+        "*" | "/" | "//" | "mod" | "rem" | "<<" | ">>" => (400, Yfx),
+        "**" => (200, Xfx),
+        "^" => (200, Xfy),
+        _ => return None,
+    })
+}
+
+/// Looks up `name` as a prefix operator: `(priority, kind)`.
+pub fn prefix(name: &str) -> Option<(u32, PrefixKind)> {
+    use PrefixKind::*;
+    Some(match name {
+        ":-" | "?-" => (1200, Fx),
+        "\\+" => (900, Fy),
+        "-" | "+" | "\\" => (200, Fy),
+        _ => return None,
+    })
+}
+
+/// The priority below which a comma is an argument separator rather than
+/// a conjunction: arguments of structures and list items parse at 999.
+pub const ARG_PRIORITY: u32 = 999;
+
+/// The maximum term priority.
+pub const MAX_PRIORITY: u32 = 1200;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comparison_ops_are_xfx_700() {
+        for op in ["=", "<", ">=", "is", "==", "\\=="] {
+            assert_eq!(infix(op), Some((700, InfixKind::Xfx)), "{op}");
+        }
+    }
+
+    #[test]
+    fn arithmetic_precedence_ordering() {
+        let (add, _) = infix("+").unwrap();
+        let (mul, _) = infix("*").unwrap();
+        assert!(mul < add, "* binds tighter than +");
+    }
+
+    #[test]
+    fn minus_is_both_prefix_and_infix() {
+        assert!(prefix("-").is_some());
+        assert!(infix("-").is_some());
+    }
+
+    #[test]
+    fn unknown_operator_is_none() {
+        assert_eq!(infix("foo"), None);
+        assert_eq!(prefix("foo"), None);
+    }
+}

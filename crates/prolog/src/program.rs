@@ -1,0 +1,145 @@
+//! Programs: clauses grouped into predicates.
+
+use crate::ast::Clause;
+use crate::symbols::{Atom, SymbolTable};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Predicate identifier: name and arity.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct PredId {
+    /// Interned predicate name.
+    pub name: Atom,
+    /// Number of arguments.
+    pub arity: usize,
+}
+
+impl PredId {
+    /// Creates a predicate id.
+    pub fn new(name: Atom, arity: usize) -> Self {
+        PredId { name, arity }
+    }
+
+    /// Renders as `name/arity` using `symbols`.
+    pub fn display<'a>(&self, symbols: &'a SymbolTable) -> PredIdDisplay<'a> {
+        PredIdDisplay {
+            id: *self,
+            symbols,
+        }
+    }
+}
+
+/// Helper returned by [`PredId::display`].
+#[derive(Debug)]
+pub struct PredIdDisplay<'a> {
+    id: PredId,
+    symbols: &'a SymbolTable,
+}
+
+impl fmt::Display for PredIdDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.symbols.name(self.id.name), self.id.arity)
+    }
+}
+
+/// A predicate: an ordered collection of clauses.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Predicate {
+    /// Name/arity.
+    pub id: PredId,
+    /// Clauses in source order.
+    pub clauses: Vec<Clause>,
+}
+
+/// A normalized Prolog program: predicates in first-definition order
+/// plus the symbol table that owns every atom id in it.
+#[derive(Clone, Debug)]
+pub struct Program {
+    symbols: SymbolTable,
+    order: Vec<PredId>,
+    preds: HashMap<PredId, Predicate>,
+}
+
+impl Program {
+    /// Groups normalized clauses into predicates.
+    pub fn from_clauses(clauses: Vec<Clause>, symbols: SymbolTable) -> Self {
+        let mut order = Vec::new();
+        let mut preds: HashMap<PredId, Predicate> = HashMap::new();
+        for clause in clauses {
+            let (name, arity) = clause.pred();
+            let id = PredId::new(name, arity);
+            preds
+                .entry(id)
+                .or_insert_with(|| {
+                    order.push(id);
+                    Predicate {
+                        id,
+                        clauses: Vec::new(),
+                    }
+                })
+                .clauses
+                .push(clause);
+        }
+        Program {
+            symbols,
+            order,
+            preds,
+        }
+    }
+
+    /// The symbol table owning all atom ids of the program.
+    pub fn symbols(&self) -> &SymbolTable {
+        &self.symbols
+    }
+
+    /// Iterates over predicates in first-definition order.
+    pub fn predicates(&self) -> impl Iterator<Item = &Predicate> {
+        self.order.iter().map(move |id| &self.preds[id])
+    }
+
+    /// Looks up a predicate by id.
+    pub fn predicate(&self, id: PredId) -> Option<&Predicate> {
+        self.preds.get(&id)
+    }
+
+    /// Looks up a predicate by source name and arity.
+    pub fn predicate_named(&self, name: &str, arity: usize) -> Option<&Predicate> {
+        let atom = self.symbols.lookup(name)?;
+        self.predicate(PredId::new(atom, arity))
+    }
+
+    /// Total number of clauses across all predicates.
+    pub fn num_clauses(&self) -> usize {
+        self.preds.values().map(|p| p.clauses.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parse_program;
+
+    #[test]
+    fn groups_clauses_in_order() {
+        let p = parse_program("a(1). b. a(2). a(3).").unwrap();
+        let names: Vec<_> = p
+            .predicates()
+            .map(|pr| p.symbols().name(pr.id.name).to_owned())
+            .collect();
+        assert_eq!(names, vec!["a", "b"]);
+        assert_eq!(p.predicate_named("a", 1).unwrap().clauses.len(), 3);
+        assert_eq!(p.num_clauses(), 4);
+    }
+
+    #[test]
+    fn same_name_different_arity_are_distinct() {
+        let p = parse_program("f(1). f(1,2).").unwrap();
+        assert_eq!(p.predicates().count(), 2);
+    }
+
+    #[test]
+    fn pred_display() {
+        let p = parse_program("foo(1,2).").unwrap();
+        let pred = p.predicate_named("foo", 2).unwrap();
+        assert_eq!(format!("{}", pred.id.display(p.symbols())), "foo/2");
+    }
+}

@@ -1,0 +1,167 @@
+//! Atom interning.
+//!
+//! Every atom and functor name in a program is interned once into a
+//! [`SymbolTable`] and referred to by a compact [`Atom`] id thereafter.
+//! The ids later become the `val` field of tagged atom/functor words in
+//! the IntCode machine model, so interning is part of the ABI between
+//! the front end and the simulators.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Interned atom identifier.
+///
+/// `Atom` is a plain index into the owning [`SymbolTable`]; it is only
+/// meaningful together with the table that produced it.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Atom(pub u32);
+
+impl Atom {
+    /// Returns the raw table index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "atom#{}", self.0)
+    }
+}
+
+/// Interner mapping atom names to dense [`Atom`] ids.
+///
+/// A fresh table pre-interns the handful of atoms the whole tool chain
+/// relies on (`[]`, `.`, `true`, `fail`, ...) at fixed well-known ids so
+/// downstream crates can refer to them without a lookup.
+#[derive(Clone, Debug, Default)]
+pub struct SymbolTable {
+    names: Vec<String>,
+    ids: HashMap<String, Atom>,
+}
+
+/// Well-known atoms pre-interned by [`SymbolTable::new`] at fixed ids.
+pub mod wk {
+    use super::Atom;
+    /// `[]` — the empty list.
+    pub const NIL: Atom = Atom(0);
+    /// `.` — the list constructor functor.
+    pub const DOT: Atom = Atom(1);
+    /// `true`.
+    pub const TRUE: Atom = Atom(2);
+    /// `fail`.
+    pub const FAIL: Atom = Atom(3);
+    /// `,` — conjunction.
+    pub const COMMA: Atom = Atom(4);
+    /// `;` — disjunction.
+    pub const SEMICOLON: Atom = Atom(5);
+    /// `->` — if-then.
+    pub const ARROW: Atom = Atom(6);
+    /// `\+` — negation as failure.
+    pub const NAF: Atom = Atom(7);
+    /// `:-` — clause neck.
+    pub const NECK: Atom = Atom(8);
+    /// `!` — cut.
+    pub const CUT: Atom = Atom(9);
+    /// `=` — unification.
+    pub const UNIFY: Atom = Atom(10);
+    /// `is` — arithmetic evaluation.
+    pub const IS: Atom = Atom(11);
+    /// `main` — the conventional benchmark entry point.
+    pub const MAIN: Atom = Atom(12);
+}
+
+const PREINTERNED: &[&str] = &[
+    "[]", ".", "true", "fail", ",", ";", "->", "\\+", ":-", "!", "=", "is", "main",
+];
+
+impl SymbolTable {
+    /// Creates a table with the [well-known atoms](wk) pre-interned.
+    pub fn new() -> Self {
+        let mut table = SymbolTable {
+            names: Vec::new(),
+            ids: HashMap::new(),
+        };
+        for name in PREINTERNED {
+            table.intern(name);
+        }
+        table
+    }
+
+    /// Interns `name`, returning its id (existing or freshly assigned).
+    pub fn intern(&mut self, name: &str) -> Atom {
+        if let Some(&id) = self.ids.get(name) {
+            return id;
+        }
+        let id = Atom(self.names.len() as u32);
+        self.names.push(name.to_owned());
+        self.ids.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Looks up an already-interned atom without inserting.
+    pub fn lookup(&self, name: &str) -> Option<Atom> {
+        self.ids.get(name).copied()
+    }
+
+    /// Returns the name of an interned atom.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `atom` did not come from this table.
+    pub fn name(&self, atom: Atom) -> &str {
+        &self.names[atom.index()]
+    }
+
+    /// Number of interned atoms.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the table is empty (never true in practice: well-known
+    /// atoms are always present).
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn well_known_atoms_have_fixed_ids() {
+        let t = SymbolTable::new();
+        assert_eq!(t.lookup("[]"), Some(wk::NIL));
+        assert_eq!(t.lookup("."), Some(wk::DOT));
+        assert_eq!(t.lookup("true"), Some(wk::TRUE));
+        assert_eq!(t.lookup("fail"), Some(wk::FAIL));
+        assert_eq!(t.lookup("!"), Some(wk::CUT));
+        assert_eq!(t.lookup("is"), Some(wk::IS));
+        assert_eq!(t.lookup("main"), Some(wk::MAIN));
+    }
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("foo");
+        let b = t.intern("foo");
+        assert_eq!(a, b);
+        assert_eq!(t.name(a), "foo");
+    }
+
+    #[test]
+    fn distinct_names_get_distinct_ids() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("foo");
+        let b = t.intern("bar");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn len_counts_preinterned() {
+        let t = SymbolTable::new();
+        assert_eq!(t.len(), 13);
+        assert!(!t.is_empty());
+    }
+}

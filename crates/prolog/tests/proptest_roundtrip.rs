@@ -1,0 +1,110 @@
+//! Property tests for the front end: any term the AST can express is
+//! re-parsed from its own display form to an alpha-equivalent term.
+
+use proptest::prelude::*;
+use symbol_prolog::{parser, SymbolTable, Term};
+
+/// A strategy over terms whose atoms come from a safe alphabet.
+fn term_strategy() -> impl Strategy<Value = TermSpec> {
+    let leaf = prop_oneof![
+        (0usize..4).prop_map(TermSpec::Var),
+        (-999i64..999).prop_map(TermSpec::Int),
+        prop::sample::select(vec!["a", "bc", "foo", "bar_1", "quux"])
+            .prop_map(|s| TermSpec::Atom(s.to_owned())),
+    ];
+    leaf.prop_recursive(4, 24, 4, |inner| {
+        prop_oneof![
+            (
+                prop::sample::select(vec!["f", "g", "point", "wrap"]),
+                prop::collection::vec(inner.clone(), 1..4)
+            )
+                .prop_map(|(f, args)| TermSpec::Struct(f.to_owned(), args)),
+            prop::collection::vec(inner, 0..4).prop_map(TermSpec::List),
+        ]
+    })
+}
+
+/// A symbol-table-independent term description.
+#[derive(Clone, Debug)]
+enum TermSpec {
+    Var(usize),
+    Int(i64),
+    Atom(String),
+    Struct(String, Vec<TermSpec>),
+    List(Vec<TermSpec>),
+}
+
+impl TermSpec {
+    fn build(&self, symbols: &mut SymbolTable) -> Term {
+        match self {
+            TermSpec::Var(v) => Term::Var(*v),
+            TermSpec::Int(i) => Term::Int(*i),
+            TermSpec::Atom(a) => Term::Atom(symbols.intern(a)),
+            TermSpec::Struct(f, args) => {
+                let fa = symbols.intern(f);
+                Term::Struct(fa, args.iter().map(|a| a.build(symbols)).collect())
+            }
+            TermSpec::List(items) => {
+                Term::list(items.iter().map(|i| i.build(symbols)).collect())
+            }
+        }
+    }
+}
+
+/// Structural equality modulo a consistent renaming of variables.
+fn alpha_eq(a: &Term, b: &Term, map: &mut std::collections::HashMap<usize, usize>) -> bool {
+    match (a, b) {
+        (Term::Var(x), Term::Var(y)) => match map.get(x) {
+            Some(&m) => m == *y,
+            None => {
+                map.insert(*x, *y);
+                true
+            }
+        },
+        (Term::Int(x), Term::Int(y)) => x == y,
+        (Term::Atom(x), Term::Atom(y)) => x == y,
+        (Term::Struct(f, xs), Term::Struct(g, ys)) => {
+            f == g
+                && xs.len() == ys.len()
+                && xs.iter().zip(ys).all(|(x, y)| alpha_eq(x, y, map))
+        }
+        _ => false,
+    }
+}
+
+proptest! {
+    #[test]
+    fn display_then_parse_is_alpha_identity(spec in term_strategy()) {
+        let mut symbols = SymbolTable::new();
+        let term = spec.build(&mut symbols);
+        let text = format!("{}", term.display(&symbols));
+        let reparsed = parser::parse_term(&text, &mut symbols)
+            .unwrap_or_else(|e| panic!("reparse of {text:?} failed: {e}"))
+            .term;
+        let mut map = std::collections::HashMap::new();
+        prop_assert!(
+            alpha_eq(&term, &reparsed, &mut map),
+            "{} reparsed as {}",
+            term.display(&symbols),
+            reparsed.display(&symbols)
+        );
+    }
+
+    #[test]
+    fn ground_terms_have_no_vars(spec in term_strategy()) {
+        let mut symbols = SymbolTable::new();
+        let term = spec.build(&mut symbols);
+        let mut vars = Vec::new();
+        term.collect_vars(&mut vars);
+        prop_assert_eq!(term.is_ground(), vars.is_empty());
+    }
+
+    #[test]
+    fn max_var_bounds_collected_vars(spec in term_strategy()) {
+        let mut symbols = SymbolTable::new();
+        let term = spec.build(&mut symbols);
+        let mut vars = Vec::new();
+        term.collect_vars(&mut vars);
+        prop_assert_eq!(term.max_var(), vars.iter().copied().max());
+    }
+}

@@ -1,0 +1,169 @@
+//! Very long instruction words and scheduled programs.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use symbol_intcode::{Label, Op};
+
+/// One operation placed in a unit slot.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SlotOp {
+    /// Unit index the op issues on.
+    pub unit: usize,
+    /// The operation.
+    pub op: Op,
+    /// Whether the compactor hoisted this op above a side exit. A
+    /// speculative op's faults (bad address, division by zero) are
+    /// dismissed — it produces a garbage value that is provably dead on
+    /// the path where the fault can occur.
+    pub speculative: bool,
+}
+
+/// One very long instruction word: the set of operations issued in a
+/// single cycle. Branches are evaluated in the order they appear
+/// (multi-way branch priority).
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct VliwInstr {
+    /// Operations, branches in priority order.
+    pub slots: Vec<SlotOp>,
+}
+
+impl VliwInstr {
+    /// Number of operations.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the word is empty (an explicit no-op cycle).
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+}
+
+impl fmt::Display for VliwInstr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, s) in self.slots.iter().enumerate() {
+            if i > 0 {
+                write!(f, " || ")?;
+            }
+            write!(f, "u{}:{}", s.unit, s.op)?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// A scheduled VLIW program: instruction words plus the label map
+/// (labels resolve to instruction indices; label ids are shared with
+/// the original IntCode program, so code words in data memory remain
+/// valid).
+#[derive(Clone, Debug)]
+pub struct VliwProgram {
+    instrs: Vec<VliwInstr>,
+    label_addr: Vec<usize>,
+    entry: Label,
+}
+
+impl VliwProgram {
+    /// Builds a program, validating label resolution for every branch
+    /// target.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a referenced label is unbound.
+    pub fn new(
+        instrs: Vec<VliwInstr>,
+        label_at: HashMap<Label, usize>,
+        num_labels: u32,
+        entry: Label,
+    ) -> Self {
+        let mut label_addr = vec![usize::MAX; num_labels as usize];
+        for (l, at) in &label_at {
+            label_addr[l.0 as usize] = *at;
+        }
+        for w in &instrs {
+            for s in &w.slots {
+                if let Some(t) = s.op.target() {
+                    assert!(
+                        label_addr[t.0 as usize] != usize::MAX,
+                        "branch target {t} unbound in VLIW program"
+                    );
+                }
+            }
+        }
+        assert!(
+            label_addr
+                .get(entry.0 as usize)
+                .is_some_and(|&a| a != usize::MAX),
+            "entry label unbound"
+        );
+        VliwProgram {
+            instrs,
+            label_addr,
+            entry,
+        }
+    }
+
+    /// The instruction words.
+    pub fn instrs(&self) -> &[VliwInstr] {
+        &self.instrs
+    }
+
+    /// Resolves a label to an instruction index (`usize::MAX` when the
+    /// label does not exist in this program).
+    pub fn label_addr(&self, l: Label) -> usize {
+        self.label_addr
+            .get(l.0 as usize)
+            .copied()
+            .unwrap_or(usize::MAX)
+    }
+
+    /// Entry label.
+    pub fn entry(&self) -> Label {
+        self.entry
+    }
+
+    /// Every bound label with its instruction index.
+    pub fn bound_labels(&self) -> impl Iterator<Item = (Label, usize)> + '_ {
+        self.label_addr
+            .iter()
+            .enumerate()
+            .filter(|(_, &a)| a != usize::MAX)
+            .map(|(lid, &a)| (Label(lid as u32), a))
+    }
+
+    /// Total number of operations across all words.
+    pub fn num_ops(&self) -> usize {
+        self.instrs.iter().map(VliwInstr::len).sum()
+    }
+
+    /// Number of instruction words.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Whether the program is empty.
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+}
+
+impl fmt::Display for VliwProgram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut at_labels: HashMap<usize, Vec<usize>> = HashMap::new();
+        for (lid, &addr) in self.label_addr.iter().enumerate() {
+            if addr != usize::MAX {
+                at_labels.entry(addr).or_default().push(lid);
+            }
+        }
+        for (i, w) in self.instrs.iter().enumerate() {
+            if let Some(ls) = at_labels.get(&i) {
+                for l in ls {
+                    writeln!(f, "L{l}:")?;
+                }
+            }
+            writeln!(f, "  {i:6}  {w}")?;
+        }
+        Ok(())
+    }
+}

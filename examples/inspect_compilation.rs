@@ -1,0 +1,54 @@
+//! Compiler explorer: show every intermediate representation the
+//! evaluation system produces for a small program — BAM code, IntCode,
+//! and the scheduled VLIW words of the hottest region.
+//!
+//! ```sh
+//! cargo run --release -p symbol-core --example inspect_compilation
+//! ```
+
+use symbol_compactor::{compact, CompactMode, TracePolicy};
+use symbol_core::pipeline::Compiled;
+use symbol_vliw::MachineConfig;
+
+const PROGRAM: &str = "
+    main :- app([1,2], [3], R), R = [1,2,3].
+    app([], L, L).
+    app([X|T], L, [X|R]) :- app(T, L, R).
+";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let compiled = Compiled::from_source(PROGRAM)?;
+
+    println!("================ BAM code ================\n");
+    print!(
+        "{}",
+        symbol_bam::pretty::program(&compiled.bam, compiled.program.symbols())
+    );
+
+    println!("=============== IntCode (first 60 ops) ===============\n");
+    for line in compiled.ici.to_string().lines().take(60) {
+        println!("{line}");
+    }
+
+    let run = compiled.run_sequential()?;
+    let machine = MachineConfig::units(3);
+    let compacted = compact(
+        &compiled.ici,
+        &run.stats,
+        &machine,
+        CompactMode::TraceSchedule,
+        &TracePolicy::default(),
+    );
+
+    println!("\n=============== VLIW schedule (first 40 words) ===============\n");
+    for line in compacted.program.to_string().lines().take(40) {
+        println!("{line}");
+    }
+    println!(
+        "\n{} traces, {} compensation blocks, code growth {:.2}x",
+        compacted.stats.regions,
+        compacted.stats.comp_blocks,
+        compacted.stats.code_growth()
+    );
+    Ok(())
+}

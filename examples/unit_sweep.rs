@@ -1,0 +1,51 @@
+//! Unit sweep: reproduce one row of the paper's Table 3 for any
+//! benchmark of the suite — cycles and speed-up of the BAM model and
+//! of 1..5-unit trace-scheduled VLIWs.
+//!
+//! ```sh
+//! cargo run --release -p symbol-core --example unit_sweep -- queens_8
+//! ```
+
+use symbol_core::benchmarks;
+use symbol_core::experiments::measure;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "queens_8".into());
+    let bench = benchmarks::by_name(&name).ok_or_else(|| {
+        format!(
+            "unknown benchmark {name}; available: {}",
+            benchmarks::ALL
+                .iter()
+                .map(|b| b.name)
+                .collect::<Vec<_>>()
+                .join(", ")
+        )
+    })?;
+    println!("{}: {}", bench.name, bench.description);
+
+    let r = measure(bench)?;
+    println!(
+        "sequential machine: {} cycles ({} ops, memory {:.1}%, control {:.1}%)",
+        r.seq_cycles,
+        r.ops,
+        r.mix.memory * 100.0,
+        r.mix.control * 100.0
+    );
+    println!(
+        "BAM model:          {:>10} cycles   speed-up {:.2}",
+        r.bam_cycles,
+        r.bam_speedup()
+    );
+    for units in 1..=5 {
+        println!(
+            "{units} unit(s):          {:>10} cycles   speed-up {:.2}",
+            r.unit_cycles[units - 1],
+            r.unit_speedup(units)
+        );
+    }
+    println!(
+        "average trace length {:.1} ops; probability of faulty prediction {:.4}",
+        r.trace_length, r.pfp_average
+    );
+    Ok(())
+}

@@ -1,0 +1,111 @@
+//! Shape assertions against the paper's evaluation: the reproduction
+//! does not have to match absolute numbers, but who wins, by roughly
+//! what factor, and where the curves bend must hold. A fast subset
+//! runs by default; `cargo test -- --ignored` checks the full suite.
+
+use symbol_core::benchmarks;
+use symbol_core::experiments::{measure, reports, BenchResult};
+
+fn measure_subset(names: &[&str]) -> Vec<BenchResult> {
+    names
+        .iter()
+        .map(|n| measure(benchmarks::by_name(n).expect("known")).expect("measures"))
+        .collect()
+}
+
+fn assert_shapes(results: &[BenchResult]) {
+    let n = results.len() as f64;
+    let avg = |f: &dyn Fn(&BenchResult) -> f64| results.iter().map(f).sum::<f64>() / n;
+
+    // Figure 2: memory takes roughly a third of execution (paper: 32%).
+    let mem = avg(&|r| r.mix.memory);
+    assert!(
+        (0.20..=0.45).contains(&mem),
+        "memory fraction {mem:.3} far from the paper's ~0.32"
+    );
+
+    // Section 4.3: branches are frequent (paper: >15%).
+    let ctl = avg(&|r| r.mix.control);
+    assert!(ctl > 0.15, "control fraction {ctl:.3} not >15%");
+
+    // Table 2 / Figure 4: Prolog branches are predictable — the 90/50
+    // rule does NOT hold (average P_fp far below 0.25).
+    let pfp = avg(&|r| r.pfp_average);
+    assert!(pfp < 0.25, "P_fp {pfp:.3} not clearly below the coin-flip regime");
+
+    // Table 1: global compaction clearly beats basic blocks, and the
+    // trace speed-up sits in the paper's 1.6–3.2 per-benchmark band.
+    for r in results {
+        let (tr, bb) = r.unbounded_speedups();
+        assert!(tr > bb, "{}: trace {tr:.2} not above basic-block {bb:.2}", r.name);
+        assert!(
+            (1.3..=3.5).contains(&tr),
+            "{}: trace speed-up {tr:.2} outside the plausible band",
+            r.name
+        );
+    }
+
+    // Table 1: traces are substantially longer than basic blocks.
+    let tlen = avg(&|r| r.trace_length);
+    let blen = avg(&|r| r.block_length);
+    assert!(
+        tlen > 1.5 * blen,
+        "traces ({tlen:.1}) not substantially longer than blocks ({blen:.1})"
+    );
+
+    // Table 3 / Figure 6: more units never hurt; the gain from 3→5
+    // units is marginal (speed-up saturates, as Amdahl forecasts);
+    // everything stays under the shared-memory ceiling 1/m.
+    for r in results {
+        for u in 2..=5 {
+            assert!(
+                r.unit_speedup(u) + 0.03 >= r.unit_speedup(u - 1),
+                "{}: {u} units slower than {}",
+                r.name,
+                u - 1
+            );
+        }
+        let ceiling = 1.0 / r.mix.memory;
+        assert!(
+            r.unit_speedup(5) <= ceiling + 0.25,
+            "{}: speed-up {:.2} above the Amdahl ceiling {ceiling:.2}",
+            r.name,
+            r.unit_speedup(5)
+        );
+    }
+    let gain_12 = avg(&|r| r.unit_speedup(2) - r.unit_speedup(1));
+    let gain_35 = avg(&|r| r.unit_speedup(5) - r.unit_speedup(3));
+    assert!(
+        gain_35 < gain_12 / 2.0,
+        "no saturation: 3→5 gain {gain_35:.3} vs 1→2 gain {gain_12:.3}"
+    );
+
+    // Table 5: the BAM lands between sequential and the 3-unit VLIW.
+    for r in results {
+        assert!(r.bam_speedup() > 1.0, "{}: BAM below sequential", r.name);
+        assert!(
+            r.unit_speedup(3) > r.bam_speedup(),
+            "{}: SYMBOL-3 not above the BAM",
+            r.name
+        );
+    }
+}
+
+#[test]
+fn shapes_hold_on_fast_subset() {
+    let results = measure_subset(&["conc30", "nreverse", "ops8", "qsort", "serialise", "times10"]);
+    assert_shapes(&results);
+}
+
+#[test]
+#[ignore = "full-suite measurement; run with --ignored (release recommended)"]
+fn shapes_hold_on_full_suite() {
+    let results: Vec<BenchResult> = benchmarks::ALL
+        .iter()
+        .map(|b| measure(b).expect("measures"))
+        .collect();
+    assert_shapes(&results);
+    // the full report renders without panicking
+    let report = reports::full_report(&results);
+    assert!(report.contains("Table 3"));
+}
