@@ -29,16 +29,9 @@ pub struct AmdahlCurve {
 
 impl AmdahlCurve {
     /// Samples `f` at the given enhancement factors.
-    pub fn sample(
-        mem_fraction: f64,
-        factors: &[f64],
-        f: fn(f64, f64) -> f64,
-    ) -> AmdahlCurve {
+    pub fn sample(mem_fraction: f64, factors: &[f64], f: fn(f64, f64) -> f64) -> AmdahlCurve {
         AmdahlCurve {
-            points: factors
-                .iter()
-                .map(|&k| (k, f(mem_fraction, k)))
-                .collect(),
+            points: factors.iter().map(|&k| (k, f(mem_fraction, k))).collect(),
         }
     }
 
@@ -76,11 +69,7 @@ mod tests {
 
     #[test]
     fn curve_is_monotone() {
-        let c = AmdahlCurve::sample(
-            0.32,
-            &[1.0, 2.0, 3.0, 4.0, 8.0, 16.0],
-            amdahl_overlapped,
-        );
+        let c = AmdahlCurve::sample(0.32, &[1.0, 2.0, 3.0, 4.0, 8.0, 16.0], amdahl_overlapped);
         for w in c.points.windows(2) {
             assert!(w[1].1 >= w[0].1);
         }

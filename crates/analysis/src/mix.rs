@@ -64,7 +64,7 @@ impl ClassMix {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use symbol_intcode::{Asm, Op, R, Word};
+    use symbol_intcode::{Asm, Op, Word, R};
 
     #[test]
     fn fractions_sum_to_one() {
@@ -72,8 +72,15 @@ mod tests {
         let e = a.fresh_label();
         let base = a.fresh_reg();
         a.bind(e);
-        a.emit(Op::MvI { d: base, w: Word::int(1) });
-        a.emit(Op::Ld { d: R(40), base, off: 0 });
+        a.emit(Op::MvI {
+            d: base,
+            w: Word::int(1),
+        });
+        a.emit(Op::Ld {
+            d: R(40),
+            base,
+            off: 0,
+        });
         a.emit(Op::Halt { success: true });
         let p = a.finish(e);
         let layout = symbol_intcode::Layout {
@@ -96,8 +103,18 @@ mod tests {
 
     #[test]
     fn average_of_mixes() {
-        let a = ClassMix { memory: 0.4, alu: 0.2, mv: 0.2, control: 0.2 };
-        let b = ClassMix { memory: 0.2, alu: 0.4, mv: 0.2, control: 0.2 };
+        let a = ClassMix {
+            memory: 0.4,
+            alu: 0.2,
+            mv: 0.2,
+            control: 0.2,
+        };
+        let b = ClassMix {
+            memory: 0.2,
+            alu: 0.4,
+            mv: 0.2,
+            control: 0.2,
+        };
         let avg = ClassMix::average(&[a, b]);
         assert!((avg.memory - 0.3).abs() < 1e-12);
         assert!((avg.alu - 0.3).abs() < 1e-12);

@@ -7,7 +7,7 @@
 //! predictable (average ≈ 0.1), refuting the "90/50 branch-taken rule"
 //! for symbolic code.
 
-use symbol_intcode::{ExecStats, IciProgram, Op};
+use symbol_intcode::{ExecStats, IciProgram};
 
 /// Probability of faulty prediction of one branch.
 pub fn faulty_prediction(taken_probability: f64) -> f64 {
@@ -23,17 +23,13 @@ pub struct PredictStats {
 
 impl PredictStats {
     /// Collects every executed conditional branch of a run.
+    /// [`ExecStats::taken_probability`] itself rejects non-branch ops
+    /// and unexecuted or out-of-range indices, so every op index is
+    /// simply offered to it.
     pub fn measure(program: &IciProgram, stats: &ExecStats) -> PredictStats {
         let mut branches = Vec::new();
-        for (i, op) in program.ops().iter().enumerate() {
-            let conditional = matches!(
-                op,
-                Op::Br { .. } | Op::BrTag { .. } | Op::BrWord { .. } | Op::BrWEq { .. }
-            );
-            if !conditional {
-                continue;
-            }
-            if let Some(p) = stats.taken_probability(i) {
+        for i in 0..program.ops().len() {
+            if let Some(p) = stats.taken_probability(program, i) {
                 branches.push((stats.expect[i], faulty_prediction(p)));
             }
         }

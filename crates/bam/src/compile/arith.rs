@@ -14,7 +14,8 @@ fn binary_op(name: &str) -> Option<ArithOp> {
         "-" => ArithOp::Sub,
         "*" => ArithOp::Mul,
         "/" | "//" => ArithOp::Div,
-        "mod" | "rem" => ArithOp::Mod,
+        "mod" => ArithOp::Mod,
+        "rem" => ArithOp::Rem,
         "/\\" => ArithOp::And,
         "\\/" => ArithOp::Or,
         "xor" => ArithOp::Xor,
@@ -48,9 +49,7 @@ pub fn eval(
             cc.emit(crate::instr::BamInstr::DerefInt { src, dst });
             Ok(Operand::Slot(dst))
         }
-        Term::Struct(f, args)
-            if args.len() == 2 && binary_op(symbols.name(*f)).is_some() =>
-        {
+        Term::Struct(f, args) if args.len() == 2 && binary_op(symbols.name(*f)).is_some() => {
             let op = binary_op(symbols.name(*f)).expect("guarded");
             let a = eval(cc, &args[0], symbols)?;
             let b = eval(cc, &args[1], symbols)?;

@@ -10,9 +10,7 @@ use std::collections::HashSet;
 use symbol_prolog::{symbols::wk, Clause, PredId, SymbolTable, Term};
 
 use crate::error::CompileError;
-use crate::instr::{
-    BamInstr, BamLabel, Const, Functor, Operand, Slot, TypeTest,
-};
+use crate::instr::{BamInstr, BamLabel, Const, Functor, Operand, Slot, TypeTest};
 use crate::vars::{analyze, is_builtin, VarInfo};
 
 use super::arith;
@@ -120,11 +118,11 @@ impl<'a> ClauseCompiler<'a> {
             if is_builtin(goal, self.symbols) {
                 self.compile_builtin(goal, seen_call)?;
             } else {
-                let (name, arity) = goal.functor().ok_or_else(|| {
-                    CompileError::UnsupportedGoal {
-                        goal: format!("{}", goal.display(self.symbols)),
-                    }
-                })?;
+                let (name, arity) =
+                    goal.functor()
+                        .ok_or_else(|| CompileError::UnsupportedGoal {
+                            goal: format!("{}", goal.display(self.symbols)),
+                        })?;
                 let pred = PredId::new(name, arity);
                 self.called.push(pred);
                 let goal_args: Vec<Term> = match goal {
@@ -182,7 +180,10 @@ impl<'a> ClauseCompiler<'a> {
                 self.emit(BamInstr::Deref { src, dst: d });
                 let lw = self.fresh_label();
                 let lend = self.fresh_label();
-                self.emit(BamInstr::BranchVar { slot: d, target: lw });
+                self.emit(BamInstr::BranchVar {
+                    slot: d,
+                    target: lw,
+                });
                 self.emit(BamInstr::BranchNotTag {
                     slot: d,
                     tag: crate::instr::TagClass::Lst,
@@ -225,7 +226,10 @@ impl<'a> ClauseCompiler<'a> {
                 self.emit(BamInstr::Deref { src, dst: d });
                 let lw = self.fresh_label();
                 let lend = self.fresh_label();
-                self.emit(BamInstr::BranchVar { slot: d, target: lw });
+                self.emit(BamInstr::BranchVar {
+                    slot: d,
+                    target: lw,
+                });
                 self.emit(BamInstr::BranchNotTag {
                     slot: d,
                     tag: crate::instr::TagClass::Str,
@@ -270,7 +274,10 @@ impl<'a> ClauseCompiler<'a> {
         self.emit(BamInstr::Deref { src, dst: d });
         let lw = self.fresh_label();
         let lend = self.fresh_label();
-        self.emit(BamInstr::BranchVar { slot: d, target: lw });
+        self.emit(BamInstr::BranchVar {
+            slot: d,
+            target: lw,
+        });
         self.emit(BamInstr::BranchNotConst {
             slot: d,
             c,
@@ -462,9 +469,7 @@ impl<'a> ClauseCompiler<'a> {
     fn compile_unify_goal(&mut self, a: &Term, b: &Term) {
         // `Var = t` with Var unseen and not occurring in t: plain move.
         match (a, b) {
-            (Term::Var(v), t) | (t, Term::Var(v))
-                if !self.seen.contains(v) && !occurs(*v, t) =>
-            {
+            (Term::Var(v), t) | (t, Term::Var(v)) if !self.seen.contains(v) && !occurs(*v, t) => {
                 let o = self.build(t);
                 self.seen.insert(*v);
                 let dst = self.info.slot(*v);

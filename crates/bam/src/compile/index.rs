@@ -86,11 +86,7 @@ pub fn compile_predicate(
 
     let arity = pred.id.arity;
     let n = pred.clauses.len();
-    let patterns: Option<Vec<Pattern>> = pred
-        .clauses
-        .iter()
-        .map(|c| pattern(&c.head))
-        .collect();
+    let patterns: Option<Vec<Pattern>> = pred.clauses.iter().map(|c| pattern(&c.head)).collect();
 
     let mut out = Vec::new();
     out.push(BamInstr::SetCutBarrier);
@@ -112,14 +108,30 @@ pub fn compile_predicate(
         let ps = patterns.expect("indexable implies patterns");
         let scratch = Slot::Temp(0);
 
-        let consts: Vec<usize> = (0..n).filter(|&i| matches!(ps[i], Pattern::Cst(_))).collect();
+        let consts: Vec<usize> = (0..n)
+            .filter(|&i| matches!(ps[i], Pattern::Cst(_)))
+            .collect();
         let lists: Vec<usize> = (0..n).filter(|&i| ps[i] == Pattern::Lst).collect();
-        let structs: Vec<usize> = (0..n).filter(|&i| matches!(ps[i], Pattern::Str(_))).collect();
+        let structs: Vec<usize> = (0..n)
+            .filter(|&i| matches!(ps[i], Pattern::Str(_)))
+            .collect();
 
         let lvar = fresh(&mut labels);
-        let lcons = if consts.is_empty() { FAIL } else { fresh(&mut labels) };
-        let llst = if lists.is_empty() { FAIL } else { fresh(&mut labels) };
-        let lstr = if structs.is_empty() { FAIL } else { fresh(&mut labels) };
+        let lcons = if consts.is_empty() {
+            FAIL
+        } else {
+            fresh(&mut labels)
+        };
+        let llst = if lists.is_empty() {
+            FAIL
+        } else {
+            fresh(&mut labels)
+        };
+        let lstr = if structs.is_empty() {
+            FAIL
+        } else {
+            fresh(&mut labels)
+        };
 
         out.push(BamInstr::SwitchOnTerm {
             arg: 0,

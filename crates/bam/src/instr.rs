@@ -11,8 +11,8 @@
 //! operations; the instruction boundary doubles as the compaction
 //! barrier of the "BAM processor" cost model (see DESIGN.md).
 
-use symbol_prolog::{Atom, PredId, SymbolTable};
 use std::fmt;
+use symbol_prolog::{Atom, PredId, SymbolTable};
 
 /// A register slot visible to the BAM compiler.
 ///
@@ -131,8 +131,11 @@ pub enum ArithOp {
     Mul,
     /// Truncating division (`//` and `/` on integers).
     Div,
-    /// Remainder (`mod`).
+    /// Floored modulo (`mod`): the result takes the divisor's sign.
     Mod,
+    /// Truncated remainder (`rem`): the result takes the dividend's
+    /// sign.
+    Rem,
     /// Bitwise and (`/\`).
     And,
     /// Bitwise or (`\/`).

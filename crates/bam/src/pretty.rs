@@ -29,13 +29,28 @@ pub fn instr(i: &BamInstr, s: &SymbolTable) -> String {
         Proceed => "    proceed".into(),
         Allocate(n) => format!("    allocate {n}"),
         Deallocate => "    deallocate".into(),
-        Try { arity, first, retry } => format!("    try/{arity} {first} retry={retry}"),
+        Try {
+            arity,
+            first,
+            retry,
+        } => format!("    try/{arity} {first} retry={retry}"),
         Retry { arity, alt, retry } => format!("    retry/{arity} {alt} retry={retry}"),
         Trust { arity, alt } => format!("    trust/{arity} {alt}"),
-        SwitchOnTerm { arg, scratch, var, cons, lst, strct } => format!(
+        SwitchOnTerm {
+            arg,
+            scratch,
+            var,
+            cons,
+            lst,
+            strct,
+        } => format!(
             "    switch_on_term a{arg} ({scratch}) var={var} const={cons} list={lst} struct={strct}"
         ),
-        SwitchOnConst { slot: sl, table, default } => {
+        SwitchOnConst {
+            slot: sl,
+            table,
+            default,
+        } => {
             let entries: Vec<String> = table
                 .iter()
                 .map(|(c, l)| format!("{}→{l}", c.display(s)))
@@ -46,7 +61,11 @@ pub fn instr(i: &BamInstr, s: &SymbolTable) -> String {
                 entries.join(", ")
             )
         }
-        SwitchOnStruct { slot: sl, table, default } => {
+        SwitchOnStruct {
+            slot: sl,
+            table,
+            default,
+        } => {
             let entries: Vec<String> = table
                 .iter()
                 .map(|(f, l)| format!("{}/{}→{l}", s.name(f.name), f.arity))
@@ -70,13 +89,23 @@ pub fn instr(i: &BamInstr, s: &SymbolTable) -> String {
             format!("    load_arg {}[{idx}] -> {}", slot(*base), slot(*dst))
         }
         BranchVar { slot: sl, target } => format!("    if_var {} -> {target}", slot(*sl)),
-        BranchNotTag { slot: sl, tag, target } => {
-            format!("    if_not_{tag:?} {} -> {target}", slot(*sl)).to_lowercase()
-        }
-        BranchNotConst { slot: sl, c, target } => {
+        BranchNotTag {
+            slot: sl,
+            tag,
+            target,
+        } => format!("    if_not_{tag:?} {} -> {target}", slot(*sl)).to_lowercase(),
+        BranchNotConst {
+            slot: sl,
+            c,
+            target,
+        } => {
             format!("    if_not {} = {} -> {target}", slot(*sl), c.display(s))
         }
-        BranchNotFunctor { slot: sl, f, target } => format!(
+        BranchNotFunctor {
+            slot: sl,
+            f,
+            target,
+        } => format!(
             "    if_not_functor {} = {}/{} -> {target}",
             slot(*sl),
             s.name(f.name),
@@ -95,30 +124,32 @@ pub fn instr(i: &BamInstr, s: &SymbolTable) -> String {
         PushValue { src } => format!("    push {}", slot(*src)),
         PushFresh { dst } => format!("    push_fresh -> {}", slot(*dst)),
         GeneralUnify { a, b } => format!("    unify {} {}", slot(*a), slot(*b)),
-        StructEqBranch { a, b, want_equal, target } => format!(
+        StructEqBranch {
+            a,
+            b,
+            want_equal,
+            target,
+        } => format!(
             "    if {} {} {} -> {target}",
             slot(*a),
             if *want_equal { "\\==" } else { "==" },
             slot(*b)
         ),
         DerefInt { src, dst } => format!("    deref_int {} -> {}", slot(*src), slot(*dst)),
-        Arith { op: o, a, b, dst } => format!(
-            "    {:?} {} {} -> {}",
-            o,
-            op(*a, s),
-            op(*b, s),
-            slot(*dst)
-        )
-        .to_lowercase(),
+        Arith { op: o, a, b, dst } => {
+            format!("    {:?} {} {} -> {}", o, op(*a, s), op(*b, s), slot(*dst)).to_lowercase()
+        }
         BranchCmpFalse { cmp, a, b, target } => format!(
             "    unless {} {:?} {} -> {target}",
             op(*a, s),
             cmp,
             op(*b, s)
         ),
-        TypeTestBranch { slot: sl, test, target } => {
-            format!("    unless_{test:?} {} -> {target}", slot(*sl)).to_lowercase()
-        }
+        TypeTestBranch {
+            slot: sl,
+            test,
+            target,
+        } => format!("    unless_{test:?} {} -> {target}", slot(*sl)).to_lowercase(),
         Halt { success } => format!("    halt {success}"),
     }
 }
@@ -172,7 +203,16 @@ mod tests {
     fn tail_call_shows_execute() {
         let l = listing("p(X) :- q(X). q(_).");
         assert!(l.contains("execute q/1"), "{l}");
-        assert!(!l.split("p/1:").nth(1).unwrap().split("q/1:").next().unwrap().contains("call "), "{l}");
+        assert!(
+            !l.split("p/1:")
+                .nth(1)
+                .unwrap()
+                .split("q/1:")
+                .next()
+                .unwrap()
+                .contains("call "),
+            "{l}"
+        );
     }
 
     #[test]

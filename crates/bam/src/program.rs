@@ -17,11 +17,7 @@ pub struct BamProgram {
 impl BamProgram {
     /// Wraps compiled predicates (in definition order).
     pub fn new(preds: Vec<CompiledPred>) -> Self {
-        let by_id = preds
-            .iter()
-            .enumerate()
-            .map(|(i, p)| (p.id, i))
-            .collect();
+        let by_id = preds.iter().enumerate().map(|(i, p)| (p.id, i)).collect();
         BamProgram { preds, by_id }
     }
 

@@ -84,15 +84,7 @@ pub fn is_builtin(goal: &Term, symbols: &symbol_prolog::SymbolTable) -> bool {
         ("true" | "fail" | "!" | "halt", 0)
             | ("var" | "nonvar" | "atom" | "integer" | "atomic", 1)
             | (
-                "=" | "is"
-                    | "<"
-                    | ">"
-                    | "=<"
-                    | ">="
-                    | "=:="
-                    | "=\\="
-                    | "=="
-                    | "\\==",
+                "=" | "is" | "<" | ">" | "=<" | ">=" | "=:=" | "=\\=" | "==" | "\\==",
                 2
             )
     )

@@ -22,7 +22,10 @@ fn count<F: Fn(&BamInstr) -> bool>(code: &[BamInstr], f: F) -> usize {
 fn single_clause_needs_no_choice_point() {
     let code = compile_pred("p(1). main :- p(1).", "p", 1);
     assert_eq!(count(&code, |i| matches!(i, BamInstr::Try { .. })), 0);
-    assert_eq!(count(&code, |i| matches!(i, BamInstr::SwitchOnTerm { .. })), 0);
+    assert_eq!(
+        count(&code, |i| matches!(i, BamInstr::SwitchOnTerm { .. })),
+        0
+    );
 }
 
 #[test]
@@ -30,8 +33,14 @@ fn distinct_constants_dispatch_without_choice_points() {
     let code = compile_pred("p(1). p(2). p(3). main :- p(2).", "p", 1);
     // switch_on_term + switch_on_const, but no try/retry/trust: each
     // constant selects exactly one clause
-    assert_eq!(count(&code, |i| matches!(i, BamInstr::SwitchOnTerm { .. })), 1);
-    assert_eq!(count(&code, |i| matches!(i, BamInstr::SwitchOnConst { .. })), 1);
+    assert_eq!(
+        count(&code, |i| matches!(i, BamInstr::SwitchOnTerm { .. })),
+        1
+    );
+    assert_eq!(
+        count(&code, |i| matches!(i, BamInstr::SwitchOnConst { .. })),
+        1
+    );
     // the variable entry still needs the full chain
     assert_eq!(count(&code, |i| matches!(i, BamInstr::Try { .. })), 1);
     assert_eq!(count(&code, |i| matches!(i, BamInstr::Retry { .. })), 1);
@@ -57,7 +66,10 @@ fn const_table_contains_every_constant() {
 #[test]
 fn variable_head_disables_indexing() {
     let code = compile_pred("p(1). p(X) :- q(X). q(_). main :- p(1).", "p", 1);
-    assert_eq!(count(&code, |i| matches!(i, BamInstr::SwitchOnTerm { .. })), 0);
+    assert_eq!(
+        count(&code, |i| matches!(i, BamInstr::SwitchOnTerm { .. })),
+        0
+    );
     assert_eq!(count(&code, |i| matches!(i, BamInstr::Try { .. })), 1);
     assert_eq!(count(&code, |i| matches!(i, BamInstr::Trust { .. })), 1);
 }
@@ -71,7 +83,10 @@ fn list_and_nil_split_by_type() {
     );
     // switch_on_term sends [] to the constant clause and cons cells to
     // the list clause directly: no choice point on either typed path
-    assert_eq!(count(&code, |i| matches!(i, BamInstr::SwitchOnTerm { .. })), 1);
+    assert_eq!(
+        count(&code, |i| matches!(i, BamInstr::SwitchOnTerm { .. })),
+        1
+    );
     // the var chain is the only try/trust pair
     assert_eq!(count(&code, |i| matches!(i, BamInstr::Try { .. })), 1);
     assert_eq!(count(&code, |i| matches!(i, BamInstr::Trust { .. })), 1);
@@ -99,11 +114,7 @@ fn structure_heads_dispatch_on_functor() {
 
 #[test]
 fn repeated_constants_share_a_chain() {
-    let code = compile_pred(
-        "p(1, a). p(2, b). p(1, c). main :- p(1, a).",
-        "p",
-        2,
-    );
+    let code = compile_pred("p(1, a). p(2, b). p(1, c). main :- p(1, a).", "p", 2);
     // constant 1 selects a try/trust chain of its two clauses
     let table = code
         .iter()
@@ -137,14 +148,20 @@ fn every_predicate_sets_its_cut_barrier_first() {
 #[test]
 fn deep_cut_saves_the_barrier() {
     let code = compile_pred("p(X) :- q(X), !, r(X). q(1). r(1). main :- p(1).", "p", 1);
-    assert_eq!(count(&code, |i| matches!(i, BamInstr::SaveCutBarrier(_))), 1);
+    assert_eq!(
+        count(&code, |i| matches!(i, BamInstr::SaveCutBarrier(_))),
+        1
+    );
     assert_eq!(count(&code, |i| matches!(i, BamInstr::Cut(Some(_)))), 1);
 }
 
 #[test]
 fn neck_cut_uses_the_register_barrier() {
     let code = compile_pred("p(X) :- !, q(X). q(1). main :- p(1).", "p", 1);
-    assert_eq!(count(&code, |i| matches!(i, BamInstr::SaveCutBarrier(_))), 0);
+    assert_eq!(
+        count(&code, |i| matches!(i, BamInstr::SaveCutBarrier(_))),
+        0
+    );
     assert_eq!(count(&code, |i| matches!(i, BamInstr::Cut(None))), 1);
 }
 

@@ -2,22 +2,22 @@
 //! kernel, then prints the full ablation table over a benchmark
 //! subset.
 
-use criterion::{criterion_group, Criterion};
 use std::hint::black_box;
 
 use symbol_bench::compiled;
+use symbol_bench::timing::Harness;
 use symbol_compactor::{compact, CompactMode, TracePolicy};
 use symbol_core::experiments::ablation;
 use symbol_vliw::MachineConfig;
 
-fn bench(c: &mut Criterion) {
+fn bench(h: &mut Harness) {
     let (cc, run) = compiled("qsort");
     let machine = MachineConfig::units(3);
     let no_spec = TracePolicy {
         speculate: false,
         ..TracePolicy::default()
     };
-    c.bench_function("ablation/compact_no_speculation/qsort", |b| {
+    h.bench_function("ablation/compact_no_speculation/qsort", |b| {
         b.iter(|| {
             compact(
                 black_box(&cc.ici),
@@ -31,14 +31,21 @@ fn bench(c: &mut Criterion) {
 }
 
 fn print_report() {
-    let rows = ablation::run(&["conc30", "nreverse", "qsort", "serialise", "times10", "queens_8"])
-        .expect("ablation runs");
+    let rows = ablation::run(&[
+        "conc30",
+        "nreverse",
+        "qsort",
+        "serialise",
+        "times10",
+        "queens_8",
+    ])
+    .expect("ablation runs");
     println!("\n{}", ablation::render(&rows));
 }
 
-criterion_group!(benches, bench);
 fn main() {
-    benches();
-    criterion::Criterion::default().final_summary();
+    let mut h = Harness::new();
+    bench(&mut h);
+    h.final_summary();
     print_report();
 }

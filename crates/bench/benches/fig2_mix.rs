@@ -1,17 +1,17 @@
 //! Figure 2 — dynamic instruction mix. Times the mix measurement on
 //! profiled runs, then regenerates the figure for the full suite.
 
-use criterion::{criterion_group, Criterion};
 use std::hint::black_box;
 
 use symbol_analysis::ClassMix;
+use symbol_bench::timing::Harness;
 use symbol_bench::{compiled, TIMING_SUBSET};
 use symbol_core::experiments::{measure_all, reports};
 
-fn bench(c: &mut Criterion) {
+fn bench(h: &mut Harness) {
     for name in TIMING_SUBSET {
         let (cc, run) = compiled(name);
-        c.bench_function(&format!("fig2_mix/{name}"), |b| {
+        h.bench_function(&format!("fig2_mix/{name}"), |b| {
             b.iter(|| ClassMix::measure(black_box(&cc.ici), black_box(&run.stats)))
         });
     }
@@ -22,9 +22,9 @@ fn print_report() {
     println!("\n{}", reports::fig2_mix(&results));
 }
 
-criterion_group!(benches, bench);
 fn main() {
-    benches();
-    criterion::Criterion::default().final_summary();
+    let mut h = Harness::new();
+    bench(&mut h);
+    h.final_summary();
     print_report();
 }

@@ -2,14 +2,14 @@
 //! Times the curve computation, then prints the figure from the
 //! measured suite-average memory fraction.
 
-use criterion::{criterion_group, Criterion};
 use std::hint::black_box;
 
 use symbol_analysis::amdahl::{amdahl_overlapped, amdahl_separate, AmdahlCurve};
+use symbol_bench::timing::Harness;
 use symbol_core::experiments::{measure_all, reports};
 
-fn bench(c: &mut Criterion) {
-    c.bench_function("fig3_amdahl/curves", |b| {
+fn bench(h: &mut Harness) {
+    h.bench_function("fig3_amdahl/curves", |b| {
         b.iter(|| {
             let ks: Vec<f64> = (1..=64).map(f64::from).collect();
             let a = AmdahlCurve::sample(black_box(0.32), &ks, amdahl_separate);
@@ -24,9 +24,9 @@ fn print_report() {
     println!("\n{}", reports::fig3_amdahl(&results));
 }
 
-criterion_group!(benches, bench);
 fn main() {
-    benches();
-    criterion::Criterion::default().final_summary();
+    let mut h = Harness::new();
+    bench(&mut h);
+    h.final_summary();
     print_report();
 }

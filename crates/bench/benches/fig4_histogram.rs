@@ -1,18 +1,18 @@
 //! Figure 4 — distribution of the probability of faulty prediction.
 //! Times histogram construction, then regenerates the figure.
 
-use criterion::{criterion_group, Criterion};
 use std::hint::black_box;
 
 use symbol_analysis::PredictStats;
+use symbol_bench::timing::Harness;
 use symbol_bench::{compiled, TIMING_SUBSET};
 use symbol_core::experiments::{measure_all, reports};
 
-fn bench(c: &mut Criterion) {
+fn bench(h: &mut Harness) {
     for name in TIMING_SUBSET {
         let (cc, run) = compiled(name);
         let stats = PredictStats::measure(&cc.ici, &run.stats);
-        c.bench_function(&format!("fig4_histogram/{name}"), |b| {
+        h.bench_function(&format!("fig4_histogram/{name}"), |b| {
             b.iter(|| black_box(&stats).histogram(20))
         });
     }
@@ -23,9 +23,9 @@ fn print_report() {
     println!("\n{}", reports::fig4_histogram(&results));
 }
 
-criterion_group!(benches, bench);
 fn main() {
-    benches();
-    criterion::Criterion::default().final_summary();
+    let mut h = Harness::new();
+    bench(&mut h);
+    h.final_summary();
     print_report();
 }

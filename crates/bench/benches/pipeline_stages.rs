@@ -2,40 +2,35 @@
 //! isolation: parsing, BAM compilation, IntCode translation, sequential
 //! emulation, compaction and VLIW simulation.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use symbol_bench::compiled;
+use symbol_bench::timing::Harness;
 use symbol_compactor::{compact, CompactMode, TracePolicy};
 use symbol_core::benchmarks;
 use symbol_vliw::{MachineConfig, SimConfig, VliwSim};
 
-fn stages(c: &mut Criterion) {
+fn stages(h: &mut Harness) {
     let src = benchmarks::by_name("qsort").expect("qsort exists").source;
 
-    c.bench_function("stage/parse", |b| {
+    h.bench_function("stage/parse", |b| {
         b.iter(|| symbol_prolog::parse_program(black_box(src)).expect("parses"))
     });
 
     let program = symbol_prolog::parse_program(src).expect("parses");
-    c.bench_function("stage/compile_bam", |b| {
+    h.bench_function("stage/compile_bam", |b| {
         b.iter(|| symbol_bam::compile(black_box(&program)).expect("compiles"))
     });
 
     let bam = symbol_bam::compile(&program).expect("compiles");
-    let main = symbol_prolog::PredId::new(
-        program.symbols().lookup("main").expect("main"),
-        0,
-    );
+    let main = symbol_prolog::PredId::new(program.symbols().lookup("main").expect("main"), 0);
     let layout = symbol_intcode::Layout::default();
-    c.bench_function("stage/translate_ici", |b| {
-        b.iter(|| {
-            symbol_intcode::translate(black_box(&bam), main, &layout).expect("translates")
-        })
+    h.bench_function("stage/translate_ici", |b| {
+        b.iter(|| symbol_intcode::translate(black_box(&bam), main, &layout).expect("translates"))
     });
 
     let (compiled_qsort, run) = compiled("qsort");
-    c.bench_function("stage/emulate_sequential", |b| {
+    h.bench_function("stage/emulate_sequential", |b| {
         b.iter(|| {
             symbol_intcode::Emulator::new(&compiled_qsort.ici, &compiled_qsort.layout)
                 .run(&symbol_intcode::ExecConfig::default())
@@ -44,7 +39,7 @@ fn stages(c: &mut Criterion) {
     });
 
     let machine = MachineConfig::units(3);
-    c.bench_function("stage/compact_trace", |b| {
+    h.bench_function("stage/compact_trace", |b| {
         b.iter(|| {
             compact(
                 black_box(&compiled_qsort.ici),
@@ -63,7 +58,7 @@ fn stages(c: &mut Criterion) {
         CompactMode::TraceSchedule,
         &TracePolicy::default(),
     );
-    c.bench_function("stage/simulate_vliw", |b| {
+    h.bench_function("stage/simulate_vliw", |b| {
         b.iter(|| {
             VliwSim::new(&compacted.program, machine, &compiled_qsort.layout)
                 .run(&SimConfig::default())
@@ -72,5 +67,8 @@ fn stages(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, stages);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new();
+    stages(&mut h);
+    h.final_summary();
+}

@@ -2,19 +2,19 @@
 //! unbounded shared-memory machine. Times both compactions, then
 //! regenerates the table for the full suite.
 
-use criterion::{criterion_group, Criterion};
 use std::hint::black_box;
 
+use symbol_bench::timing::Harness;
 use symbol_bench::{compiled, TIMING_SUBSET};
 use symbol_compactor::{compact, CompactMode, TracePolicy};
 use symbol_core::experiments::{measure_all, reports};
 use symbol_vliw::MachineConfig;
 
-fn bench(c: &mut Criterion) {
+fn bench(h: &mut Harness) {
     let machine = MachineConfig::unbounded();
     for name in TIMING_SUBSET {
         let (cc, run) = compiled(name);
-        c.bench_function(&format!("table1/trace/{name}"), |b| {
+        h.bench_function(&format!("table1/trace/{name}"), |b| {
             b.iter(|| {
                 compact(
                     black_box(&cc.ici),
@@ -25,7 +25,7 @@ fn bench(c: &mut Criterion) {
                 )
             })
         });
-        c.bench_function(&format!("table1/basic_block/{name}"), |b| {
+        h.bench_function(&format!("table1/basic_block/{name}"), |b| {
             b.iter(|| {
                 compact(
                     black_box(&cc.ici),
@@ -44,9 +44,9 @@ fn print_report() {
     println!("\n{}", reports::table1_compaction(&results));
 }
 
-criterion_group!(benches, bench);
 fn main() {
-    benches();
-    criterion::Criterion::default().final_summary();
+    let mut h = Harness::new();
+    bench(&mut h);
+    h.final_summary();
     print_report();
 }

@@ -1,20 +1,18 @@
 //! Table 2 — probability of faulty branch prediction. Times the
 //! predictability measurement, then regenerates the table.
 
-use criterion::{criterion_group, Criterion};
 use std::hint::black_box;
 
 use symbol_analysis::PredictStats;
+use symbol_bench::timing::Harness;
 use symbol_bench::{compiled, TIMING_SUBSET};
 use symbol_core::experiments::{measure_all, reports};
 
-fn bench(c: &mut Criterion) {
+fn bench(h: &mut Harness) {
     for name in TIMING_SUBSET {
         let (cc, run) = compiled(name);
-        c.bench_function(&format!("table2_pfp/{name}"), |b| {
-            b.iter(|| {
-                PredictStats::measure(black_box(&cc.ici), black_box(&run.stats)).average()
-            })
+        h.bench_function(&format!("table2_pfp/{name}"), |b| {
+            b.iter(|| PredictStats::measure(black_box(&cc.ici), black_box(&run.stats)).average())
         });
     }
 }
@@ -24,9 +22,9 @@ fn print_report() {
     println!("\n{}", reports::table2_predictability(&results));
 }
 
-criterion_group!(benches, bench);
 fn main() {
-    benches();
-    criterion::Criterion::default().final_summary();
+    let mut h = Harness::new();
+    bench(&mut h);
+    h.final_summary();
     print_report();
 }

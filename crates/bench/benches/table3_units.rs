@@ -2,19 +2,19 @@
 //! VLIW simulation per machine width. Times the full
 //! compact-and-simulate kernel, then regenerates the table and chart.
 
-use criterion::{criterion_group, Criterion};
 use std::hint::black_box;
 
 use symbol_bench::compiled;
+use symbol_bench::timing::Harness;
 use symbol_compactor::{compact, CompactMode, TracePolicy};
 use symbol_core::experiments::{measure_all, reports};
 use symbol_vliw::{MachineConfig, SimConfig, VliwSim};
 
-fn bench(c: &mut Criterion) {
+fn bench(h: &mut Harness) {
     let (cc, run) = compiled("nreverse");
     for units in [1usize, 3, 5] {
         let machine = MachineConfig::units(units);
-        c.bench_function(&format!("table3/compact_and_simulate/{units}u"), |b| {
+        h.bench_function(&format!("table3/compact_and_simulate/{units}u"), |b| {
             b.iter(|| {
                 let compacted = compact(
                     black_box(&cc.ici),
@@ -38,9 +38,9 @@ fn print_report() {
     println!("\n{}", reports::fig6_chart(&results));
 }
 
-criterion_group!(benches, bench);
 fn main() {
-    benches();
-    criterion::Criterion::default().final_summary();
+    let mut h = Harness::new();
+    bench(&mut h);
+    h.final_summary();
     print_report();
 }

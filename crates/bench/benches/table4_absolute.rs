@@ -2,15 +2,15 @@
 //! machine measurements. Times the SYMBOL-3 simulation, then
 //! regenerates the table.
 
-use criterion::{criterion_group, Criterion};
 use std::hint::black_box;
 
 use symbol_bench::compiled;
+use symbol_bench::timing::Harness;
 use symbol_compactor::{compact, CompactMode, TracePolicy};
 use symbol_core::experiments::{measure_all, reports};
 use symbol_vliw::{MachineConfig, SimConfig, VliwSim};
 
-fn bench(c: &mut Criterion) {
+fn bench(h: &mut Harness) {
     let (cc, run) = compiled("serialise");
     let machine = MachineConfig::units(3);
     let compacted = compact(
@@ -20,7 +20,7 @@ fn bench(c: &mut Criterion) {
         CompactMode::TraceSchedule,
         &TracePolicy::default(),
     );
-    c.bench_function("table4/symbol3_simulation/serialise", |b| {
+    h.bench_function("table4/symbol3_simulation/serialise", |b| {
         b.iter(|| {
             VliwSim::new(black_box(&compacted.program), machine, &cc.layout)
                 .run(&SimConfig::default())
@@ -35,9 +35,9 @@ fn print_report() {
     println!("\n{}", reports::table4_absolute(&results));
 }
 
-criterion_group!(benches, bench);
 fn main() {
-    benches();
-    criterion::Criterion::default().final_summary();
+    let mut h = Harness::new();
+    bench(&mut h);
+    h.final_summary();
     print_report();
 }

@@ -1,18 +1,18 @@
 //! Table 5 — SYMBOL-3 and BAM speed-up over the sequential machine.
 //! Times the BAM-model kernel, then regenerates the table.
 
-use criterion::{criterion_group, Criterion};
 use std::hint::black_box;
 
 use symbol_bench::compiled;
+use symbol_bench::timing::Harness;
 use symbol_compactor::{compact, CompactMode, TracePolicy};
 use symbol_core::experiments::{measure_all, reports};
 use symbol_vliw::{MachineConfig, SimConfig, VliwSim};
 
-fn bench(c: &mut Criterion) {
+fn bench(h: &mut Harness) {
     let (cc, run) = compiled("serialise");
     let machine = MachineConfig::bam();
-    c.bench_function("table5/bam_model/serialise", |b| {
+    h.bench_function("table5/bam_model/serialise", |b| {
         b.iter(|| {
             let compacted = compact(
                 black_box(&cc.ici),
@@ -34,9 +34,9 @@ fn print_report() {
     println!("\n{}", reports::table5_speedups(&results));
 }
 
-criterion_group!(benches, bench);
 fn main() {
-    benches();
-    criterion::Criterion::default().final_summary();
+    let mut h = Harness::new();
+    bench(&mut h);
+    h.final_summary();
     print_report();
 }

@@ -5,16 +5,19 @@
 //! * The `tables` binary regenerates every table and figure of the
 //!   paper in one run:
 //!   `cargo run --release -p symbol-bench --bin tables`.
-//! * The Criterion benches under `benches/` — one per table and figure
-//!   — time the regeneration kernels on representative workloads and
-//!   print the regenerated rows next to the paper's numbers.
+//! * The benches under `benches/` — one per table and figure — time
+//!   the regeneration kernels on representative workloads with the
+//!   self-contained [`timing`] harness and print the regenerated rows
+//!   next to the paper's numbers.
 
 use symbol_core::benchmarks::{self, Benchmark};
-use symbol_core::experiments::{measure, BenchResult};
-use symbol_core::pipeline::Compiled;
+use symbol_core::experiments::{measure_cached, BenchResult};
+use symbol_core::pipeline::{Compiled, CompiledCache};
 
-/// Small benchmarks used inside timed Criterion loops (the full suite
-/// runs once, outside the timed section, to print the actual tables).
+pub mod timing;
+
+/// Small benchmarks used inside timed loops (the full suite runs once,
+/// outside the timed section, to print the actual tables).
 pub const TIMING_SUBSET: &[&str] = &["conc30", "nreverse", "ops8", "qsort"];
 
 /// Compiles and profiles one named benchmark.
@@ -31,17 +34,22 @@ pub fn compiled(name: &str) -> (Compiled, symbol_intcode::RunResult) {
 }
 
 /// Measures a list of benchmarks (used by the report-printing side of
-/// each bench).
+/// each bench). Each benchmark compiles and profiles once through a
+/// [`CompiledCache`]; the per-(mode, machine) simulations share that
+/// profile on the parallel driver.
 ///
 /// # Panics
 ///
 /// Panics if any benchmark fails its self-check anywhere.
 pub fn measure_named(names: &[&str]) -> Vec<BenchResult> {
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
     names
         .iter()
         .map(|n| {
             let b: &Benchmark = benchmarks::by_name(n).expect("known benchmark");
-            measure(b).expect("benchmark measures")
+            let c = Compiled::from_source(b.source).expect("benchmark compiles");
+            let cache = CompiledCache::new(&c).expect("benchmark runs");
+            measure_cached(b.name, &cache, threads).expect("benchmark measures")
         })
         .collect()
 }

@@ -1,0 +1,136 @@
+//! A small, dependency-free timing harness for the `benches/` targets.
+//!
+//! Each kernel is warmed up, calibrated to a fixed wall-clock budget,
+//! then timed over a batch of iterations; the harness reports the mean
+//! time per iteration. Results are best-effort wall-clock numbers for
+//! spotting regressions in the regeneration kernels, not a statistical
+//! benchmarking framework.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Wall-clock budget for one timed kernel (after warm-up).
+const MEASURE_BUDGET: Duration = Duration::from_millis(200);
+/// Wall-clock budget for the calibration warm-up.
+const WARMUP_BUDGET: Duration = Duration::from_millis(50);
+/// Iteration-count clamp, so pathological kernels neither spin
+/// forever nor report a single noisy sample.
+const MAX_ITERS: u64 = 100_000;
+
+/// One recorded kernel timing.
+#[derive(Clone, Debug)]
+pub struct Sample {
+    /// Kernel name as passed to [`Harness::bench_function`].
+    pub name: String,
+    /// Mean wall-clock time per iteration.
+    pub mean: Duration,
+    /// Iterations in the measured batch.
+    pub iters: u64,
+}
+
+/// Collects and prints kernel timings; the drop-in stand-in for the
+/// previous external benchmarking dependency.
+#[derive(Default, Debug)]
+pub struct Harness {
+    samples: Vec<Sample>,
+}
+
+/// Passed to the kernel closure; [`Bencher::iter`] runs and times the
+/// measured batch.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `f` over the calibrated batch, preventing the optimizer
+    /// from discarding its result.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+impl Harness {
+    /// An empty harness.
+    pub fn new() -> Self {
+        Harness::default()
+    }
+
+    /// Warm-up, calibrate, and time one kernel, printing its mean
+    /// time per iteration immediately.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) {
+        // Warm-up: run single iterations until the budget elapses,
+        // which also yields the per-iteration estimate.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < WARMUP_BUDGET && warm_iters < MAX_ITERS {
+            let mut b = Bencher {
+                iters: 1,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+        let iters =
+            ((MEASURE_BUDGET.as_secs_f64() / per_iter.max(1e-9)) as u64).clamp(1, MAX_ITERS);
+
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let mean = b.elapsed.div_f64(iters.max(1) as f64);
+        println!(
+            "{name:<40} {:>12} /iter  ({iters} iters)",
+            fmt_duration(mean)
+        );
+        self.samples.push(Sample {
+            name: name.to_owned(),
+            mean,
+            iters,
+        });
+    }
+
+    /// All samples recorded so far.
+    pub fn samples(&self) -> &[Sample] {
+        &self.samples
+    }
+
+    /// Prints the closing one-line summary.
+    pub fn final_summary(&self) {
+        println!("timed {} kernel(s)", self.samples.len());
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_one_sample_per_kernel() {
+        let mut h = Harness::new();
+        h.bench_function("noop", |b| b.iter(|| 0u64));
+        h.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        assert_eq!(h.samples().len(), 2);
+        assert_eq!(h.samples()[0].name, "noop");
+        assert!(h.samples().iter().all(|s| s.iters >= 1));
+    }
+}

@@ -138,7 +138,7 @@ impl Cfg {
                     if last + 1 < n {
                         succs.push(Edge::Fall(block_of_op[last + 1]));
                     }
-                    blocks[id].taken_prob = stats.taken_probability(last);
+                    blocks[id].taken_prob = stats.taken_probability(program, last);
                 }
                 _ => {
                     if last + 1 < n {
@@ -215,7 +215,10 @@ mod tests {
         let lp = a.fresh_label();
         let r = a.fresh_reg();
         a.bind(entry);
-        a.emit(Op::MvI { d: r, w: Word::int(0) });
+        a.emit(Op::MvI {
+            d: r,
+            w: Word::int(0),
+        });
         a.bind(lp);
         a.emit(Op::Alu {
             op: symbol_intcode::AluOp::Add,

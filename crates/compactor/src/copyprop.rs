@@ -66,8 +66,8 @@ pub fn copy_propagate(program: &IciProgram, stats: &ExecStats) -> Optimized {
         // Forward pass: propagate copies.
         let mut copy_of: HashMap<R, R> = HashMap::new();
         let mut rewritten: Vec<Op> = Vec::with_capacity(block.len());
-        for i in block.start..block.end {
-            let mut op = ops[i].clone();
+        for src_op in &ops[block.start..block.end] {
+            let mut op = src_op.clone();
             substitute_uses(&mut op, &copy_of);
             // definitions invalidate copies involving the dest
             if let Some(d) = op.def() {
@@ -240,7 +240,10 @@ mod tests {
             let t1 = a.fresh_reg();
             let t2 = a.fresh_reg();
             a.bind(e);
-            a.emit(Op::MvI { d: t0, w: Word::int(7) });
+            a.emit(Op::MvI {
+                d: t0,
+                w: Word::int(7),
+            });
             a.emit(Op::Mv { d: t1, s: t0 });
             a.emit(Op::Mv { d: t2, s: t1 });
             a.emit(Op::Br {
@@ -267,7 +270,10 @@ mod tests {
             let t0 = a.fresh_reg();
             let t1 = a.fresh_reg();
             a.bind(e);
-            a.emit(Op::MvI { d: t0, w: Word::int(7) });
+            a.emit(Op::MvI {
+                d: t0,
+                w: Word::int(7),
+            });
             a.emit(Op::Mv { d: t1, s: t0 });
             a.emit(Op::Jmp { t: next });
             a.bind(next);
@@ -294,7 +300,10 @@ mod tests {
             let t0 = a.fresh_reg();
             let t1 = a.fresh_reg();
             a.bind(e);
-            a.emit(Op::MvI { d: t0, w: Word::int(1) });
+            a.emit(Op::MvI {
+                d: t0,
+                w: Word::int(1),
+            });
             a.emit(Op::Mv { d: t1, s: t0 });
             a.emit(Op::BrTag {
                 a: t1,

@@ -22,11 +22,11 @@ pub mod trace;
 pub mod verify;
 
 pub use cfg::{Block, Cfg, Edge};
+pub use copyprop::copy_propagate;
 pub use emit::{compact, CompactMode, CompactStats, Compacted};
+pub use pressure::{measure as measure_pressure, Pressure};
+pub use regalloc::{allocate as allocate_registers, OutOfRegisters};
 pub use schedule::{ScheduleOptions, ScheduledTrace};
 pub use seqcost::{equal_duration_cycles, sequential_cycles, SeqDurations};
 pub use trace::{Trace, TracePolicy};
 pub use verify::{verify_program, Violation};
-pub use pressure::{measure as measure_pressure, Pressure};
-pub use regalloc::{allocate as allocate_registers, OutOfRegisters};
-pub use copyprop::copy_propagate;

@@ -48,10 +48,7 @@ impl Liveness {
                     }
                 }
             }
-            has_indirect.push(matches!(
-                ops[b.end - 1],
-                symbol_intcode::Op::JmpR { .. }
-            ));
+            has_indirect.push(matches!(ops[b.end - 1], symbol_intcode::Op::JmpR { .. }));
             use_b.push(uses);
             def_b.push(defs);
         }
@@ -150,8 +147,14 @@ mod tests {
         let t = a.fresh_reg();
         let u = a.fresh_reg();
         a.bind(entry);
-        a.emit(Op::MvI { d: t, w: Word::int(1) });
-        a.emit(Op::MvI { d: u, w: Word::int(2) });
+        a.emit(Op::MvI {
+            d: t,
+            w: Word::int(1),
+        });
+        a.emit(Op::MvI {
+            d: u,
+            w: Word::int(2),
+        });
         a.emit(Op::Br {
             cond: Cond::Eq,
             a: t,

@@ -171,8 +171,18 @@ mod tests {
         let t0 = R(reg::FIRST_TEMP);
         let t1 = R(reg::FIRST_TEMP + 1);
         let words = vec![
-            VliwInstr { slots: vec![slot(Op::MvI { d: t0, w: Word::int(1) })] },
-            VliwInstr { slots: vec![slot(Op::MvI { d: t1, w: Word::int(2) })] },
+            VliwInstr {
+                slots: vec![slot(Op::MvI {
+                    d: t0,
+                    w: Word::int(1),
+                })],
+            },
+            VliwInstr {
+                slots: vec![slot(Op::MvI {
+                    d: t1,
+                    w: Word::int(2),
+                })],
+            },
             VliwInstr {
                 slots: vec![slot(Op::Alu {
                     op: symbol_intcode::AluOp::Add,
@@ -181,7 +191,9 @@ mod tests {
                     b: symbol_intcode::Operand::Reg(t1),
                 })],
             },
-            VliwInstr { slots: vec![slot(Op::Halt { success: true })] },
+            VliwInstr {
+                slots: vec![slot(Op::Halt { success: true })],
+            },
         ];
         let mut labels = Map::new();
         labels.insert(Label(0), 0);
@@ -195,8 +207,15 @@ mod tests {
     fn dead_code_has_no_pressure() {
         let t0 = R(reg::FIRST_TEMP);
         let words = vec![
-            VliwInstr { slots: vec![slot(Op::MvI { d: t0, w: Word::int(1) })] },
-            VliwInstr { slots: vec![slot(Op::Halt { success: true })] },
+            VliwInstr {
+                slots: vec![slot(Op::MvI {
+                    d: t0,
+                    w: Word::int(1),
+                })],
+            },
+            VliwInstr {
+                slots: vec![slot(Op::Halt { success: true })],
+            },
         ];
         let mut labels = Map::new();
         labels.insert(Label(0), 0);

@@ -216,7 +216,9 @@ pub fn allocate(
                 }
             }
         }
-        let c = (0..).find(|c| !taken.contains(c)).expect("unbounded search");
+        let c = (0..)
+            .find(|c| !taken.contains(c))
+            .expect("unbounded search");
         if c as usize >= budget {
             // count the true requirement for the error message
             let required = color.values().copied().max().unwrap_or(0) as usize + 2;
@@ -252,8 +254,7 @@ pub fn allocate(
         })
         .collect();
 
-    let label_at: HashMap<symbol_intcode::Label, usize> =
-        program.bound_labels().collect();
+    let label_at: HashMap<symbol_intcode::Label, usize> = program.bound_labels().collect();
     let num_labels = program
         .bound_labels()
         .map(|(l, _)| l.0 + 1)
@@ -272,17 +273,61 @@ fn rewrite(op: &Op, map: &impl Fn(R) -> R) -> Op {
         Operand::Imm(i) => Operand::Imm(*i),
     };
     match op {
-        Op::Ld { d, base, off } => Op::Ld { d: map(*d), base: map(*base), off: *off },
-        Op::St { s, base, off } => Op::St { s: map(*s), base: map(*base), off: *off },
-        Op::Mv { d, s } => Op::Mv { d: map(*d), s: map(*s) },
+        Op::Ld { d, base, off } => Op::Ld {
+            d: map(*d),
+            base: map(*base),
+            off: *off,
+        },
+        Op::St { s, base, off } => Op::St {
+            s: map(*s),
+            base: map(*base),
+            off: *off,
+        },
+        Op::Mv { d, s } => Op::Mv {
+            d: map(*d),
+            s: map(*s),
+        },
         Op::MvI { d, w } => Op::MvI { d: map(*d), w: *w },
-        Op::Alu { op: o, d, a, b } => Op::Alu { op: *o, d: map(*d), a: map(*a), b: mo(b) },
-        Op::AddA { d, a, b } => Op::AddA { d: map(*d), a: map(*a), b: mo(b) },
-        Op::MkTag { d, s, tag } => Op::MkTag { d: map(*d), s: map(*s), tag: *tag },
-        Op::Br { cond, a, b, t } => Op::Br { cond: *cond, a: map(*a), b: mo(b), t: *t },
-        Op::BrTag { a, tag, eq, t } => Op::BrTag { a: map(*a), tag: *tag, eq: *eq, t: *t },
-        Op::BrWord { a, w, eq, t } => Op::BrWord { a: map(*a), w: *w, eq: *eq, t: *t },
-        Op::BrWEq { a, b, eq, t } => Op::BrWEq { a: map(*a), b: map(*b), eq: *eq, t: *t },
+        Op::Alu { op: o, d, a, b } => Op::Alu {
+            op: *o,
+            d: map(*d),
+            a: map(*a),
+            b: mo(b),
+        },
+        Op::AddA { d, a, b } => Op::AddA {
+            d: map(*d),
+            a: map(*a),
+            b: mo(b),
+        },
+        Op::MkTag { d, s, tag } => Op::MkTag {
+            d: map(*d),
+            s: map(*s),
+            tag: *tag,
+        },
+        Op::Br { cond, a, b, t } => Op::Br {
+            cond: *cond,
+            a: map(*a),
+            b: mo(b),
+            t: *t,
+        },
+        Op::BrTag { a, tag, eq, t } => Op::BrTag {
+            a: map(*a),
+            tag: *tag,
+            eq: *eq,
+            t: *t,
+        },
+        Op::BrWord { a, w, eq, t } => Op::BrWord {
+            a: map(*a),
+            w: *w,
+            eq: *eq,
+            t: *t,
+        },
+        Op::BrWEq { a, b, eq, t } => Op::BrWEq {
+            a: map(*a),
+            b: map(*b),
+            eq: *eq,
+            t: *t,
+        },
         Op::Jmp { t } => Op::Jmp { t: *t },
         Op::JmpR { r } => Op::JmpR { r: map(*r) },
         Op::Halt { success } => Op::Halt { success: *success },

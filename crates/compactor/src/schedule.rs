@@ -179,19 +179,14 @@ pub fn rewrite_trace(
                     if o.falls_through() {
                         // Execution continues at the original
                         // fall-through block: make it explicit.
-                        let fall = block
-                            .succs
-                            .iter()
-                            .find_map(|e| match e {
-                                Edge::Fall(d) => Some(*d),
-                                Edge::Taken(_) if !o.is_control() => Some(e.dest()),
-                                _ => None,
-                            });
+                        let fall = block.succs.iter().find_map(|e| match e {
+                            Edge::Fall(d) => Some(*d),
+                            Edge::Taken(_) if !o.is_control() => Some(e.dest()),
+                            _ => None,
+                        });
                         if let Some(f) = fall {
                             out.push(TraceOp {
-                                op: Op::Jmp {
-                                    t: block_label(f),
-                                },
+                                op: Op::Jmp { t: block_label(f) },
                                 orig: usize::MAX,
                                 group: groups[i],
                                 block: kb,
@@ -266,7 +261,11 @@ pub fn schedule_trace(
     // ---------------- dependence DAG ----------------
     let mut adj: Vec<Vec<(usize, u32)>> = vec![Vec::new(); n];
     let mut indeg = vec![0usize; n];
-    let add_edge = |adj: &mut Vec<Vec<(usize, u32)>>, indeg: &mut Vec<usize>, from: usize, to: usize, lat: u32| {
+    let add_edge = |adj: &mut Vec<Vec<(usize, u32)>>,
+                    indeg: &mut Vec<usize>,
+                    from: usize,
+                    to: usize,
+                    lat: u32| {
         adj[from].push((to, lat));
         indeg[to] += 1;
     };
@@ -356,9 +355,7 @@ pub fn schedule_trace(
     }
 
     // Control dependences.
-    let branch_positions: Vec<usize> = (0..n)
-        .filter(|&i| trace_ops[i].op.is_control())
-        .collect();
+    let branch_positions: Vec<usize> = (0..n).filter(|&i| trace_ops[i].op.is_control()).collect();
     {
         // Branch-order chain.
         for w in branch_positions.windows(2) {
@@ -482,8 +479,7 @@ pub fn schedule_trace(
             let budget = machine.slots(class);
             let fits = total_used < machine.issue_width
                 && used[idx] < budget
-                && (!machine.split_formats
-                    || fits_split_formats(machine, &used, class));
+                && (!machine.split_formats || fits_split_formats(machine, &used, class));
             if fits {
                 used[idx] += 1;
                 total_used += 1;
@@ -516,22 +512,13 @@ pub fn schedule_trace(
             Some(t) => t,
             None => continue,
         };
-        let delayed: Vec<usize> = (0..b)
-            .filter(|&i| cycle_of[i] > cycle_of[b])
-            .collect();
+        let delayed: Vec<usize> = (0..b).filter(|&i| cycle_of[i] > cycle_of[b]).collect();
         if delayed.is_empty() {
             continue;
         }
         let label = labels.fresh();
-        let ops = delayed
-            .iter()
-            .map(|&i| trace_ops[i].op.clone())
-            .collect();
-        comps.push(CompBlock {
-            label,
-            ops,
-            target,
-        });
+        let ops = delayed.iter().map(|&i| trace_ops[i].op.clone()).collect();
+        comps.push(CompBlock { label, ops, target });
         retarget.insert(b, label);
     }
 

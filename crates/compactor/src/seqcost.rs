@@ -56,7 +56,7 @@ pub fn equal_duration_cycles(stats: &ExecStats) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use symbol_intcode::{Asm, Op, R, Word};
+    use symbol_intcode::{Asm, Op, Word, R};
 
     #[test]
     fn durations_weight_classes() {
@@ -64,8 +64,15 @@ mod tests {
         let e = a.fresh_label();
         let base = a.fresh_reg();
         a.bind(e);
-        a.emit(Op::MvI { d: base, w: Word::int(1) }); // move: 1
-        a.emit(Op::Ld { d: R(40), base, off: 0 }); // memory: 2
+        a.emit(Op::MvI {
+            d: base,
+            w: Word::int(1),
+        }); // move: 1
+        a.emit(Op::Ld {
+            d: R(40),
+            base,
+            off: 0,
+        }); // memory: 2
         a.emit(Op::Halt { success: true }); // control: 2
         let p = a.finish(e);
         let layout = symbol_intcode::Layout {

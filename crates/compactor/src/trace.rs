@@ -108,9 +108,8 @@ pub fn pick_traces(cfg: &Cfg, policy: &TracePolicy) -> Vec<Trace> {
             if prob < policy.min_prob || blocks.contains(&next) {
                 break;
             }
-            let is_join = visited[next]
-                || cfg.blocks[next].preds.len() > 1
-                || cfg.blocks[next].address_taken;
+            let is_join =
+                visited[next] || cfg.blocks[next].preds.len() > 1 || cfg.blocks[next].address_taken;
             if is_join {
                 // Tail duplication: copy the join block into the trace
                 // (the original remains reachable for the other
@@ -177,10 +176,7 @@ fn referenced_blocks(cfg: &Cfg, trace: &Trace, out: &mut Vec<usize>) {
                     out.extend(fall); // appended jump
                 } else if let Some(t) = taken {
                     out.push(t); // trailing unconditional jump
-                } else if matches!(
-                    cfg.blocks[b].succs.as_slice(),
-                    [Edge::Fall(_)]
-                ) {
+                } else if matches!(cfg.blocks[b].succs.as_slice(), [Edge::Fall(_)]) {
                     out.extend(fall); // appended jump after fall-through
                 }
                 let _ = Op::Halt { success: true }; // (JmpR/Halt: no refs)
@@ -200,8 +196,7 @@ fn resolve_interior_references(cfg: &Cfg, traces: &mut Vec<Trace>) {
         referenced.sort_unstable();
         referenced.dedup();
 
-        let heads: std::collections::HashSet<usize> =
-            traces.iter().map(|t| t.blocks[0]).collect();
+        let heads: std::collections::HashSet<usize> = traces.iter().map(|t| t.blocks[0]).collect();
 
         // Find a referenced block that is not a head: split the first
         // trace containing it so it becomes one.
@@ -281,7 +276,10 @@ mod tests {
         let i = a.fresh_reg();
         let t = a.fresh_reg();
         a.bind(entry);
-        a.emit(Op::MvI { d: i, w: Word::int(0) });
+        a.emit(Op::MvI {
+            d: i,
+            w: Word::int(0),
+        });
         a.bind(lp);
         a.emit(Op::Alu {
             op: symbol_intcode::AluOp::Add,

@@ -148,7 +148,7 @@ pub fn verify_program(program: &VliwProgram, machine: &MachineConfig) -> Result<
 mod tests {
     use super::*;
     use std::collections::HashMap;
-    use symbol_intcode::{Label, Op, R, Word};
+    use symbol_intcode::{Label, Op, Word, R};
     use symbol_vliw::{SlotOp, VliwInstr};
 
     fn program(words: Vec<VliwInstr>) -> VliwProgram {
@@ -169,8 +169,20 @@ mod tests {
     fn accepts_legal_word() {
         let p = program(vec![VliwInstr {
             slots: vec![
-                slot(0, Op::MvI { d: R(40), w: Word::int(1) }),
-                slot(1, Op::MvI { d: R(41), w: Word::int(2) }),
+                slot(
+                    0,
+                    Op::MvI {
+                        d: R(40),
+                        w: Word::int(1),
+                    },
+                ),
+                slot(
+                    1,
+                    Op::MvI {
+                        d: R(41),
+                        w: Word::int(2),
+                    },
+                ),
             ],
         }]);
         assert!(verify_program(&p, &MachineConfig::units(2)).is_ok());
@@ -180,8 +192,20 @@ mod tests {
     fn rejects_issue_width_overflow() {
         let p = program(vec![VliwInstr {
             slots: vec![
-                slot(0, Op::MvI { d: R(40), w: Word::int(1) }),
-                slot(1, Op::MvI { d: R(41), w: Word::int(2) }),
+                slot(
+                    0,
+                    Op::MvI {
+                        d: R(40),
+                        w: Word::int(1),
+                    },
+                ),
+                slot(
+                    1,
+                    Op::MvI {
+                        d: R(41),
+                        w: Word::int(2),
+                    },
+                ),
             ],
         }]);
         let err = verify_program(&p, &MachineConfig::units(1)).unwrap_err();
@@ -192,8 +216,22 @@ mod tests {
     fn rejects_memory_port_overflow() {
         let p = program(vec![VliwInstr {
             slots: vec![
-                slot(0, Op::Ld { d: R(40), base: R(50), off: 0 }),
-                slot(1, Op::Ld { d: R(41), base: R(50), off: 1 }),
+                slot(
+                    0,
+                    Op::Ld {
+                        d: R(40),
+                        base: R(50),
+                        off: 0,
+                    },
+                ),
+                slot(
+                    1,
+                    Op::Ld {
+                        d: R(41),
+                        base: R(50),
+                        off: 1,
+                    },
+                ),
             ],
         }]);
         let err = verify_program(&p, &MachineConfig::wide_units(2)).unwrap_err();
@@ -204,8 +242,20 @@ mod tests {
     fn rejects_double_write() {
         let p = program(vec![VliwInstr {
             slots: vec![
-                slot(0, Op::MvI { d: R(40), w: Word::int(1) }),
-                slot(1, Op::MvI { d: R(40), w: Word::int(2) }),
+                slot(
+                    0,
+                    Op::MvI {
+                        d: R(40),
+                        w: Word::int(1),
+                    },
+                ),
+                slot(
+                    1,
+                    Op::MvI {
+                        d: R(40),
+                        w: Word::int(2),
+                    },
+                ),
             ],
         }]);
         let err = verify_program(&p, &MachineConfig::units(2)).unwrap_err();
@@ -216,7 +266,13 @@ mod tests {
     fn rejects_format_mix_on_prototype() {
         let p = program(vec![VliwInstr {
             slots: vec![
-                slot(0, Op::MvI { d: R(40), w: Word::int(1) }),
+                slot(
+                    0,
+                    Op::MvI {
+                        d: R(40),
+                        w: Word::int(1),
+                    },
+                ),
                 slot(0, Op::Jmp { t: Label(0) }),
             ],
         }]);

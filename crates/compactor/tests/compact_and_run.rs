@@ -32,7 +32,9 @@ fn prepare(src: &str) -> Case {
     let layout = small_layout();
     let ici = symbol_intcode::translate(&bam, main, &layout).expect("translate");
     let run = Emulator::new(&ici, &layout)
-        .run(&ExecConfig { max_steps: 50_000_000 })
+        .run(&ExecConfig {
+            max_steps: 50_000_000,
+        })
         .expect("sequential run");
     Case {
         ici,
@@ -69,9 +71,7 @@ fn check_all_modes(src: &str) {
             );
             let result = VliwSim::new(&compacted.program, machine, &case.layout)
                 .run(&SimConfig::default())
-                .unwrap_or_else(|e| {
-                    panic!("{mode:?} x {units} units failed: {e}\nsrc: {src}")
-                });
+                .unwrap_or_else(|e| panic!("{mode:?} x {units} units failed: {e}\nsrc: {src}"));
             assert_eq!(
                 result.outcome, want,
                 "{mode:?} x {units} units: wrong answer"
@@ -185,7 +185,13 @@ fn trace_beats_or_matches_basic_block_on_recursion() {
     );
     let machine = MachineConfig::units(3);
     let run = |mode| {
-        let c = compact(&case.ici, &case.stats, &machine, mode, &TracePolicy::default());
+        let c = compact(
+            &case.ici,
+            &case.stats,
+            &machine,
+            mode,
+            &TracePolicy::default(),
+        );
         VliwSim::new(&c.program, machine, &case.layout)
             .run(&SimConfig::default())
             .expect("run")

@@ -1,5 +1,13 @@
 use symbol_core::experiments::ablation;
 fn main() {
-    let rows = ablation::run(&["conc30", "nreverse", "qsort", "serialise", "times10", "queens_8"]).unwrap();
+    let rows = ablation::run(&[
+        "conc30",
+        "nreverse",
+        "qsort",
+        "serialise",
+        "times10",
+        "queens_8",
+    ])
+    .unwrap();
     println!("{}", ablation::render(&rows));
 }

@@ -21,7 +21,11 @@ fn main() {
             let r = VliwSim::new(&comp.program, machine, &c.layout)
                 .run(&SimConfig::default())
                 .expect("sim");
-            (r.cycles, comp.stats.avg_region_len, comp.stats.code_growth())
+            (
+                r.cycles,
+                comp.stats.avg_region_len,
+                comp.stats.code_growth(),
+            )
         };
         let (bam, _, _) = sim(CompactMode::BamGroups, MachineConfig::bam());
         let (bbu, _, _) = sim(CompactMode::BasicBlock, MachineConfig::unbounded());

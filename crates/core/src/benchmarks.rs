@@ -27,20 +27,60 @@ macro_rules! bench {
 /// All benchmarks, in the paper's table order.
 pub const ALL: &[Benchmark] = &[
     bench!("conc30", "conc30.pl", "concatenate a 30-element list"),
-    bench!("crypt", "crypt.pl", "parity-constrained cryptarithmetic multiplication"),
-    bench!("divide10", "divide10.pl", "symbolic differentiation of a 10-fold quotient"),
-    bench!("log10", "log10.pl", "symbolic differentiation of a 10-fold logarithm"),
-    bench!("mu", "mu.pl", "Hofstadter's MU puzzle, depth-bounded search"),
-    bench!("nreverse", "nreverse.pl", "naive reverse of a 30-element list"),
-    bench!("ops8", "ops8.pl", "symbolic differentiation of an 8-operator expression"),
-    bench!("prover", "prover.pl", "propositional sequent-calculus prover"),
+    bench!(
+        "crypt",
+        "crypt.pl",
+        "parity-constrained cryptarithmetic multiplication"
+    ),
+    bench!(
+        "divide10",
+        "divide10.pl",
+        "symbolic differentiation of a 10-fold quotient"
+    ),
+    bench!(
+        "log10",
+        "log10.pl",
+        "symbolic differentiation of a 10-fold logarithm"
+    ),
+    bench!(
+        "mu",
+        "mu.pl",
+        "Hofstadter's MU puzzle, depth-bounded search"
+    ),
+    bench!(
+        "nreverse",
+        "nreverse.pl",
+        "naive reverse of a 30-element list"
+    ),
+    bench!(
+        "ops8",
+        "ops8.pl",
+        "symbolic differentiation of an 8-operator expression"
+    ),
+    bench!(
+        "prover",
+        "prover.pl",
+        "propositional sequent-calculus prover"
+    ),
     bench!("qsort", "qsort.pl", "quicksort of a 50-element list"),
     bench!("queens_8", "queens_8.pl", "first solution of 8-queens"),
-    bench!("query", "query.pl", "database query for similar population densities"),
+    bench!(
+        "query",
+        "query.pl",
+        "database query for similar population densities"
+    ),
     bench!("sendmore", "sendmore.pl", "SEND+MORE=MONEY cryptarithmetic"),
-    bench!("serialise", "serialise.pl", "serial numbers for a palindrome's characters"),
+    bench!(
+        "serialise",
+        "serialise.pl",
+        "serial numbers for a palindrome's characters"
+    ),
     bench!("tak", "tak.pl", "Takeuchi function tak(18,12,6)"),
-    bench!("times10", "times10.pl", "symbolic differentiation of a 10-fold product"),
+    bench!(
+        "times10",
+        "times10.pl",
+        "symbolic differentiation of a 10-fold product"
+    ),
     bench!("zebra", "zebra.pl", "the five-houses zebra puzzle"),
 ];
 
@@ -72,19 +112,110 @@ pub mod paper {
 
     /// Table 4 of the paper (execution times of Prolog implementations).
     pub const TABLE4: &[Table4Row] = &[
-        Table4Row { name: "divide10", quintus: Some(0.41), vlsi_plm: Some(0.38), kcm: Some(0.091), bam: Some(0.0387), symbol3: Some(0.0423) },
-        Table4Row { name: "log10", quintus: Some(0.15), vlsi_plm: Some(0.109), kcm: Some(0.039), bam: Some(0.0201), symbol3: Some(0.0146) },
-        Table4Row { name: "mu", quintus: Some(12.407), vlsi_plm: Some(4.644), kcm: None, bam: Some(0.8557), symbol3: Some(1.2913) },
-        Table4Row { name: "nreverse", quintus: Some(1.62), vlsi_plm: Some(2.10), kcm: Some(0.65), bam: Some(0.2057), symbol3: Some(0.2401) },
-        Table4Row { name: "ops8", quintus: Some(0.24), vlsi_plm: Some(0.214), kcm: Some(0.059), bam: Some(0.0251), symbol3: Some(0.0274) },
-        Table4Row { name: "prover", quintus: Some(8.67), vlsi_plm: Some(6.83), kcm: None, bam: Some(0.9722), symbol3: Some(1.2995) },
-        Table4Row { name: "qsort", quintus: Some(4.82), vlsi_plm: Some(4.24), kcm: Some(1.32), bam: Some(0.2253), symbol3: Some(0.2192) },
-        Table4Row { name: "queens_8", quintus: Some(21.20), vlsi_plm: Some(28.80), kcm: Some(1.205), bam: Some(1.2017), symbol3: Some(1.549) },
-        Table4Row { name: "sendmore", quintus: Some(490.00), vlsi_plm: None, kcm: None, bam: Some(42.3364), symbol3: Some(44.0939) },
-        Table4Row { name: "serialise", quintus: Some(3.10), vlsi_plm: Some(2.47), kcm: Some(1.22), bam: Some(0.5133), symbol3: Some(0.6556) },
-        Table4Row { name: "tak", quintus: Some(1120.00), vlsi_plm: Some(940.00), kcm: None, bam: Some(31.047), symbol3: Some(32.067) },
-        Table4Row { name: "times10", quintus: Some(0.345), vlsi_plm: Some(0.2470), kcm: Some(0.082), bam: Some(0.0346), symbol3: Some(0.0363) },
-        Table4Row { name: "zebra", quintus: Some(425.00), vlsi_plm: None, kcm: None, bam: Some(86.890), symbol3: Some(119.184) },
+        Table4Row {
+            name: "divide10",
+            quintus: Some(0.41),
+            vlsi_plm: Some(0.38),
+            kcm: Some(0.091),
+            bam: Some(0.0387),
+            symbol3: Some(0.0423),
+        },
+        Table4Row {
+            name: "log10",
+            quintus: Some(0.15),
+            vlsi_plm: Some(0.109),
+            kcm: Some(0.039),
+            bam: Some(0.0201),
+            symbol3: Some(0.0146),
+        },
+        Table4Row {
+            name: "mu",
+            quintus: Some(12.407),
+            vlsi_plm: Some(4.644),
+            kcm: None,
+            bam: Some(0.8557),
+            symbol3: Some(1.2913),
+        },
+        Table4Row {
+            name: "nreverse",
+            quintus: Some(1.62),
+            vlsi_plm: Some(2.10),
+            kcm: Some(0.65),
+            bam: Some(0.2057),
+            symbol3: Some(0.2401),
+        },
+        Table4Row {
+            name: "ops8",
+            quintus: Some(0.24),
+            vlsi_plm: Some(0.214),
+            kcm: Some(0.059),
+            bam: Some(0.0251),
+            symbol3: Some(0.0274),
+        },
+        Table4Row {
+            name: "prover",
+            quintus: Some(8.67),
+            vlsi_plm: Some(6.83),
+            kcm: None,
+            bam: Some(0.9722),
+            symbol3: Some(1.2995),
+        },
+        Table4Row {
+            name: "qsort",
+            quintus: Some(4.82),
+            vlsi_plm: Some(4.24),
+            kcm: Some(1.32),
+            bam: Some(0.2253),
+            symbol3: Some(0.2192),
+        },
+        Table4Row {
+            name: "queens_8",
+            quintus: Some(21.20),
+            vlsi_plm: Some(28.80),
+            kcm: Some(1.205),
+            bam: Some(1.2017),
+            symbol3: Some(1.549),
+        },
+        Table4Row {
+            name: "sendmore",
+            quintus: Some(490.00),
+            vlsi_plm: None,
+            kcm: None,
+            bam: Some(42.3364),
+            symbol3: Some(44.0939),
+        },
+        Table4Row {
+            name: "serialise",
+            quintus: Some(3.10),
+            vlsi_plm: Some(2.47),
+            kcm: Some(1.22),
+            bam: Some(0.5133),
+            symbol3: Some(0.6556),
+        },
+        Table4Row {
+            name: "tak",
+            quintus: Some(1120.00),
+            vlsi_plm: Some(940.00),
+            kcm: None,
+            bam: Some(31.047),
+            symbol3: Some(32.067),
+        },
+        Table4Row {
+            name: "times10",
+            quintus: Some(0.345),
+            vlsi_plm: Some(0.2470),
+            kcm: Some(0.082),
+            bam: Some(0.0346),
+            symbol3: Some(0.0363),
+        },
+        Table4Row {
+            name: "zebra",
+            quintus: Some(425.00),
+            vlsi_plm: None,
+            kcm: None,
+            bam: Some(86.890),
+            symbol3: Some(119.184),
+        },
     ];
 
     /// One row of the paper's Table 1 (trace vs basic-block compaction).
@@ -103,20 +234,90 @@ pub mod paper {
     /// Table 1 of the paper (speed-up and average length; the paper
     /// prints basic-block columns we reproduce as an aggregate).
     pub const TABLE1: &[Table1Row] = &[
-        Table1Row { name: "conc30", trace_speedup: 1.65, trace_len: 11.88, bb_speedup: None },
-        Table1Row { name: "divide10", trace_speedup: 1.98, trace_len: 13.35, bb_speedup: None },
-        Table1Row { name: "log10", trace_speedup: 1.81, trace_len: 12.95, bb_speedup: None },
-        Table1Row { name: "mu", trace_speedup: 2.28, trace_len: 6.94, bb_speedup: None },
-        Table1Row { name: "nreverse", trace_speedup: 1.79, trace_len: 12.55, bb_speedup: None },
-        Table1Row { name: "ops8", trace_speedup: 2.07, trace_len: 12.71, bb_speedup: None },
-        Table1Row { name: "prover", trace_speedup: 2.20, trace_len: 14.64, bb_speedup: None },
-        Table1Row { name: "query", trace_speedup: 1.93, trace_len: 14.87, bb_speedup: None },
-        Table1Row { name: "queens_8", trace_speedup: 1.90, trace_len: 10.43, bb_speedup: None },
-        Table1Row { name: "sendmore", trace_speedup: 3.18, trace_len: 8.83, bb_speedup: None },
-        Table1Row { name: "serialise", trace_speedup: 2.68, trace_len: 11.11, bb_speedup: None },
-        Table1Row { name: "tak", trace_speedup: 2.30, trace_len: 9.05, bb_speedup: None },
-        Table1Row { name: "times10", trace_speedup: 2.08, trace_len: 13.35, bb_speedup: None },
-        Table1Row { name: "zebra", trace_speedup: 2.27, trace_len: 10.08, bb_speedup: None },
+        Table1Row {
+            name: "conc30",
+            trace_speedup: 1.65,
+            trace_len: 11.88,
+            bb_speedup: None,
+        },
+        Table1Row {
+            name: "divide10",
+            trace_speedup: 1.98,
+            trace_len: 13.35,
+            bb_speedup: None,
+        },
+        Table1Row {
+            name: "log10",
+            trace_speedup: 1.81,
+            trace_len: 12.95,
+            bb_speedup: None,
+        },
+        Table1Row {
+            name: "mu",
+            trace_speedup: 2.28,
+            trace_len: 6.94,
+            bb_speedup: None,
+        },
+        Table1Row {
+            name: "nreverse",
+            trace_speedup: 1.79,
+            trace_len: 12.55,
+            bb_speedup: None,
+        },
+        Table1Row {
+            name: "ops8",
+            trace_speedup: 2.07,
+            trace_len: 12.71,
+            bb_speedup: None,
+        },
+        Table1Row {
+            name: "prover",
+            trace_speedup: 2.20,
+            trace_len: 14.64,
+            bb_speedup: None,
+        },
+        Table1Row {
+            name: "query",
+            trace_speedup: 1.93,
+            trace_len: 14.87,
+            bb_speedup: None,
+        },
+        Table1Row {
+            name: "queens_8",
+            trace_speedup: 1.90,
+            trace_len: 10.43,
+            bb_speedup: None,
+        },
+        Table1Row {
+            name: "sendmore",
+            trace_speedup: 3.18,
+            trace_len: 8.83,
+            bb_speedup: None,
+        },
+        Table1Row {
+            name: "serialise",
+            trace_speedup: 2.68,
+            trace_len: 11.11,
+            bb_speedup: None,
+        },
+        Table1Row {
+            name: "tak",
+            trace_speedup: 2.30,
+            trace_len: 9.05,
+            bb_speedup: None,
+        },
+        Table1Row {
+            name: "times10",
+            trace_speedup: 2.08,
+            trace_len: 13.35,
+            bb_speedup: None,
+        },
+        Table1Row {
+            name: "zebra",
+            trace_speedup: 2.27,
+            trace_len: 10.08,
+            bb_speedup: None,
+        },
     ];
 
     /// Paper Table 2: average probability of faulty branch prediction.

@@ -15,16 +15,12 @@
 use std::process::ExitCode;
 
 use symbol_analysis::{ClassMix, PredictStats};
-use symbol_compactor::{
-    compact, sequential_cycles, CompactMode, SeqDurations, TracePolicy,
-};
+use symbol_compactor::{compact, sequential_cycles, CompactMode, SeqDurations, TracePolicy};
 use symbol_core::pipeline::{Compiled, PipelineError};
 use symbol_vliw::{MachineConfig, SimConfig, SimOutcome, VliwSim};
 
 fn usage() -> ExitCode {
-    eprintln!(
-        "usage: symbolc <run|bam|ici|schedule|profile|sweep> <file.pl> [units]"
-    );
+    eprintln!("usage: symbolc <run|bam|ici|schedule|profile|sweep> <file.pl> [units]");
     ExitCode::FAILURE
 }
 
@@ -76,40 +72,40 @@ fn dispatch(cmd: &str, compiled: &Compiled, units: usize) -> Result<ExitCode, Pi
             print!("{}", compiled.ici);
             Ok(ExitCode::SUCCESS)
         }
-        "run" => {
-            match compiled.run_sequential() {
-                Ok(run) => {
-                    let seq =
-                        sequential_cycles(&compiled.ici, &run.stats, &SeqDurations::default());
-                    println!("main/0: success ({} ops, {} sequential cycles)", run.steps, seq);
-                    let machine = MachineConfig::units(units);
-                    let compacted = compact(
-                        &compiled.ici,
-                        &run.stats,
-                        &machine,
-                        CompactMode::TraceSchedule,
-                        &TracePolicy::default(),
-                    );
-                    let sim = VliwSim::new(&compacted.program, machine, &compiled.layout)
-                        .run(&SimConfig::default())?;
-                    if sim.outcome != SimOutcome::Success {
-                        eprintln!("symbolc: scheduled code diverged from sequential execution");
-                        return Ok(ExitCode::FAILURE);
-                    }
-                    println!(
-                        "{units}-unit VLIW: {} cycles (speed-up {:.2})",
-                        sim.cycles,
-                        seq as f64 / sim.cycles as f64
-                    );
-                    Ok(ExitCode::SUCCESS)
+        "run" => match compiled.run_sequential() {
+            Ok(run) => {
+                let seq = sequential_cycles(&compiled.ici, &run.stats, &SeqDurations::default());
+                println!(
+                    "main/0: success ({} ops, {} sequential cycles)",
+                    run.steps, seq
+                );
+                let machine = MachineConfig::units(units);
+                let compacted = compact(
+                    &compiled.ici,
+                    &run.stats,
+                    &machine,
+                    CompactMode::TraceSchedule,
+                    &TracePolicy::default(),
+                );
+                let sim = VliwSim::new(&compacted.program, machine, &compiled.layout)
+                    .run(&SimConfig::default())?;
+                if sim.outcome != SimOutcome::Success {
+                    eprintln!("symbolc: scheduled code diverged from sequential execution");
+                    return Ok(ExitCode::FAILURE);
                 }
-                Err(PipelineError::WrongAnswer) => {
-                    println!("main/0: failure (no solution)");
-                    Ok(ExitCode::from(1))
-                }
-                Err(e) => Err(e),
+                println!(
+                    "{units}-unit VLIW: {} cycles (speed-up {:.2})",
+                    sim.cycles,
+                    seq as f64 / sim.cycles as f64
+                );
+                Ok(ExitCode::SUCCESS)
             }
-        }
+            Err(PipelineError::WrongAnswer) => {
+                println!("main/0: failure (no solution)");
+                Ok(ExitCode::from(1))
+            }
+            Err(e) => Err(e),
+        },
         "schedule" => {
             let run = compiled.run_sequential()?;
             let machine = MachineConfig::units(units);

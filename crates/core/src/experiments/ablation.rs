@@ -174,11 +174,7 @@ pub fn run(subset: &[&str]) -> Result<Vec<AblationRow>, PipelineError> {
         for (c, run, seq) in &prepared {
             let (compacted, baseline) = if v.copyprop {
                 let opt = symbol_compactor::copy_propagate(&c.ici, &run.stats);
-                let seq_opt = sequential_cycles(
-                    &opt.program,
-                    &opt.stats,
-                    &SeqDurations::default(),
-                );
+                let seq_opt = sequential_cycles(&opt.program, &opt.stats, &SeqDurations::default());
                 (
                     compact(&opt.program, &opt.stats, &v.machine, v.mode, &v.policy),
                     seq_opt,
@@ -189,8 +185,8 @@ pub fn run(subset: &[&str]) -> Result<Vec<AblationRow>, PipelineError> {
                     *seq,
                 )
             };
-            let result = VliwSim::new(&compacted.program, v.machine, &c.layout)
-                .run(&SimConfig::default())?;
+            let result =
+                VliwSim::new(&compacted.program, v.machine, &c.layout).run(&SimConfig::default())?;
             if result.outcome != SimOutcome::Success {
                 return Err(PipelineError::WrongAnswer);
             }
@@ -219,4 +215,3 @@ pub fn render(rows: &[AblationRow]) -> String {
          average over a benchmark subset)\n\n{t}"
     )
 }
-

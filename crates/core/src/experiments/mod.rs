@@ -9,20 +9,82 @@
 pub mod ablation;
 pub mod reports;
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+
 use symbol_analysis::{ClassMix, PredictStats};
 use symbol_compactor::{
     compact, equal_duration_cycles, sequential_cycles, CompactMode, SeqDurations, TracePolicy,
 };
-use symbol_vliw::{MachineConfig, SimConfig, SimOutcome, VliwSim};
+use symbol_vliw::{MachineConfig, SimConfig, SimOutcome, SimResult, VliwSim};
 
 use crate::benchmarks::Benchmark;
-use crate::pipeline::{Compiled, PipelineError};
+use crate::pipeline::{Compiled, CompiledCache, PipelineError};
 
 /// Unit counts of the Table 3 sweep.
 pub const UNIT_SWEEP: [usize; 5] = [1, 2, 3, 4, 5];
 
+/// Runs `jobs` independent closures on a bounded pool of scoped worker
+/// threads, returning the results **in job-index order**.
+///
+/// A shared atomic cursor hands out job indices; each worker keeps its
+/// `(index, result)` pairs locally and the results are scattered into
+/// an index-addressed table after all workers join. Output order is
+/// therefore a function of the job list alone — never of thread
+/// scheduling — which is what makes the parallel experiment drivers
+/// bit-identical to their sequential counterparts.
+fn run_indexed<T, F>(jobs: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = threads.max(1).min(jobs);
+    if workers <= 1 {
+        return (0..jobs).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<T>> = std::iter::repeat_with(|| None).take(jobs).collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let next = &next;
+                let f = &f;
+                scope.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= jobs {
+                            break;
+                        }
+                        local.push((i, f(i)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            for (i, v) in h.join().expect("experiment worker panicked") {
+                slots[i] = Some(v);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("every job index produced a result"))
+        .collect()
+}
+
+/// Number of worker threads to use when the caller has no preference.
+fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
 /// Everything measured for one benchmark.
-#[derive(Clone, Debug)]
+///
+/// `PartialEq` compares every field exactly (including the `f64`
+/// statistics): the parallel drivers are required to reproduce the
+/// sequential results bit for bit, so approximate comparison would
+/// hide real nondeterminism.
+#[derive(Clone, Debug, PartialEq)]
 pub struct BenchResult {
     /// Benchmark name.
     pub name: &'static str,
@@ -107,15 +169,64 @@ pub fn measure_compiled(
     name: &'static str,
     compiled: &Compiled,
 ) -> Result<BenchResult, PipelineError> {
-    let run = compiled.run_sequential()?;
+    let cache = CompiledCache::new(compiled)?;
+    measure_cached(name, &cache, default_threads())
+}
+
+/// The fixed per-benchmark simulation work list: every (compaction
+/// mode, machine configuration) pair one [`BenchResult`] consumes, in
+/// the order the result fields are assembled from.
+const SIM_JOBS: [(CompactMode, usize); 8] = [
+    (CompactMode::BamGroups, 0),     // MachineConfig::bam()
+    (CompactMode::BasicBlock, 6),    // MachineConfig::unbounded()
+    (CompactMode::TraceSchedule, 6), // MachineConfig::unbounded()
+    (CompactMode::TraceSchedule, 1),
+    (CompactMode::TraceSchedule, 2),
+    (CompactMode::TraceSchedule, 3),
+    (CompactMode::TraceSchedule, 4),
+    (CompactMode::TraceSchedule, 5),
+];
+
+/// Decodes the machine column of [`SIM_JOBS`].
+fn sim_machine(code: usize) -> MachineConfig {
+    match code {
+        0 => MachineConfig::bam(),
+        6 => MachineConfig::unbounded(),
+        n => MachineConfig::units(n),
+    }
+}
+
+/// [`measure`] for a cached compilation + sequential profile, running
+/// the per-(mode, machine) simulations on up to `threads` scoped
+/// worker threads.
+///
+/// Every simulation consumes the cache's one shared [`CompiledCache::run`]
+/// profile immutably; results are collected by work-list index, so the
+/// returned [`BenchResult`] is bit-identical for every `threads`
+/// value (asserted by the workspace determinism test).
+///
+/// # Errors
+///
+/// Propagates execution errors; see [`measure`]. When several
+/// simulations fail, the error of the lowest work-list index wins, so
+/// errors are deterministic too.
+pub fn measure_cached(
+    name: &'static str,
+    cache: &CompiledCache<'_>,
+    threads: usize,
+) -> Result<BenchResult, PipelineError> {
+    let compiled = cache.compiled;
+    let run = &cache.run;
     let seq_cycles = sequential_cycles(&compiled.ici, &run.stats, &SeqDurations::default());
     let mix = ClassMix::measure(&compiled.ici, &run.stats);
     let predict = PredictStats::measure(&compiled.ici, &run.stats);
     let policy = TracePolicy::default();
 
-    let simulate = |mode: CompactMode,
-                    machine: MachineConfig|
-     -> Result<(symbol_vliw::SimResult, f64, f64), PipelineError> {
+    let simulate = |(mode, machine_code): (CompactMode, usize)| -> Result<
+        (SimResult, f64, f64),
+        PipelineError,
+    > {
+        let machine = sim_machine(machine_code);
         let compacted = compact(&compiled.ici, &run.stats, &machine, mode, &policy);
         let result = VliwSim::new(&compacted.program, machine, &compiled.layout)
             .run(&SimConfig::default())?;
@@ -129,18 +240,21 @@ pub fn measure_compiled(
         ))
     };
 
-    let (bam_result, block_length, _) = simulate(CompactMode::BamGroups, MachineConfig::bam())?;
-    let (bb_unbounded, _, _) = simulate(CompactMode::BasicBlock, MachineConfig::unbounded())?;
-    let (trace_unbounded, trace_length, code_growth) =
-        simulate(CompactMode::TraceSchedule, MachineConfig::unbounded())?;
+    let mut sims = run_indexed(SIM_JOBS.len(), threads, |i| simulate(SIM_JOBS[i]))
+        .into_iter()
+        .collect::<Result<Vec<_>, _>>()?
+        .into_iter();
+
+    let (bam_result, block_length, _) = sims.next().expect("bam job");
+    let (bb_unbounded, _, _) = sims.next().expect("basic-block job");
+    let (trace_unbounded, trace_length, code_growth) = sims.next().expect("trace job");
     let mut unit_cycles = Vec::new();
     let mut utilization3 = [0.0; 4];
     let mut issue_rate3 = 0.0;
-    for units in UNIT_SWEEP {
-        let machine = MachineConfig::units(units);
-        let (r, _, _) = simulate(CompactMode::TraceSchedule, machine)?;
+    for (units, (r, _, _)) in UNIT_SWEEP.into_iter().zip(sims) {
         if units == 3 {
             use symbol_intcode::OpClass::*;
+            let machine = MachineConfig::units(units);
             utilization3 = [
                 r.utilization(&machine, Memory),
                 r.utilization(&machine, Alu),
@@ -171,21 +285,76 @@ pub fn measure_compiled(
     })
 }
 
-/// Measures the entire benchmark suite (in table order). Benchmarks
-/// are measured on parallel threads — each measurement is independent
-/// (own compilation, own simulator state).
+/// Measures the entire benchmark suite (in table order) on up to
+/// `available_parallelism` worker threads; see [`measure_all_with`].
 ///
 /// # Errors
 ///
 /// Fails if any benchmark does not compile, run and re-verify under
 /// every configuration.
 pub fn measure_all() -> Result<Vec<BenchResult>, PipelineError> {
-    let handles: Vec<_> = crate::benchmarks::ALL
-        .iter()
-        .map(|b| std::thread::spawn(move || measure(b)))
-        .collect();
-    handles
-        .into_iter()
-        .map(|h| h.join().expect("measurement thread panicked"))
-        .collect()
+    measure_all_with(default_threads())
+}
+
+/// Measures the entire benchmark suite on a bounded pool of at most
+/// `threads` worker threads.
+///
+/// Benchmarks are handed to workers through a shared atomic cursor and
+/// the results are collected **by benchmark index**, never by
+/// completion order, so the output is always in table order and
+/// bit-identical to `measure_all_with(1)`. Each benchmark compiles
+/// and profiles once ([`CompiledCache`]) and runs its simulations
+/// sequentially within its worker — the suite fan-out is where the
+/// parallelism budget goes.
+///
+/// # Errors
+///
+/// Fails if any benchmark does not compile, run and re-verify under
+/// every configuration; when several fail, the error of the earliest
+/// benchmark (table order) is returned.
+pub fn measure_all_with(threads: usize) -> Result<Vec<BenchResult>, PipelineError> {
+    let benches = crate::benchmarks::ALL;
+    run_indexed(benches.len(), threads, |i| {
+        let b = &benches[i];
+        let compiled = Compiled::from_source(b.source)?;
+        let cache = CompiledCache::new(&compiled)?;
+        measure_cached(b.name, &cache, 1)
+    })
+    .into_iter()
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_indexed_results_are_in_job_order() {
+        // Job i sleeps inversely to its index, so completion order is
+        // roughly the reverse of job order on real threads.
+        let out = run_indexed(8, 4, |i| {
+            std::thread::sleep(std::time::Duration::from_millis(8 - i as u64));
+            i * 10
+        });
+        assert_eq!(out, vec![0, 10, 20, 30, 40, 50, 60, 70]);
+    }
+
+    #[test]
+    fn run_indexed_single_thread_runs_inline() {
+        let out = run_indexed(3, 1, |i| i + 1);
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn run_indexed_handles_empty_job_list() {
+        let out: Vec<usize> = run_indexed(0, 4, |i| i);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn sim_job_list_covers_the_unit_sweep_in_order() {
+        for (k, units) in UNIT_SWEEP.into_iter().enumerate() {
+            assert_eq!(SIM_JOBS[3 + k], (CompactMode::TraceSchedule, units));
+        }
+    }
 }

@@ -156,10 +156,7 @@ pub fn table2_predictability(results: &[BenchResult]) -> String {
 
 /// Figure 4: distribution of P_fp as an ASCII histogram.
 pub fn fig4_histogram(results: &[BenchResult]) -> String {
-    let bins = results
-        .first()
-        .map(|r| r.pfp_histogram.len())
-        .unwrap_or(20);
+    let bins = results.first().map(|r| r.pfp_histogram.len()).unwrap_or(20);
     let mut total = vec![0.0; bins];
     for r in results {
         for (i, v) in r.pfp_histogram.iter().enumerate() {
@@ -187,8 +184,20 @@ pub fn fig4_histogram(results: &[BenchResult]) -> String {
 /// Table 3: cycles and speed-ups of the BAM model and 1–5 unit VLIWs.
 pub fn table3_units(results: &[BenchResult]) -> String {
     let mut t = TextTable::new(&[
-        "benchmark", "seq", "bam", "s.u.", "1u", "s.u.", "2u", "s.u.", "3u", "s.u.", "4u",
-        "s.u.", "5u", "s.u.",
+        "benchmark",
+        "seq",
+        "bam",
+        "s.u.",
+        "1u",
+        "s.u.",
+        "2u",
+        "s.u.",
+        "3u",
+        "s.u.",
+        "4u",
+        "s.u.",
+        "5u",
+        "s.u.",
     ]);
     let mut sums = [0.0f64; 6];
     for r in results {
@@ -325,9 +334,7 @@ pub fn code_growth(results: &[BenchResult]) -> String {
             f(r.block_length, 1),
         ]);
     }
-    format!(
-        "Code growth of global compaction (compensation + duplication copies)\n\n{t}"
-    )
+    format!("Code growth of global compaction (compensation + duplication copies)\n\n{t}")
 }
 
 /// Resource utilization of the 3-unit machine (the event-driven
@@ -336,7 +343,12 @@ pub fn code_growth(results: &[BenchResult]) -> String {
 /// constraint.
 pub fn utilization(results: &[BenchResult]) -> String {
     let mut t = TextTable::new(&[
-        "benchmark", "mem port", "alu", "move", "control", "ops/cycle",
+        "benchmark",
+        "mem port",
+        "alu",
+        "move",
+        "control",
+        "ops/cycle",
     ]);
     let mut sums = [0.0f64; 5];
     for r in results {

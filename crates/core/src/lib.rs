@@ -22,4 +22,4 @@ pub mod extras;
 pub mod pipeline;
 
 pub use benchmarks::{Benchmark, ALL};
-pub use pipeline::{Compiled, PipelineError};
+pub use pipeline::{Compiled, CompiledCache, PipelineError};

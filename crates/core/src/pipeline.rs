@@ -112,7 +112,10 @@ impl Compiled {
     pub fn from_source_with_layout(src: &str, layout: Layout) -> Result<Self, PipelineError> {
         let program = symbol_prolog::parse_program(src)?;
         let bam = symbol_bam::compile(&program)?;
-        let main_atom = program.symbols().lookup("main").ok_or(PipelineError::NoMain)?;
+        let main_atom = program
+            .symbols()
+            .lookup("main")
+            .ok_or(PipelineError::NoMain)?;
         let main = PredId::new(main_atom, 0);
         if program.predicate(main).is_none() {
             return Err(PipelineError::NoMain);
@@ -143,9 +146,48 @@ impl Compiled {
     }
 }
 
+/// A compiled benchmark together with its sequential profiling run.
+///
+/// The sequential emulation is the single most expensive shared input
+/// of the evaluation system: every compaction mode and machine
+/// configuration consumes the same [`RunResult`] (its `ExecStats`
+/// drive trace picking and branch statistics). Building it once here
+/// and sharing it immutably lets all simulation workers run
+/// concurrently without recomputing the profile per configuration.
+#[derive(Debug)]
+pub struct CompiledCache<'a> {
+    /// The compiled artifacts, borrowed immutably for the cache's
+    /// lifetime so workers on other threads can share them.
+    pub compiled: &'a Compiled,
+    /// The sequential profiling run (self-check already enforced).
+    pub run: RunResult,
+}
+
+impl<'a> CompiledCache<'a> {
+    /// Performs the sequential profiling run once for `compiled`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Compiled::run_sequential`].
+    pub fn new(compiled: &'a Compiled) -> Result<Self, PipelineError> {
+        let run = compiled.run_sequential()?;
+        Ok(CompiledCache { compiled, run })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn cache_profile_matches_a_direct_run() {
+        let c = Compiled::from_source("main :- X is 5 * 5, X = 25.").unwrap();
+        let cache = CompiledCache::new(&c).unwrap();
+        let direct = c.run_sequential().unwrap();
+        assert_eq!(cache.run.steps, direct.steps);
+        assert_eq!(cache.run.stats.expect, direct.stats.expect);
+        assert_eq!(cache.run.stats.taken, direct.stats.taken);
+    }
 
     #[test]
     fn compiles_and_runs_trivial_program() {

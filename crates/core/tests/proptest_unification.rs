@@ -1,9 +1,30 @@
 //! Property tests of the run-time unification machinery, via the whole
 //! pipeline: random ground terms are unified by the compiled `=/2`
 //! and compared against structural equality computed in Rust.
+//!
+//! Term generation uses a seeded xorshift PRNG (no external crates),
+//! so every run exercises the same deterministic case set.
 
-use proptest::prelude::*;
 use symbol_core::pipeline::{Compiled, PipelineError};
+
+/// Deterministic xorshift64* PRNG.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Uniform value in `0..n`.
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
 
 /// A printable random ground term.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -15,6 +36,25 @@ enum G {
 }
 
 impl G {
+    /// A random term of at most `depth` nested levels.
+    fn random(rng: &mut Rng, depth: usize) -> G {
+        let leaf = depth == 0 || rng.below(2) == 0;
+        if leaf {
+            if rng.below(2) == 0 {
+                G::Int(rng.below(198) as i64 - 99)
+            } else {
+                G::Atom(["a", "b", "foo"][rng.below(3) as usize])
+            }
+        } else if rng.below(2) == 0 {
+            let f = ["f", "g", "h"][rng.below(3) as usize];
+            let n = 1 + rng.below(2) as usize;
+            G::Struct(f, (0..n).map(|_| G::random(rng, depth - 1)).collect())
+        } else {
+            let n = rng.below(3) as usize;
+            G::List((0..n).map(|_| G::random(rng, depth - 1)).collect())
+        }
+    }
+
     fn render(&self, out: &mut String) {
         match self {
             G::Int(i) => out.push_str(&i.to_string()),
@@ -50,23 +90,6 @@ impl G {
     }
 }
 
-fn ground() -> impl Strategy<Value = G> {
-    let leaf = prop_oneof![
-        (-99i64..99).prop_map(G::Int),
-        prop::sample::select(vec!["a", "b", "foo"]).prop_map(G::Atom),
-    ];
-    leaf.prop_recursive(3, 16, 3, |inner| {
-        prop_oneof![
-            (
-                prop::sample::select(vec!["f", "g", "h"]),
-                prop::collection::vec(inner.clone(), 1..3)
-            )
-                .prop_map(|(f, a)| G::Struct(f, a)),
-            prop::collection::vec(inner, 0..3).prop_map(G::List),
-        ]
-    })
-}
-
 fn runs(src: &str) -> bool {
     let c = Compiled::from_source(src).expect("compiles");
     match c.run_sequential() {
@@ -76,43 +99,61 @@ fn runs(src: &str) -> bool {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn ground_unification_agrees_with_equality(a in ground(), b in ground()) {
+#[test]
+fn ground_unification_agrees_with_equality() {
+    let mut rng = Rng(0x1234_5678_9abc_def1);
+    for _ in 0..48 {
+        let a = G::random(&mut rng, 3);
+        let b = G::random(&mut rng, 3);
         let src = format!("main :- {} = {}.", a.text(), b.text());
-        prop_assert_eq!(runs(&src), a == b, "{}", src);
+        assert_eq!(runs(&src), a == b, "{src}");
     }
+}
 
-    #[test]
-    fn unification_is_reflexive(a in ground()) {
+#[test]
+fn unification_is_reflexive() {
+    let mut rng = Rng(0x0dd0_2bad_5eed_cafe);
+    for _ in 0..48 {
+        let a = G::random(&mut rng, 3);
         let src = format!("main :- {} = {}.", a.text(), a.text());
-        prop_assert!(runs(&src));
+        assert!(runs(&src), "{src}");
     }
+}
 
-    #[test]
-    fn struct_eq_agrees_with_unification_on_ground_terms(a in ground(), b in ground()) {
+#[test]
+fn struct_eq_agrees_with_unification_on_ground_terms() {
+    let mut rng = Rng(0xfeed_face_d00d_2bed);
+    for _ in 0..48 {
+        let a = G::random(&mut rng, 3);
+        let b = G::random(&mut rng, 3);
         let eq = format!("main :- {} == {}.", a.text(), b.text());
-        prop_assert_eq!(runs(&eq), a == b);
+        assert_eq!(runs(&eq), a == b, "{eq}");
         let ne = format!("main :- {} \\== {}.", a.text(), b.text());
-        prop_assert_eq!(runs(&ne), a != b);
+        assert_eq!(runs(&ne), a != b, "{ne}");
     }
+}
 
-    #[test]
-    fn variable_binds_to_any_ground_term(a in ground()) {
+#[test]
+fn variable_binds_to_any_ground_term() {
+    let mut rng = Rng(0xabad_1dea_0b5e_55ed);
+    for _ in 0..48 {
+        let a = G::random(&mut rng, 3);
         let src = format!("main :- X = {}, X == {}.", a.text(), a.text());
-        prop_assert!(runs(&src));
+        assert!(runs(&src), "{src}");
     }
+}
 
-    #[test]
-    fn unification_through_a_call_round_trips(a in ground()) {
+#[test]
+fn unification_through_a_call_round_trips() {
+    let mut rng = Rng(0x5eed_5eed_5eed_5eed);
+    for _ in 0..48 {
+        let a = G::random(&mut rng, 3);
         let src = format!(
             "main :- id({}, Y), Y == {}.
              id(X, X).",
             a.text(),
             a.text()
         );
-        prop_assert!(runs(&src));
+        assert!(runs(&src), "{src}");
     }
 }

@@ -6,8 +6,8 @@ use symbol_core::{benchmarks, pipeline::Compiled};
 
 fn run(name: &str) -> u64 {
     let b = benchmarks::by_name(name).unwrap_or_else(|| panic!("unknown benchmark {name}"));
-    let compiled = Compiled::from_source(b.source)
-        .unwrap_or_else(|e| panic!("{name}: compile failed: {e}"));
+    let compiled =
+        Compiled::from_source(b.source).unwrap_or_else(|e| panic!("{name}: compile failed: {e}"));
     let result = compiled
         .run_sequential()
         .unwrap_or_else(|e| panic!("{name}: run failed: {e}"));

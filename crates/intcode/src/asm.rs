@@ -108,7 +108,11 @@ impl Asm {
             t: done,
         });
         self.bind(lp);
-        self.emit(Op::Ld { d: t, base: r, off: 0 });
+        self.emit(Op::Ld {
+            d: t,
+            base: r,
+            off: 0,
+        });
         self.emit(Op::BrWEq {
             a: t,
             b: r,
@@ -134,7 +138,11 @@ impl Asm {
         use crate::op::{Cond, Operand};
         let ltrail = self.fresh_label();
         let ldone = self.fresh_label();
-        self.emit(Op::St { s: w, base: v, off: 0 });
+        self.emit(Op::St {
+            s: w,
+            base: v,
+            off: 0,
+        });
         self.emit(Op::Br {
             cond: Cond::Lt,
             a: v,
@@ -252,7 +260,11 @@ mod tests {
         });
         a.emit(Op::Halt { success: true });
         let p = a.finish(entry);
-        let stores = p.ops().iter().filter(|o| matches!(o, Op::St { .. })).count();
+        let stores = p
+            .ops()
+            .iter()
+            .filter(|o| matches!(o, Op::St { .. }))
+            .count();
         assert_eq!(stores, 2);
     }
 }

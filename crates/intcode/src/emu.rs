@@ -5,11 +5,12 @@
 //! §3.1): the *Expect* of every op (execution count) and, for every
 //! conditional branch, the probability of being taken.
 
+use std::collections::VecDeque;
 use std::error::Error;
 use std::fmt;
 
 use crate::layout::Layout;
-use crate::op::{AluOp, Label, Op, OpClass, Operand, R};
+use crate::op::{Label, Op, OpClass, Operand, R};
 use crate::program::IciProgram;
 use crate::word::{Tag, Word};
 
@@ -121,10 +122,15 @@ impl ExecStats {
         counts
     }
 
-    /// Probability that branch op `i` is taken (`None` if never
-    /// executed or not a conditional branch).
-    pub fn taken_probability(&self, i: usize) -> Option<f64> {
-        if self.expect[i] == 0 {
+    /// Probability that branch op `i` of `program` is taken.
+    ///
+    /// Returns `None` when `i` is out of range, when op `i` is not a
+    /// conditional branch (unconditional jumps, indirect jumps and
+    /// halts have no taken-probability), or when the op was never
+    /// executed.
+    pub fn taken_probability(&self, program: &IciProgram, i: usize) -> Option<f64> {
+        let op = program.ops().get(i)?;
+        if !op.is_conditional_branch() || i >= self.expect.len() || self.expect[i] == 0 {
             None
         } else {
             Some(self.taken[i] as f64 / self.expect[i] as f64)
@@ -147,10 +153,15 @@ pub struct RunResult {
 #[derive(Debug)]
 pub struct Emulator<'a> {
     program: &'a IciProgram,
+    /// Pre-decoded direct branch target of each op: every `Label`
+    /// operand resolved to its instruction index at program-load time
+    /// (`usize::MAX` for ops without an explicit target), so the step
+    /// loop never consults the label table on a control transfer.
+    target_pc: Vec<usize>,
     regs: Vec<Word>,
     mem: Vec<Word>,
     pc: usize,
-    trace: Vec<usize>,
+    trace: VecDeque<usize>,
     trace_cap: usize,
 }
 
@@ -169,12 +180,18 @@ impl<'a> Emulator<'a> {
             })
             .max()
             .unwrap_or(0);
+        let target_pc = program
+            .ops()
+            .iter()
+            .map(|o| o.target().map_or(usize::MAX, |t| program.label_addr(t)))
+            .collect();
         Emulator {
             program,
+            target_pc,
             regs: vec![Word::int(0); max_reg as usize + 1],
             mem: vec![Word::int(0); layout.total()],
             pc: program.label_addr(program.entry()),
-            trace: Vec::new(),
+            trace: VecDeque::new(),
             trace_cap: 0,
         }
     }
@@ -183,12 +200,12 @@ impl<'a> Emulator<'a> {
     /// (for diagnosing runaway programs).
     pub fn set_trace(&mut self, cap: usize) {
         self.trace_cap = cap;
-        self.trace = Vec::with_capacity(cap.min(1 << 20));
+        self.trace = VecDeque::with_capacity(cap.min(1 << 20));
     }
 
     /// The traced op indices, oldest first.
     pub fn trace(&self) -> Vec<usize> {
-        self.trace.clone()
+        self.trace.iter().copied().collect()
     }
 
     /// Runs to completion.
@@ -245,9 +262,9 @@ impl<'a> Emulator<'a> {
             expect[at] += 1;
             if self.trace_cap > 0 {
                 if self.trace.len() == self.trace_cap {
-                    self.trace.remove(0);
+                    self.trace.pop_front();
                 }
-                self.trace.push(at);
+                self.trace.push_back(at);
             }
             match &ops[at] {
                 Op::Ld { d, base, off } => {
@@ -273,7 +290,7 @@ impl<'a> Emulator<'a> {
                 Op::Alu { op, d, a, b } => {
                     let av = self.regs[a.0 as usize].val;
                     let bv = self.operand(b);
-                    let v = alu(*op, av, bv).ok_or(ExecError::DivideByZero { at })?;
+                    let v = op.eval(av, bv).ok_or(ExecError::DivideByZero { at })?;
                     self.regs[d.0 as usize] = Word::int(v);
                     self.pc += 1;
                 }
@@ -291,26 +308,25 @@ impl<'a> Emulator<'a> {
                     self.regs[d.0 as usize] = Word { tag: *tag, val: v };
                     self.pc += 1;
                 }
-                Op::Br { cond, a, b, t } => {
+                Op::Br { cond, a, b, .. } => {
                     let av = self.regs[a.0 as usize].val;
                     let bv = self.operand(b);
-                    self.branch(cond.eval(av, bv), *t, at, taken);
+                    self.branch(cond.eval(av, bv), at, taken);
                 }
-                Op::BrTag { a, tag, eq, t } => {
+                Op::BrTag { a, tag, eq, .. } => {
                     let cond = (self.regs[a.0 as usize].tag == *tag) == *eq;
-                    self.branch(cond, *t, at, taken);
+                    self.branch(cond, at, taken);
                 }
-                Op::BrWord { a, w, eq, t } => {
+                Op::BrWord { a, w, eq, .. } => {
                     let cond = (self.regs[a.0 as usize] == *w) == *eq;
-                    self.branch(cond, *t, at, taken);
+                    self.branch(cond, at, taken);
                 }
-                Op::BrWEq { a, b, eq, t } => {
-                    let cond =
-                        (self.regs[a.0 as usize] == self.regs[b.0 as usize]) == *eq;
-                    self.branch(cond, *t, at, taken);
+                Op::BrWEq { a, b, eq, .. } => {
+                    let cond = (self.regs[a.0 as usize] == self.regs[b.0 as usize]) == *eq;
+                    self.branch(cond, at, taken);
                 }
-                Op::Jmp { t } => {
-                    self.pc = self.program.label_addr(*t);
+                Op::Jmp { .. } => {
+                    self.pc = self.target_pc[at];
                 }
                 Op::JmpR { r } => {
                     let w = self.regs[r.0 as usize];
@@ -330,10 +346,10 @@ impl<'a> Emulator<'a> {
         }
     }
 
-    fn branch(&mut self, cond: bool, t: Label, at: usize, taken: &mut [u64]) {
+    fn branch(&mut self, cond: bool, at: usize, taken: &mut [u64]) {
         if cond {
             taken[at] += 1;
-            self.pc = self.program.label_addr(t);
+            self.pc = self.target_pc[at];
         } else {
             self.pc = at + 1;
         }
@@ -366,7 +382,10 @@ impl<'a> Emulator<'a> {
 
     /// Read access to a memory word (for tests and answer inspection).
     pub fn peek(&self, addr: i64) -> Option<Word> {
-        usize::try_from(addr).ok().and_then(|i| self.mem.get(i)).copied()
+        usize::try_from(addr)
+            .ok()
+            .and_then(|i| self.mem.get(i))
+            .copied()
     }
 
     /// Read access to a register (for tests and answer inspection).
@@ -375,38 +394,13 @@ impl<'a> Emulator<'a> {
     }
 }
 
-fn alu(op: AluOp, a: i64, b: i64) -> Option<i64> {
-    Some(match op {
-        AluOp::Add => a.wrapping_add(b),
-        AluOp::Sub => a.wrapping_sub(b),
-        AluOp::Mul => a.wrapping_mul(b),
-        AluOp::Div => {
-            if b == 0 {
-                return None;
-            }
-            a.wrapping_div(b)
-        }
-        AluOp::Mod => {
-            if b == 0 {
-                return None;
-            }
-            a.wrapping_rem(b)
-        }
-        AluOp::And => a & b,
-        AluOp::Or => a | b,
-        AluOp::Xor => a ^ b,
-        AluOp::Shl => a.wrapping_shl(b as u32),
-        AluOp::Shr => a.wrapping_shr(b as u32),
-        AluOp::Max => a.max(b),
-    })
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::asm::Asm;
+    use crate::op::AluOp;
 
-    fn run_ops(build: impl FnOnce(&mut Asm) -> Label) -> RunResult {
+    fn run_program(build: impl FnOnce(&mut Asm) -> Label) -> (RunResult, IciProgram) {
         let mut a = Asm::new();
         let entry = build(&mut a);
         let p = a.finish(entry);
@@ -417,9 +411,14 @@ mod tests {
             trail_size: 64,
             pdl_size: 64,
         };
-        Emulator::new(&p, &layout)
+        let r = Emulator::new(&p, &layout)
             .run(&ExecConfig::default())
-            .expect("clean run")
+            .expect("clean run");
+        (r, p)
+    }
+
+    fn run_ops(build: impl FnOnce(&mut Asm) -> Label) -> RunResult {
+        run_program(build).0
     }
 
     #[test]
@@ -441,7 +440,10 @@ mod tests {
             let yes = a.fresh_label();
             let t = a.fresh_reg();
             a.bind(e);
-            a.emit(Op::MvI { d: t, w: Word::int(2) });
+            a.emit(Op::MvI {
+                d: t,
+                w: Word::int(2),
+            });
             a.emit(Op::Alu {
                 op: AluOp::Add,
                 d: t,
@@ -471,11 +473,26 @@ mod tests {
             let v2 = a.fresh_reg();
             let ok = a.fresh_label();
             a.bind(e);
-            a.emit(Op::MvI { d: base, w: Word::int(10) });
-            a.emit(Op::MvI { d: v, w: Word::atom(7) });
+            a.emit(Op::MvI {
+                d: base,
+                w: Word::int(10),
+            });
+            a.emit(Op::MvI {
+                d: v,
+                w: Word::atom(7),
+            });
             a.emit(Op::St { s: v, base, off: 2 });
-            a.emit(Op::Ld { d: v2, base, off: 2 });
-            a.emit(Op::BrWEq { a: v, b: v2, eq: true, t: ok });
+            a.emit(Op::Ld {
+                d: v2,
+                base,
+                off: 2,
+            });
+            a.emit(Op::BrWEq {
+                a: v,
+                b: v2,
+                eq: true,
+                t: ok,
+            });
             a.emit(Op::Halt { success: false });
             a.bind(ok);
             a.emit(Op::Halt { success: true });
@@ -486,12 +503,15 @@ mod tests {
 
     #[test]
     fn taken_statistics() {
-        let r = run_ops(|a| {
+        let (r, p) = run_program(|a| {
             let e = a.fresh_label();
             let lp = a.fresh_label();
             let i = a.fresh_reg();
             a.bind(e);
-            a.emit(Op::MvI { d: i, w: Word::int(0) });
+            a.emit(Op::MvI {
+                d: i,
+                w: Word::int(0),
+            });
             a.bind(lp);
             a.emit(Op::Alu {
                 op: AluOp::Add,
@@ -512,8 +532,161 @@ mod tests {
         let br_idx = 2;
         assert_eq!(r.stats.expect[br_idx], 10);
         assert_eq!(r.stats.taken[br_idx], 9);
-        let p = r.stats.taken_probability(br_idx).unwrap();
-        assert!((p - 0.9).abs() < 1e-9);
+        let prob = r.stats.taken_probability(&p, br_idx).unwrap();
+        assert!((prob - 0.9).abs() < 1e-9);
+        // non-branch ops and out-of-range indices have no probability
+        assert_eq!(
+            r.stats.taken_probability(&p, 0),
+            None,
+            "MvI is not a branch"
+        );
+        assert_eq!(
+            r.stats.taken_probability(&p, 1),
+            None,
+            "Alu is not a branch"
+        );
+        assert_eq!(
+            r.stats.taken_probability(&p, 3),
+            None,
+            "Halt is not a branch"
+        );
+        assert_eq!(r.stats.taken_probability(&p, 999), None, "out of range");
+    }
+
+    #[test]
+    fn taken_probability_none_for_unexecuted_branch() {
+        let (r, p) = run_program(|a| {
+            let e = a.fresh_label();
+            let dead = a.fresh_label();
+            let end = a.fresh_label();
+            let t = a.fresh_reg();
+            a.bind(e);
+            a.emit(Op::MvI {
+                d: t,
+                w: Word::int(1),
+            });
+            a.emit(Op::Jmp { t: end });
+            a.bind(dead);
+            a.emit(Op::Br {
+                cond: crate::op::Cond::Eq,
+                a: t,
+                b: Operand::Imm(1),
+                t: end,
+            });
+            a.bind(end);
+            a.emit(Op::Halt { success: true });
+            e
+        });
+        assert_eq!(r.stats.taken_probability(&p, 2), None, "never executed");
+    }
+
+    #[test]
+    fn alu_mod_is_floored_and_rem_is_truncated() {
+        // X = -7 mod 3 must be 2; Y = -7 rem 3 must be -1.
+        let r = run_ops(|a| {
+            let e = a.fresh_label();
+            let ok1 = a.fresh_label();
+            let ok2 = a.fresh_label();
+            let x = a.fresh_reg();
+            let y = a.fresh_reg();
+            a.bind(e);
+            a.emit(Op::MvI {
+                d: x,
+                w: Word::int(-7),
+            });
+            a.emit(Op::Mv { d: y, s: x });
+            a.emit(Op::Alu {
+                op: AluOp::Mod,
+                d: x,
+                a: x,
+                b: Operand::Imm(3),
+            });
+            a.emit(Op::Br {
+                cond: crate::op::Cond::Eq,
+                a: x,
+                b: Operand::Imm(2),
+                t: ok1,
+            });
+            a.emit(Op::Halt { success: false });
+            a.bind(ok1);
+            a.emit(Op::Alu {
+                op: AluOp::Rem,
+                d: y,
+                a: y,
+                b: Operand::Imm(3),
+            });
+            a.emit(Op::Br {
+                cond: crate::op::Cond::Eq,
+                a: y,
+                b: Operand::Imm(-1),
+                t: ok2,
+            });
+            a.emit(Op::Halt { success: false });
+            a.bind(ok2);
+            a.emit(Op::Halt { success: true });
+            e
+        });
+        assert_eq!(r.outcome, Outcome::Success);
+    }
+
+    #[test]
+    fn traced_run_is_not_quadratic_in_the_trace_capacity() {
+        // A long counted loop, traced with a large circular buffer: the
+        // ring buffer must keep per-step cost O(1). The old
+        // Vec::remove(0) implementation made this take minutes.
+        let mut a = Asm::new();
+        let e = a.fresh_label();
+        let lp = a.fresh_label();
+        let i = a.fresh_reg();
+        a.bind(e);
+        a.emit(Op::MvI {
+            d: i,
+            w: Word::int(0),
+        });
+        a.bind(lp);
+        a.emit(Op::Alu {
+            op: AluOp::Add,
+            d: i,
+            a: i,
+            b: Operand::Imm(1),
+        });
+        a.emit(Op::Br {
+            cond: crate::op::Cond::Lt,
+            a: i,
+            b: Operand::Imm(500_000),
+            t: lp,
+        });
+        a.emit(Op::Halt { success: true });
+        let p = a.finish(e);
+        let layout = Layout {
+            heap_size: 16,
+            env_size: 16,
+            cp_size: 16,
+            trail_size: 16,
+            pdl_size: 16,
+        };
+        let cap = 1 << 16;
+        let mut emu = Emulator::new(&p, &layout);
+        emu.set_trace(cap);
+        let started = std::time::Instant::now();
+        let r = emu
+            .run(&ExecConfig {
+                max_steps: 2_000_000,
+            })
+            .expect("completes within the step budget");
+        assert_eq!(r.outcome, Outcome::Success);
+        assert!(
+            started.elapsed() < std::time::Duration::from_secs(20),
+            "traced run took {:?} — trace bookkeeping is not O(1)",
+            started.elapsed()
+        );
+        let trace = emu.trace();
+        assert_eq!(trace.len(), cap, "trace keeps exactly the last cap ops");
+        // Oldest-first: the final entry is the Halt, preceded by the
+        // loop body ops in execution order.
+        assert_eq!(*trace.last().unwrap(), 3, "last traced op is the halt");
+        assert_eq!(trace[trace.len() - 2], 2, "preceded by the exit branch");
+        assert_eq!(trace[trace.len() - 3], 1, "preceded by the add");
     }
 
     #[test]
@@ -522,8 +695,15 @@ mod tests {
         let e = a.fresh_label();
         let base = a.fresh_reg();
         a.bind(e);
-        a.emit(Op::MvI { d: base, w: Word::int(-5) });
-        a.emit(Op::Ld { d: base, base, off: 0 });
+        a.emit(Op::MvI {
+            d: base,
+            w: Word::int(-5),
+        });
+        a.emit(Op::Ld {
+            d: base,
+            base,
+            off: 0,
+        });
         a.emit(Op::Halt { success: true });
         let p = a.finish(e);
         let layout = Layout {

@@ -110,8 +110,11 @@ pub enum AluOp {
     Mul,
     /// Truncating division.
     Div,
-    /// Remainder.
+    /// Floored modulo (ISO `mod`: result takes the divisor's sign).
     Mod,
+    /// Truncated remainder (ISO `rem`: result takes the dividend's
+    /// sign).
+    Rem,
     /// Bitwise and.
     And,
     /// Bitwise or.
@@ -124,6 +127,51 @@ pub enum AluOp {
     Shr,
     /// Maximum (used by environment allocation).
     Max,
+}
+
+impl AluOp {
+    /// Evaluates the operation on two value fields. `None` signals
+    /// division (or modulo) by zero.
+    ///
+    /// This is the single definition of ALU semantics: the sequential
+    /// emulator and the VLIW simulator both call it, so the two
+    /// machines cannot drift apart.
+    pub fn eval(self, a: i64, b: i64) -> Option<i64> {
+        Some(match self {
+            AluOp::Add => a.wrapping_add(b),
+            AluOp::Sub => a.wrapping_sub(b),
+            AluOp::Mul => a.wrapping_mul(b),
+            AluOp::Div => {
+                if b == 0 {
+                    return None;
+                }
+                a.wrapping_div(b)
+            }
+            AluOp::Mod => {
+                if b == 0 {
+                    return None;
+                }
+                let r = a.wrapping_rem(b);
+                if r != 0 && (r < 0) != (b < 0) {
+                    r + b
+                } else {
+                    r
+                }
+            }
+            AluOp::Rem => {
+                if b == 0 {
+                    return None;
+                }
+                a.wrapping_rem(b)
+            }
+            AluOp::And => a & b,
+            AluOp::Or => a | b,
+            AluOp::Xor => a ^ b,
+            AluOp::Shl => a.wrapping_shl(b as u32),
+            AluOp::Shr => a.wrapping_shr(b as u32),
+            AluOp::Max => a.max(b),
+        })
+    }
 }
 
 /// Operation classes (paper Figure 2 categories).
@@ -371,6 +419,16 @@ impl Op {
         self.class() == OpClass::Control
     }
 
+    /// Whether the op is a *conditional* branch — a control transfer
+    /// that can either be taken or fall through, the only kind with a
+    /// meaningful taken-probability.
+    pub fn is_conditional_branch(&self) -> bool {
+        matches!(
+            self,
+            Op::Br { .. } | Op::BrTag { .. } | Op::BrWord { .. } | Op::BrWEq { .. }
+        )
+    }
+
     /// Whether control can fall through to the following op.
     pub fn falls_through(&self) -> bool {
         !matches!(self, Op::Jmp { .. } | Op::JmpR { .. } | Op::Halt { .. })
@@ -389,11 +447,17 @@ impl fmt::Display for Op {
             Op::St { s, base, off } => write!(f, "st   [{base}{off:+}], {s}"),
             Op::Mv { d, s } => write!(f, "mv   {d}, {s}"),
             Op::MvI { d, w } => write!(f, "mvi  {d}, {w}"),
-            Op::Alu { op, d, a, b } => write!(f, "{:<4} {d}, {a}, {b}", format!("{op:?}").to_lowercase()),
+            Op::Alu { op, d, a, b } => {
+                write!(f, "{:<4} {d}, {a}, {b}", format!("{op:?}").to_lowercase())
+            }
             Op::AddA { d, a, b } => write!(f, "adda {d}, {a}, {b}"),
             Op::MkTag { d, s, tag } => write!(f, "mktg {d}, {s}, {tag}"),
             Op::Br { cond, a, b, t } => {
-                write!(f, "b{:<3} {a}, {b}, {t}", format!("{cond:?}").to_lowercase())
+                write!(
+                    f,
+                    "b{:<3} {a}, {b}, {t}",
+                    format!("{cond:?}").to_lowercase()
+                )
             }
             Op::BrTag { a, tag, eq, t } => {
                 write!(f, "btag {a} {}= {tag}, {t}", if *eq { "=" } else { "!" })
@@ -417,10 +481,23 @@ mod tests {
 
     #[test]
     fn classes_cover_all_ops() {
-        assert_eq!(Op::Ld { d: R(1), base: R(2), off: 0 }.class(), OpClass::Memory);
+        assert_eq!(
+            Op::Ld {
+                d: R(1),
+                base: R(2),
+                off: 0
+            }
+            .class(),
+            OpClass::Memory
+        );
         assert_eq!(Op::Mv { d: R(1), s: R(2) }.class(), OpClass::Move);
         assert_eq!(
-            Op::MkTag { d: R(1), s: R(2), tag: Tag::Lst }.class(),
+            Op::MkTag {
+                d: R(1),
+                s: R(2),
+                tag: Tag::Lst
+            }
+            .class(),
             OpClass::Alu
         );
         assert_eq!(Op::Halt { success: true }.class(), OpClass::Control);
@@ -436,7 +513,11 @@ mod tests {
         };
         assert_eq!(op.uses(), vec![R(1), R(2)]);
         assert_eq!(op.def(), Some(R(3)));
-        let st = Op::St { s: R(4), base: R(5), off: 1 };
+        let st = Op::St {
+            s: R(4),
+            base: R(5),
+            off: 1,
+        };
         assert_eq!(st.def(), None);
         assert_eq!(st.uses(), vec![R(4), R(5)]);
     }
@@ -469,5 +550,74 @@ mod tests {
         let mut op = Op::Jmp { t: Label(1) };
         op.set_target(Label(9));
         assert_eq!(op.target(), Some(Label(9)));
+    }
+
+    #[test]
+    fn conditional_branch_classification() {
+        assert!(Op::Br {
+            cond: Cond::Eq,
+            a: R(0),
+            b: Operand::Imm(0),
+            t: Label(0)
+        }
+        .is_conditional_branch());
+        assert!(Op::BrTag {
+            a: R(0),
+            tag: Tag::Int,
+            eq: true,
+            t: Label(0)
+        }
+        .is_conditional_branch());
+        assert!(!Op::Jmp { t: Label(0) }.is_conditional_branch());
+        assert!(!Op::JmpR { r: R(0) }.is_conditional_branch());
+        assert!(!Op::Halt { success: true }.is_conditional_branch());
+    }
+
+    #[test]
+    fn floored_mod_follows_divisor_sign() {
+        // ISO: -7 mod 3 =:= 2, 7 mod -3 =:= -2, -7 mod -3 =:= -1
+        assert_eq!(AluOp::Mod.eval(-7, 3), Some(2));
+        assert_eq!(AluOp::Mod.eval(7, -3), Some(-2));
+        assert_eq!(AluOp::Mod.eval(-7, -3), Some(-1));
+        assert_eq!(AluOp::Mod.eval(7, 3), Some(1));
+        assert_eq!(AluOp::Mod.eval(-6, 3), Some(0));
+        assert_eq!(AluOp::Mod.eval(0, 5), Some(0));
+    }
+
+    #[test]
+    fn truncated_rem_follows_dividend_sign() {
+        // ISO: -7 rem 3 =:= -1, 7 rem -3 =:= 1, -7 rem -3 =:= -1
+        assert_eq!(AluOp::Rem.eval(-7, 3), Some(-1));
+        assert_eq!(AluOp::Rem.eval(7, -3), Some(1));
+        assert_eq!(AluOp::Rem.eval(-7, -3), Some(-1));
+        assert_eq!(AluOp::Rem.eval(7, 3), Some(1));
+    }
+
+    #[test]
+    fn zero_divisor_is_reported() {
+        assert_eq!(AluOp::Div.eval(1, 0), None);
+        assert_eq!(AluOp::Mod.eval(1, 0), None);
+        assert_eq!(AluOp::Rem.eval(1, 0), None);
+    }
+
+    #[test]
+    fn mod_and_rem_agree_with_division_identities() {
+        for a in -20i64..=20 {
+            for b in [-7i64, -3, -1, 1, 2, 5] {
+                // floored mod satisfies a = b * floor(a/b) + mod
+                let m = AluOp::Mod.eval(a, b).unwrap();
+                let fdiv = if (a % b != 0) && ((a < 0) != (b < 0)) {
+                    a / b - 1
+                } else {
+                    a / b
+                };
+                assert_eq!(a, b * fdiv + m, "a={a} b={b}");
+                // floored mod has the divisor's sign (or is zero)
+                assert!(m == 0 || (m < 0) == (b < 0), "a={a} b={b} m={m}");
+                // truncated rem satisfies a = b * trunc(a/b) + rem
+                let r = AluOp::Rem.eval(a, b).unwrap();
+                assert_eq!(a, b * (a / b) + r, "a={a} b={b}");
+            }
+        }
     }
 }

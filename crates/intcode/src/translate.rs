@@ -142,36 +142,112 @@ impl<'a> Tr<'a> {
         self.asm.bind(start);
         self.asm.next_group();
         let a = &mut self.asm;
-        a.emit(Op::MvI { d: reg::H, w: Word::int(l.heap_base()) });
-        a.emit(Op::MvI { d: reg::HB, w: Word::int(l.heap_base()) });
-        a.emit(Op::MvI { d: reg::E, w: Word::int(l.env_base()) });
-        a.emit(Op::MvI { d: reg::ETOP, w: Word::int(l.env_base()) });
-        a.emit(Op::MvI { d: reg::EB, w: Word::int(l.env_base()) });
-        a.emit(Op::MvI { d: reg::TR, w: Word::int(l.trail_base()) });
-        a.emit(Op::MvI { d: reg::PDL, w: Word::int(l.pdl_base()) });
+        a.emit(Op::MvI {
+            d: reg::H,
+            w: Word::int(l.heap_base()),
+        });
+        a.emit(Op::MvI {
+            d: reg::HB,
+            w: Word::int(l.heap_base()),
+        });
+        a.emit(Op::MvI {
+            d: reg::E,
+            w: Word::int(l.env_base()),
+        });
+        a.emit(Op::MvI {
+            d: reg::ETOP,
+            w: Word::int(l.env_base()),
+        });
+        a.emit(Op::MvI {
+            d: reg::EB,
+            w: Word::int(l.env_base()),
+        });
+        a.emit(Op::MvI {
+            d: reg::TR,
+            w: Word::int(l.trail_base()),
+        });
+        a.emit(Op::MvI {
+            d: reg::PDL,
+            w: Word::int(l.pdl_base()),
+        });
         // Sentinel choice point (arity 0): failing past it halts.
         a.emit(Op::MvI {
             d: reg::B,
             w: Word::int(l.cp_base() + cp_frame::FIXED as i64),
         });
-        a.emit(Op::St { s: reg::H, base: reg::B, off: -cp_frame::SAVED_H });
-        a.emit(Op::St { s: reg::TR, base: reg::B, off: -cp_frame::SAVED_TR });
+        a.emit(Op::St {
+            s: reg::H,
+            base: reg::B,
+            off: -cp_frame::SAVED_H,
+        });
+        a.emit(Op::St {
+            s: reg::TR,
+            base: reg::B,
+            off: -cp_frame::SAVED_TR,
+        });
         let t = a.fresh_reg();
-        a.emit(Op::MvI { d: t, w: Word::code(halt_fail.0) });
-        a.emit(Op::St { s: t, base: reg::B, off: -cp_frame::RETRY });
-        a.emit(Op::St { s: reg::B, base: reg::B, off: -cp_frame::PREV_B });
-        a.emit(Op::St { s: reg::E, base: reg::B, off: -cp_frame::SAVED_E });
-        a.emit(Op::St { s: reg::ETOP, base: reg::B, off: -cp_frame::SAVED_ETOP });
+        a.emit(Op::MvI {
+            d: t,
+            w: Word::code(halt_fail.0),
+        });
+        a.emit(Op::St {
+            s: t,
+            base: reg::B,
+            off: -cp_frame::RETRY,
+        });
+        a.emit(Op::St {
+            s: reg::B,
+            base: reg::B,
+            off: -cp_frame::PREV_B,
+        });
+        a.emit(Op::St {
+            s: reg::E,
+            base: reg::B,
+            off: -cp_frame::SAVED_E,
+        });
+        a.emit(Op::St {
+            s: reg::ETOP,
+            base: reg::B,
+            off: -cp_frame::SAVED_ETOP,
+        });
         let t2 = a.fresh_reg();
-        a.emit(Op::MvI { d: t2, w: Word::code(done.0) });
-        a.emit(Op::St { s: t2, base: reg::B, off: -cp_frame::SAVED_CP });
-        a.emit(Op::St { s: reg::B, base: reg::B, off: -cp_frame::SAVED_B0 });
+        a.emit(Op::MvI {
+            d: t2,
+            w: Word::code(done.0),
+        });
+        a.emit(Op::St {
+            s: t2,
+            base: reg::B,
+            off: -cp_frame::SAVED_CP,
+        });
+        a.emit(Op::St {
+            s: reg::B,
+            base: reg::B,
+            off: -cp_frame::SAVED_B0,
+        });
         let t3 = a.fresh_reg();
-        a.emit(Op::MvI { d: t3, w: Word::int(0) });
-        a.emit(Op::St { s: t3, base: reg::B, off: -cp_frame::ARITY });
-        a.emit(Op::St { s: reg::EB, base: reg::B, off: -cp_frame::SAVED_EB });
-        a.emit(Op::Mv { d: reg::B0, s: reg::B });
-        a.emit(Op::MvI { d: reg::CP, w: Word::code(done.0) });
+        a.emit(Op::MvI {
+            d: t3,
+            w: Word::int(0),
+        });
+        a.emit(Op::St {
+            s: t3,
+            base: reg::B,
+            off: -cp_frame::ARITY,
+        });
+        a.emit(Op::St {
+            s: reg::EB,
+            base: reg::B,
+            off: -cp_frame::SAVED_EB,
+        });
+        a.emit(Op::Mv {
+            d: reg::B0,
+            s: reg::B,
+        });
+        a.emit(Op::MvI {
+            d: reg::CP,
+            w: Word::code(done.0),
+        });
         a.emit(Op::Jmp { t: main });
         a.bind(done);
         a.emit(Op::Halt { success: true });
@@ -201,9 +277,7 @@ impl<'a> Tr<'a> {
     }
 
     fn temp(&mut self, ctx: &mut PredCtx, k: usize) -> R {
-        *ctx.temps
-            .entry(k)
-            .or_insert_with(|| self.asm.fresh_reg())
+        *ctx.temps.entry(k).or_insert_with(|| self.asm.fresh_reg())
     }
 
     /// Reads a slot into a register (loads permanents from the frame).
@@ -256,7 +330,11 @@ impl<'a> Tr<'a> {
     }
 
     fn heap_push(&mut self, r: R) {
-        self.asm.emit(Op::St { s: r, base: reg::H, off: 0 });
+        self.asm.emit(Op::St {
+            s: r,
+            base: reg::H,
+            off: 0,
+        });
         self.asm.emit(Op::Alu {
             op: AluOp::Add,
             d: reg::H,
@@ -270,7 +348,10 @@ impl<'a> Tr<'a> {
             symbol_bam::Operand::Slot(s) => self.read_slot(ctx, s),
             symbol_bam::Operand::Const(c) => {
                 let t = self.asm.fresh_reg();
-                self.asm.emit(Op::MvI { d: t, w: Self::const_word(c) });
+                self.asm.emit(Op::MvI {
+                    d: t,
+                    w: Self::const_word(c),
+                });
                 t
             }
         }
@@ -282,7 +363,10 @@ impl<'a> Tr<'a> {
             symbol_bam::Operand::Const(Const::Int(i)) => Operand::Imm(i),
             symbol_bam::Operand::Const(c) => {
                 let t = self.asm.fresh_reg();
-                self.asm.emit(Op::MvI { d: t, w: Self::const_word(c) });
+                self.asm.emit(Op::MvI {
+                    d: t,
+                    w: Self::const_word(c),
+                });
                 Operand::Reg(t)
             }
         }
@@ -362,14 +446,21 @@ impl<'a> Tr<'a> {
                     base: reg::E,
                     off: env_frame::SAVED_CP,
                 });
-                self.asm.emit(Op::Mv { d: reg::ETOP, s: reg::E });
+                self.asm.emit(Op::Mv {
+                    d: reg::ETOP,
+                    s: reg::E,
+                });
                 self.asm.emit(Op::Ld {
                     d: reg::E,
                     base: reg::ETOP,
                     off: env_frame::PREV_E,
                 });
             }
-            BamInstr::Try { arity, first, retry } => {
+            BamInstr::Try {
+                arity,
+                first,
+                retry,
+            } => {
                 self.asm.next_group();
                 let first = self.lbl(ctx, *first);
                 let retry = self.lbl(ctx, *retry);
@@ -379,19 +470,61 @@ impl<'a> Tr<'a> {
                     a: reg::B,
                     b: Operand::Imm(cp_frame::FIXED as i64 + *arity as i64),
                 });
-                self.asm.emit(Op::St { s: reg::H, base: nb, off: -cp_frame::SAVED_H });
-                self.asm.emit(Op::St { s: reg::TR, base: nb, off: -cp_frame::SAVED_TR });
+                self.asm.emit(Op::St {
+                    s: reg::H,
+                    base: nb,
+                    off: -cp_frame::SAVED_H,
+                });
+                self.asm.emit(Op::St {
+                    s: reg::TR,
+                    base: nb,
+                    off: -cp_frame::SAVED_TR,
+                });
                 let t = self.asm.fresh_reg();
-                self.asm.emit(Op::MvI { d: t, w: Word::code(retry.0) });
-                self.asm.emit(Op::St { s: t, base: nb, off: -cp_frame::RETRY });
-                self.asm.emit(Op::St { s: reg::B, base: nb, off: -cp_frame::PREV_B });
-                self.asm.emit(Op::St { s: reg::E, base: nb, off: -cp_frame::SAVED_E });
-                self.asm.emit(Op::St { s: reg::ETOP, base: nb, off: -cp_frame::SAVED_ETOP });
-                self.asm.emit(Op::St { s: reg::CP, base: nb, off: -cp_frame::SAVED_CP });
-                self.asm.emit(Op::St { s: reg::B0, base: nb, off: -cp_frame::SAVED_B0 });
+                self.asm.emit(Op::MvI {
+                    d: t,
+                    w: Word::code(retry.0),
+                });
+                self.asm.emit(Op::St {
+                    s: t,
+                    base: nb,
+                    off: -cp_frame::RETRY,
+                });
+                self.asm.emit(Op::St {
+                    s: reg::B,
+                    base: nb,
+                    off: -cp_frame::PREV_B,
+                });
+                self.asm.emit(Op::St {
+                    s: reg::E,
+                    base: nb,
+                    off: -cp_frame::SAVED_E,
+                });
+                self.asm.emit(Op::St {
+                    s: reg::ETOP,
+                    base: nb,
+                    off: -cp_frame::SAVED_ETOP,
+                });
+                self.asm.emit(Op::St {
+                    s: reg::CP,
+                    base: nb,
+                    off: -cp_frame::SAVED_CP,
+                });
+                self.asm.emit(Op::St {
+                    s: reg::B0,
+                    base: nb,
+                    off: -cp_frame::SAVED_B0,
+                });
                 let ta = self.asm.fresh_reg();
-                self.asm.emit(Op::MvI { d: ta, w: Word::int(*arity as i64) });
-                self.asm.emit(Op::St { s: ta, base: nb, off: -cp_frame::ARITY });
+                self.asm.emit(Op::MvI {
+                    d: ta,
+                    w: Word::int(*arity as i64),
+                });
+                self.asm.emit(Op::St {
+                    s: ta,
+                    base: nb,
+                    off: -cp_frame::ARITY,
+                });
                 for i in 0..*arity {
                     self.asm.emit(Op::St {
                         s: reg::arg(i),
@@ -407,10 +540,17 @@ impl<'a> Tr<'a> {
                     a: reg::ETOP,
                     b: Operand::Reg(reg::EB),
                 });
-                self.asm.emit(Op::St { s: teb, base: nb, off: -cp_frame::SAVED_EB });
+                self.asm.emit(Op::St {
+                    s: teb,
+                    base: nb,
+                    off: -cp_frame::SAVED_EB,
+                });
                 self.asm.emit(Op::Mv { d: reg::EB, s: teb });
                 self.asm.emit(Op::Mv { d: reg::B, s: nb });
-                self.asm.emit(Op::Mv { d: reg::HB, s: reg::H });
+                self.asm.emit(Op::Mv {
+                    d: reg::HB,
+                    s: reg::H,
+                });
                 self.asm.emit(Op::Jmp { t: first });
             }
             BamInstr::Retry { arity, alt, retry } => {
@@ -425,8 +565,15 @@ impl<'a> Tr<'a> {
                     });
                 }
                 let t = self.asm.fresh_reg();
-                self.asm.emit(Op::MvI { d: t, w: Word::code(retry.0) });
-                self.asm.emit(Op::St { s: t, base: reg::B, off: -cp_frame::RETRY });
+                self.asm.emit(Op::MvI {
+                    d: t,
+                    w: Word::code(retry.0),
+                });
+                self.asm.emit(Op::St {
+                    s: t,
+                    base: reg::B,
+                    off: -cp_frame::RETRY,
+                });
                 self.asm.emit(Op::Jmp { t: alt });
             }
             BamInstr::Trust { arity, alt } => {
@@ -444,11 +591,26 @@ impl<'a> Tr<'a> {
                     base: reg::B,
                     off: -cp_frame::PREV_B,
                 });
-                self.asm.emit(Op::Ld { d: reg::HB, base: reg::B, off: -cp_frame::SAVED_H });
-                self.asm.emit(Op::Ld { d: reg::EB, base: reg::B, off: -cp_frame::SAVED_EB });
+                self.asm.emit(Op::Ld {
+                    d: reg::HB,
+                    base: reg::B,
+                    off: -cp_frame::SAVED_H,
+                });
+                self.asm.emit(Op::Ld {
+                    d: reg::EB,
+                    base: reg::B,
+                    off: -cp_frame::SAVED_EB,
+                });
                 self.asm.emit(Op::Jmp { t: alt });
             }
-            BamInstr::SwitchOnTerm { arg, scratch, var, cons, lst, strct } => {
+            BamInstr::SwitchOnTerm {
+                arg,
+                scratch,
+                var,
+                cons,
+                lst,
+                strct,
+            } => {
                 self.asm.next_group();
                 let var = self.lbl(ctx, *var);
                 let cons = self.lbl(ctx, *cons);
@@ -458,14 +620,36 @@ impl<'a> Tr<'a> {
                     Slot::Temp(k) => self.temp(ctx, *k),
                     _ => self.asm.fresh_reg(),
                 };
-                self.asm.emit(Op::Mv { d: t, s: reg::arg(*arg) });
+                self.asm.emit(Op::Mv {
+                    d: t,
+                    s: reg::arg(*arg),
+                });
                 self.asm.deref_in_place(t);
-                self.asm.emit(Op::BrTag { a: t, tag: Tag::Ref, eq: true, t: var });
-                self.asm.emit(Op::BrTag { a: t, tag: Tag::Lst, eq: true, t: lst });
-                self.asm.emit(Op::BrTag { a: t, tag: Tag::Str, eq: true, t: strct });
+                self.asm.emit(Op::BrTag {
+                    a: t,
+                    tag: Tag::Ref,
+                    eq: true,
+                    t: var,
+                });
+                self.asm.emit(Op::BrTag {
+                    a: t,
+                    tag: Tag::Lst,
+                    eq: true,
+                    t: lst,
+                });
+                self.asm.emit(Op::BrTag {
+                    a: t,
+                    tag: Tag::Str,
+                    eq: true,
+                    t: strct,
+                });
                 self.asm.emit(Op::Jmp { t: cons });
             }
-            BamInstr::SwitchOnConst { slot, table, default } => {
+            BamInstr::SwitchOnConst {
+                slot,
+                table,
+                default,
+            } => {
                 self.asm.next_group();
                 let r = self.read_slot(ctx, *slot);
                 let d = self.lbl(ctx, *default);
@@ -498,10 +682,20 @@ impl<'a> Tr<'a> {
                     let lint = self.asm.fresh_label();
                     let latm = self.asm.fresh_label();
                     if !ints.is_empty() {
-                        self.asm.emit(Op::BrTag { a: r, tag: Tag::Int, eq: true, t: lint });
+                        self.asm.emit(Op::BrTag {
+                            a: r,
+                            tag: Tag::Int,
+                            eq: true,
+                            t: lint,
+                        });
                     }
                     if !atoms.is_empty() {
-                        self.asm.emit(Op::BrTag { a: r, tag: Tag::Atm, eq: true, t: latm });
+                        self.asm.emit(Op::BrTag {
+                            a: r,
+                            tag: Tag::Atm,
+                            eq: true,
+                            t: latm,
+                        });
                     }
                     self.asm.emit(Op::Jmp { t: d });
                     if !ints.is_empty() {
@@ -514,16 +708,27 @@ impl<'a> Tr<'a> {
                     }
                 }
             }
-            BamInstr::SwitchOnStruct { slot, table, default } => {
+            BamInstr::SwitchOnStruct {
+                slot,
+                table,
+                default,
+            } => {
                 self.asm.next_group();
                 let r = self.read_slot(ctx, *slot);
                 let f = self.asm.fresh_reg();
-                self.asm.emit(Op::Ld { d: f, base: r, off: 0 });
+                self.asm.emit(Op::Ld {
+                    d: f,
+                    base: r,
+                    off: 0,
+                });
                 for (fct, l) in table {
                     let l = self.lbl(ctx, *l);
                     self.asm.emit(Op::BrWord {
                         a: f,
-                        w: Word { tag: Tag::Fun, val: fct.encode() },
+                        w: Word {
+                            tag: Tag::Fun,
+                            val: fct.encode(),
+                        },
                         eq: true,
                         t: l,
                     });
@@ -533,7 +738,10 @@ impl<'a> Tr<'a> {
             }
             BamInstr::SetCutBarrier => {
                 self.asm.next_group();
-                self.asm.emit(Op::Mv { d: reg::B0, s: reg::B });
+                self.asm.emit(Op::Mv {
+                    d: reg::B0,
+                    s: reg::B,
+                });
             }
             BamInstr::SaveCutBarrier(s) => {
                 self.asm.next_group();
@@ -542,14 +750,25 @@ impl<'a> Tr<'a> {
             BamInstr::Cut(saved) => {
                 self.asm.next_group();
                 match saved {
-                    None => self.asm.emit(Op::Mv { d: reg::B, s: reg::B0 }),
+                    None => self.asm.emit(Op::Mv {
+                        d: reg::B,
+                        s: reg::B0,
+                    }),
                     Some(s) => {
                         let r = self.read_slot(ctx, *s);
                         self.asm.emit(Op::Mv { d: reg::B, s: r });
                     }
                 }
-                self.asm.emit(Op::Ld { d: reg::HB, base: reg::B, off: -cp_frame::SAVED_H });
-                self.asm.emit(Op::Ld { d: reg::EB, base: reg::B, off: -cp_frame::SAVED_EB });
+                self.asm.emit(Op::Ld {
+                    d: reg::HB,
+                    base: reg::B,
+                    off: -cp_frame::SAVED_H,
+                });
+                self.asm.emit(Op::Ld {
+                    d: reg::EB,
+                    base: reg::B,
+                    off: -cp_frame::SAVED_EB,
+                });
             }
             BamInstr::Move { src, dst } => {
                 self.asm.next_group();
@@ -563,7 +782,12 @@ impl<'a> Tr<'a> {
                 self.asm.emit(Op::Mv { d: t, s: t0 });
                 self.asm.deref_in_place(t);
                 let done = self.asm.fresh_label();
-                self.asm.emit(Op::BrTag { a: t, tag: Tag::Ref, eq: false, t: done });
+                self.asm.emit(Op::BrTag {
+                    a: t,
+                    tag: Tag::Ref,
+                    eq: false,
+                    t: done,
+                });
                 self.asm.emit(Op::Br {
                     cond: Cond::Lt,
                     a: t,
@@ -572,7 +796,11 @@ impl<'a> Tr<'a> {
                 });
                 // Globalize: fresh heap variable, bind the stack cell to it.
                 let nv = self.asm.fresh_reg();
-                self.asm.emit(Op::MkTag { d: nv, s: reg::H, tag: Tag::Ref });
+                self.asm.emit(Op::MkTag {
+                    d: nv,
+                    s: reg::H,
+                    tag: Tag::Ref,
+                });
                 self.heap_push(nv);
                 self.asm.bind_cell(t, nv, env_base);
                 self.asm.emit(Op::Mv { d: t, s: nv });
@@ -591,21 +819,35 @@ impl<'a> Tr<'a> {
                 self.asm.next_group();
                 let b = self.read_slot(ctx, *base);
                 let t = self.asm.fresh_reg();
-                self.asm.emit(Op::Ld { d: t, base: b, off: *idx as i32 });
+                self.asm.emit(Op::Ld {
+                    d: t,
+                    base: b,
+                    off: *idx as i32,
+                });
                 self.write_slot(ctx, *dst, t);
             }
             BamInstr::BranchVar { slot, target } => {
                 self.asm.next_group();
                 let r = self.read_slot(ctx, *slot);
                 let l = self.lbl(ctx, *target);
-                self.asm.emit(Op::BrTag { a: r, tag: Tag::Ref, eq: true, t: l });
+                self.asm.emit(Op::BrTag {
+                    a: r,
+                    tag: Tag::Ref,
+                    eq: true,
+                    t: l,
+                });
             }
             BamInstr::BranchNotTag { slot, tag, target } => {
                 self.asm.next_group();
                 let r = self.read_slot(ctx, *slot);
                 let l = self.lbl(ctx, *target);
                 let tag = tag_of(*tag);
-                self.asm.emit(Op::BrTag { a: r, tag, eq: false, t: l });
+                self.asm.emit(Op::BrTag {
+                    a: r,
+                    tag,
+                    eq: false,
+                    t: l,
+                });
             }
             BamInstr::BranchNotConst { slot, c, target } => {
                 self.asm.next_group();
@@ -623,10 +865,17 @@ impl<'a> Tr<'a> {
                 let r = self.read_slot(ctx, *slot);
                 let l = self.lbl(ctx, *target);
                 let t = self.asm.fresh_reg();
-                self.asm.emit(Op::Ld { d: t, base: r, off: 0 });
+                self.asm.emit(Op::Ld {
+                    d: t,
+                    base: r,
+                    off: 0,
+                });
                 self.asm.emit(Op::BrWord {
                     a: t,
-                    w: Word { tag: Tag::Fun, val: f.encode() },
+                    w: Word {
+                        tag: Tag::Fun,
+                        val: f.encode(),
+                    },
                     eq: false,
                     t: l,
                 });
@@ -635,7 +884,10 @@ impl<'a> Tr<'a> {
                 self.asm.next_group();
                 let v = self.read_slot(ctx, *var);
                 let t = self.asm.fresh_reg();
-                self.asm.emit(Op::MvI { d: t, w: Self::const_word(*c) });
+                self.asm.emit(Op::MvI {
+                    d: t,
+                    w: Self::const_word(*c),
+                });
                 self.asm.bind_cell(v, t, env_base);
             }
             BamInstr::BindSlot { var, value } => {
@@ -647,25 +899,39 @@ impl<'a> Tr<'a> {
             BamInstr::NewList { dst } => {
                 self.asm.next_group();
                 let t = self.asm.fresh_reg();
-                self.asm.emit(Op::MkTag { d: t, s: reg::H, tag: Tag::Lst });
+                self.asm.emit(Op::MkTag {
+                    d: t,
+                    s: reg::H,
+                    tag: Tag::Lst,
+                });
                 self.write_slot(ctx, *dst, t);
             }
             BamInstr::NewStruct { dst, f } => {
                 self.asm.next_group();
                 let t = self.asm.fresh_reg();
-                self.asm.emit(Op::MkTag { d: t, s: reg::H, tag: Tag::Str });
+                self.asm.emit(Op::MkTag {
+                    d: t,
+                    s: reg::H,
+                    tag: Tag::Str,
+                });
                 self.write_slot(ctx, *dst, t);
                 let ft = self.asm.fresh_reg();
                 self.asm.emit(Op::MvI {
                     d: ft,
-                    w: Word { tag: Tag::Fun, val: f.encode() },
+                    w: Word {
+                        tag: Tag::Fun,
+                        val: f.encode(),
+                    },
                 });
                 self.heap_push(ft);
             }
             BamInstr::PushConst { c } => {
                 self.asm.next_group();
                 let t = self.asm.fresh_reg();
-                self.asm.emit(Op::MvI { d: t, w: Self::const_word(*c) });
+                self.asm.emit(Op::MvI {
+                    d: t,
+                    w: Self::const_word(*c),
+                });
                 self.heap_push(t);
             }
             BamInstr::PushValue { src } => {
@@ -675,7 +941,12 @@ impl<'a> Tr<'a> {
                 self.asm.emit(Op::Mv { d: t, s: r });
                 self.asm.deref_in_place(t);
                 let push = self.asm.fresh_label();
-                self.asm.emit(Op::BrTag { a: t, tag: Tag::Ref, eq: false, t: push });
+                self.asm.emit(Op::BrTag {
+                    a: t,
+                    tag: Tag::Ref,
+                    eq: false,
+                    t: push,
+                });
                 self.asm.emit(Op::Br {
                     cond: Cond::Lt,
                     a: t,
@@ -684,7 +955,11 @@ impl<'a> Tr<'a> {
                 });
                 // Unbound environment cell: globalize before pushing.
                 let nv = self.asm.fresh_reg();
-                self.asm.emit(Op::MkTag { d: nv, s: reg::H, tag: Tag::Ref });
+                self.asm.emit(Op::MkTag {
+                    d: nv,
+                    s: reg::H,
+                    tag: Tag::Ref,
+                });
                 self.heap_push(nv);
                 self.asm.bind_cell(t, nv, env_base);
                 self.asm.emit(Op::Mv { d: t, s: nv });
@@ -694,7 +969,11 @@ impl<'a> Tr<'a> {
             BamInstr::PushFresh { dst } => {
                 self.asm.next_group();
                 let t = self.asm.fresh_reg();
-                self.asm.emit(Op::MkTag { d: t, s: reg::H, tag: Tag::Ref });
+                self.asm.emit(Op::MkTag {
+                    d: t,
+                    s: reg::H,
+                    tag: Tag::Ref,
+                });
                 self.heap_push(t);
                 self.write_slot(ctx, *dst, t);
             }
@@ -705,19 +984,30 @@ impl<'a> Tr<'a> {
                 self.asm.emit(Op::Mv { d: reg::U1, s: ra });
                 self.asm.emit(Op::Mv { d: reg::U2, s: rb });
                 let ret = self.asm.fresh_label();
-                self.asm.emit(Op::MvI { d: reg::RR, w: Word::code(ret.0) });
+                self.asm.emit(Op::MvI {
+                    d: reg::RR,
+                    w: Word::code(ret.0),
+                });
                 let u = self.unify;
                 self.asm.emit(Op::Jmp { t: u });
                 self.asm.bind(ret);
             }
-            BamInstr::StructEqBranch { a, b, want_equal, target } => {
+            BamInstr::StructEqBranch {
+                a,
+                b,
+                want_equal,
+                target,
+            } => {
                 self.asm.next_group();
                 let ra = self.read_slot(ctx, *a);
                 let rb = self.read_slot(ctx, *b);
                 self.asm.emit(Op::Mv { d: reg::U1, s: ra });
                 self.asm.emit(Op::Mv { d: reg::U2, s: rb });
                 let ret = self.asm.fresh_label();
-                self.asm.emit(Op::MvI { d: reg::RR, w: Word::code(ret.0) });
+                self.asm.emit(Op::MvI {
+                    d: reg::RR,
+                    w: Word::code(ret.0),
+                });
                 let sq = self.struct_eq;
                 self.asm.emit(Op::Jmp { t: sq });
                 self.asm.bind(ret);
@@ -736,7 +1026,12 @@ impl<'a> Tr<'a> {
                 self.asm.emit(Op::Mv { d: t, s: r });
                 self.asm.deref_in_place(t);
                 let f = self.fail;
-                self.asm.emit(Op::BrTag { a: t, tag: Tag::Int, eq: false, t: f });
+                self.asm.emit(Op::BrTag {
+                    a: t,
+                    tag: Tag::Int,
+                    eq: false,
+                    t: f,
+                });
                 self.write_slot(ctx, *dst, t);
             }
             BamInstr::Arith { op, a, b, dst } => {
@@ -769,22 +1064,44 @@ impl<'a> Tr<'a> {
                 let r = self.read_slot(ctx, *slot);
                 let l = self.lbl(ctx, *target);
                 match test {
-                    TypeTest::Var => {
-                        self.asm.emit(Op::BrTag { a: r, tag: Tag::Ref, eq: false, t: l })
-                    }
-                    TypeTest::NonVar => {
-                        self.asm.emit(Op::BrTag { a: r, tag: Tag::Ref, eq: true, t: l })
-                    }
-                    TypeTest::Atom => {
-                        self.asm.emit(Op::BrTag { a: r, tag: Tag::Atm, eq: false, t: l })
-                    }
-                    TypeTest::Integer => {
-                        self.asm.emit(Op::BrTag { a: r, tag: Tag::Int, eq: false, t: l })
-                    }
+                    TypeTest::Var => self.asm.emit(Op::BrTag {
+                        a: r,
+                        tag: Tag::Ref,
+                        eq: false,
+                        t: l,
+                    }),
+                    TypeTest::NonVar => self.asm.emit(Op::BrTag {
+                        a: r,
+                        tag: Tag::Ref,
+                        eq: true,
+                        t: l,
+                    }),
+                    TypeTest::Atom => self.asm.emit(Op::BrTag {
+                        a: r,
+                        tag: Tag::Atm,
+                        eq: false,
+                        t: l,
+                    }),
+                    TypeTest::Integer => self.asm.emit(Op::BrTag {
+                        a: r,
+                        tag: Tag::Int,
+                        eq: false,
+                        t: l,
+                    }),
                     TypeTest::Atomic => {
                         let ok = self.asm.fresh_label();
-                        self.asm.emit(Op::BrTag { a: r, tag: Tag::Atm, eq: true, t: ok });
-                        self.asm.emit(Op::BrTag { a: r, tag: Tag::Int, eq: false, t: l });
+                        self.asm.emit(Op::BrTag {
+                            a: r,
+                            tag: Tag::Atm,
+                            eq: true,
+                            t: ok,
+                        });
+                        self.asm.emit(Op::BrTag {
+                            a: r,
+                            tag: Tag::Int,
+                            eq: false,
+                            t: l,
+                        });
                         self.asm.bind(ok);
                     }
                 }
@@ -843,7 +1160,11 @@ impl<'a> Tr<'a> {
         self.asm.bind(fail);
         let a = &mut self.asm;
         let t0 = a.fresh_reg();
-        a.emit(Op::Ld { d: t0, base: reg::B, off: -cp_frame::SAVED_TR });
+        a.emit(Op::Ld {
+            d: t0,
+            base: reg::B,
+            off: -cp_frame::SAVED_TR,
+        });
         let lp = a.fresh_label();
         let done = a.fresh_label();
         a.bind(lp);
@@ -860,19 +1181,58 @@ impl<'a> Tr<'a> {
             b: Operand::Imm(1),
         });
         let t1 = a.fresh_reg();
-        a.emit(Op::Ld { d: t1, base: reg::TR, off: 0 });
-        a.emit(Op::St { s: t1, base: t1, off: 0 });
+        a.emit(Op::Ld {
+            d: t1,
+            base: reg::TR,
+            off: 0,
+        });
+        a.emit(Op::St {
+            s: t1,
+            base: t1,
+            off: 0,
+        });
         a.emit(Op::Jmp { t: lp });
         a.bind(done);
-        a.emit(Op::Ld { d: reg::H, base: reg::B, off: -cp_frame::SAVED_H });
-        a.emit(Op::Mv { d: reg::HB, s: reg::H });
-        a.emit(Op::Ld { d: reg::CP, base: reg::B, off: -cp_frame::SAVED_CP });
-        a.emit(Op::Ld { d: reg::E, base: reg::B, off: -cp_frame::SAVED_E });
-        a.emit(Op::Ld { d: reg::ETOP, base: reg::B, off: -cp_frame::SAVED_ETOP });
-        a.emit(Op::Ld { d: reg::EB, base: reg::B, off: -cp_frame::SAVED_EB });
-        a.emit(Op::Ld { d: reg::B0, base: reg::B, off: -cp_frame::SAVED_B0 });
+        a.emit(Op::Ld {
+            d: reg::H,
+            base: reg::B,
+            off: -cp_frame::SAVED_H,
+        });
+        a.emit(Op::Mv {
+            d: reg::HB,
+            s: reg::H,
+        });
+        a.emit(Op::Ld {
+            d: reg::CP,
+            base: reg::B,
+            off: -cp_frame::SAVED_CP,
+        });
+        a.emit(Op::Ld {
+            d: reg::E,
+            base: reg::B,
+            off: -cp_frame::SAVED_E,
+        });
+        a.emit(Op::Ld {
+            d: reg::ETOP,
+            base: reg::B,
+            off: -cp_frame::SAVED_ETOP,
+        });
+        a.emit(Op::Ld {
+            d: reg::EB,
+            base: reg::B,
+            off: -cp_frame::SAVED_EB,
+        });
+        a.emit(Op::Ld {
+            d: reg::B0,
+            base: reg::B,
+            off: -cp_frame::SAVED_B0,
+        });
         let t2 = a.fresh_reg();
-        a.emit(Op::Ld { d: t2, base: reg::B, off: -cp_frame::RETRY });
+        a.emit(Op::Ld {
+            d: t2,
+            base: reg::B,
+            off: -cp_frame::RETRY,
+        });
         a.emit(Op::JmpR { r: t2 });
     }
 
@@ -895,72 +1255,209 @@ impl<'a> Tr<'a> {
         let lfirst = self.asm.fresh_label();
         let ldone = self.asm.fresh_label();
 
-        self.asm.emit(Op::MvI { d: reg::PDL, w: Word::int(pdl_base) });
+        self.asm.emit(Op::MvI {
+            d: reg::PDL,
+            w: Word::int(pdl_base),
+        });
         self.asm.bind(pair);
         self.asm.deref_in_place(reg::U1);
         self.asm.deref_in_place(reg::U2);
-        self.asm.emit(Op::BrWEq { a: reg::U1, b: reg::U2, eq: true, t: next });
-        self.asm.emit(Op::BrTag { a: reg::U1, tag: Tag::Ref, eq: true, t: a_unb });
-        self.asm.emit(Op::BrTag { a: reg::U2, tag: Tag::Ref, eq: true, t: bind_b_to_a });
-        self.asm.emit(Op::BrTag { a: reg::U1, tag: Tag::Lst, eq: true, t: llst });
-        self.asm.emit(Op::BrTag { a: reg::U1, tag: Tag::Str, eq: true, t: lstr });
+        self.asm.emit(Op::BrWEq {
+            a: reg::U1,
+            b: reg::U2,
+            eq: true,
+            t: next,
+        });
+        self.asm.emit(Op::BrTag {
+            a: reg::U1,
+            tag: Tag::Ref,
+            eq: true,
+            t: a_unb,
+        });
+        self.asm.emit(Op::BrTag {
+            a: reg::U2,
+            tag: Tag::Ref,
+            eq: true,
+            t: bind_b_to_a,
+        });
+        self.asm.emit(Op::BrTag {
+            a: reg::U1,
+            tag: Tag::Lst,
+            eq: true,
+            t: llst,
+        });
+        self.asm.emit(Op::BrTag {
+            a: reg::U1,
+            tag: Tag::Str,
+            eq: true,
+            t: lstr,
+        });
         self.asm.emit(Op::Jmp { t: fail });
 
         // Lists: push cdr pair, loop on car pair.
         self.asm.bind(llst);
-        self.asm.emit(Op::BrTag { a: reg::U2, tag: Tag::Lst, eq: false, t: fail });
+        self.asm.emit(Op::BrTag {
+            a: reg::U2,
+            tag: Tag::Lst,
+            eq: false,
+            t: fail,
+        });
         let t1 = self.asm.fresh_reg();
         let t2 = self.asm.fresh_reg();
-        self.asm.emit(Op::Ld { d: t1, base: reg::U1, off: 1 });
-        self.asm.emit(Op::Ld { d: t2, base: reg::U2, off: 1 });
-        self.asm.emit(Op::St { s: t1, base: reg::PDL, off: 0 });
-        self.asm.emit(Op::St { s: t2, base: reg::PDL, off: 1 });
-        self.asm.emit(Op::Alu { op: AluOp::Add, d: reg::PDL, a: reg::PDL, b: Operand::Imm(2) });
+        self.asm.emit(Op::Ld {
+            d: t1,
+            base: reg::U1,
+            off: 1,
+        });
+        self.asm.emit(Op::Ld {
+            d: t2,
+            base: reg::U2,
+            off: 1,
+        });
+        self.asm.emit(Op::St {
+            s: t1,
+            base: reg::PDL,
+            off: 0,
+        });
+        self.asm.emit(Op::St {
+            s: t2,
+            base: reg::PDL,
+            off: 1,
+        });
+        self.asm.emit(Op::Alu {
+            op: AluOp::Add,
+            d: reg::PDL,
+            a: reg::PDL,
+            b: Operand::Imm(2),
+        });
         let t3 = self.asm.fresh_reg();
         let t4 = self.asm.fresh_reg();
-        self.asm.emit(Op::Ld { d: t3, base: reg::U1, off: 0 });
-        self.asm.emit(Op::Ld { d: t4, base: reg::U2, off: 0 });
+        self.asm.emit(Op::Ld {
+            d: t3,
+            base: reg::U1,
+            off: 0,
+        });
+        self.asm.emit(Op::Ld {
+            d: t4,
+            base: reg::U2,
+            off: 0,
+        });
         self.asm.emit(Op::Mv { d: reg::U1, s: t3 });
         self.asm.emit(Op::Mv { d: reg::U2, s: t4 });
         self.asm.emit(Op::Jmp { t: pair });
 
         // Structures: compare functors, push args n..2, loop on arg 1.
         self.asm.bind(lstr);
-        self.asm.emit(Op::BrTag { a: reg::U2, tag: Tag::Str, eq: false, t: fail });
+        self.asm.emit(Op::BrTag {
+            a: reg::U2,
+            tag: Tag::Str,
+            eq: false,
+            t: fail,
+        });
         let f1 = self.asm.fresh_reg();
         let f2 = self.asm.fresh_reg();
-        self.asm.emit(Op::Ld { d: f1, base: reg::U1, off: 0 });
-        self.asm.emit(Op::Ld { d: f2, base: reg::U2, off: 0 });
-        self.asm.emit(Op::BrWEq { a: f1, b: f2, eq: false, t: fail });
+        self.asm.emit(Op::Ld {
+            d: f1,
+            base: reg::U1,
+            off: 0,
+        });
+        self.asm.emit(Op::Ld {
+            d: f2,
+            base: reg::U2,
+            off: 0,
+        });
+        self.asm.emit(Op::BrWEq {
+            a: f1,
+            b: f2,
+            eq: false,
+            t: fail,
+        });
         let n = self.asm.fresh_reg();
-        self.asm.emit(Op::Alu { op: AluOp::And, d: n, a: f1, b: Operand::Imm(0xff) });
+        self.asm.emit(Op::Alu {
+            op: AluOp::And,
+            d: n,
+            a: f1,
+            b: Operand::Imm(0xff),
+        });
         self.asm.bind(lpush);
-        self.asm.emit(Op::Br { cond: Cond::Le, a: n, b: Operand::Imm(1), t: lfirst });
+        self.asm.emit(Op::Br {
+            cond: Cond::Le,
+            a: n,
+            b: Operand::Imm(1),
+            t: lfirst,
+        });
         let p1 = self.asm.fresh_reg();
         let p2 = self.asm.fresh_reg();
         let v1 = self.asm.fresh_reg();
         let v2 = self.asm.fresh_reg();
-        self.asm.emit(Op::AddA { d: p1, a: reg::U1, b: Operand::Reg(n) });
-        self.asm.emit(Op::Ld { d: v1, base: p1, off: 0 });
-        self.asm.emit(Op::AddA { d: p2, a: reg::U2, b: Operand::Reg(n) });
-        self.asm.emit(Op::Ld { d: v2, base: p2, off: 0 });
-        self.asm.emit(Op::St { s: v1, base: reg::PDL, off: 0 });
-        self.asm.emit(Op::St { s: v2, base: reg::PDL, off: 1 });
-        self.asm.emit(Op::Alu { op: AluOp::Add, d: reg::PDL, a: reg::PDL, b: Operand::Imm(2) });
-        self.asm.emit(Op::Alu { op: AluOp::Sub, d: n, a: n, b: Operand::Imm(1) });
+        self.asm.emit(Op::AddA {
+            d: p1,
+            a: reg::U1,
+            b: Operand::Reg(n),
+        });
+        self.asm.emit(Op::Ld {
+            d: v1,
+            base: p1,
+            off: 0,
+        });
+        self.asm.emit(Op::AddA {
+            d: p2,
+            a: reg::U2,
+            b: Operand::Reg(n),
+        });
+        self.asm.emit(Op::Ld {
+            d: v2,
+            base: p2,
+            off: 0,
+        });
+        self.asm.emit(Op::St {
+            s: v1,
+            base: reg::PDL,
+            off: 0,
+        });
+        self.asm.emit(Op::St {
+            s: v2,
+            base: reg::PDL,
+            off: 1,
+        });
+        self.asm.emit(Op::Alu {
+            op: AluOp::Add,
+            d: reg::PDL,
+            a: reg::PDL,
+            b: Operand::Imm(2),
+        });
+        self.asm.emit(Op::Alu {
+            op: AluOp::Sub,
+            d: n,
+            a: n,
+            b: Operand::Imm(1),
+        });
         self.asm.emit(Op::Jmp { t: lpush });
         self.asm.bind(lfirst);
         let w1 = self.asm.fresh_reg();
         let w2 = self.asm.fresh_reg();
-        self.asm.emit(Op::Ld { d: w1, base: reg::U1, off: 1 });
-        self.asm.emit(Op::Ld { d: w2, base: reg::U2, off: 1 });
+        self.asm.emit(Op::Ld {
+            d: w1,
+            base: reg::U1,
+            off: 1,
+        });
+        self.asm.emit(Op::Ld {
+            d: w2,
+            base: reg::U2,
+            off: 1,
+        });
         self.asm.emit(Op::Mv { d: reg::U1, s: w1 });
         self.asm.emit(Op::Mv { d: reg::U2, s: w2 });
         self.asm.emit(Op::Jmp { t: pair });
 
         // Binding cases.
         self.asm.bind(a_unb);
-        self.asm.emit(Op::BrTag { a: reg::U2, tag: Tag::Ref, eq: false, t: bind_a_to_b });
+        self.asm.emit(Op::BrTag {
+            a: reg::U2,
+            tag: Tag::Ref,
+            eq: false,
+            t: bind_a_to_b,
+        });
         // Both unbound: bind the higher (younger) address to the lower.
         self.asm.emit(Op::Br {
             cond: Cond::Lt,
@@ -982,9 +1479,22 @@ impl<'a> Tr<'a> {
             b: Operand::Imm(pdl_base),
             t: ldone,
         });
-        self.asm.emit(Op::Alu { op: AluOp::Sub, d: reg::PDL, a: reg::PDL, b: Operand::Imm(2) });
-        self.asm.emit(Op::Ld { d: reg::U1, base: reg::PDL, off: 0 });
-        self.asm.emit(Op::Ld { d: reg::U2, base: reg::PDL, off: 1 });
+        self.asm.emit(Op::Alu {
+            op: AluOp::Sub,
+            d: reg::PDL,
+            a: reg::PDL,
+            b: Operand::Imm(2),
+        });
+        self.asm.emit(Op::Ld {
+            d: reg::U1,
+            base: reg::PDL,
+            off: 0,
+        });
+        self.asm.emit(Op::Ld {
+            d: reg::U2,
+            base: reg::PDL,
+            off: 1,
+        });
         self.asm.emit(Op::Jmp { t: pair });
         self.asm.bind(ldone);
         self.asm.emit(Op::JmpR { r: reg::RR });
@@ -1006,73 +1516,217 @@ impl<'a> Tr<'a> {
         let ldone = self.asm.fresh_label();
 
         let one = self.asm.fresh_reg();
-        self.asm.emit(Op::MvI { d: one, w: Word::int(1) });
-        self.asm.emit(Op::Mv { d: reg::FLAG, s: one });
-        self.asm.emit(Op::MvI { d: reg::PDL, w: Word::int(pdl_base) });
+        self.asm.emit(Op::MvI {
+            d: one,
+            w: Word::int(1),
+        });
+        self.asm.emit(Op::Mv {
+            d: reg::FLAG,
+            s: one,
+        });
+        self.asm.emit(Op::MvI {
+            d: reg::PDL,
+            w: Word::int(pdl_base),
+        });
         self.asm.bind(pair);
         self.asm.deref_in_place(reg::U1);
         self.asm.deref_in_place(reg::U2);
-        self.asm.emit(Op::BrWEq { a: reg::U1, b: reg::U2, eq: true, t: next });
-        self.asm.emit(Op::BrTag { a: reg::U1, tag: Tag::Ref, eq: true, t: lfalse });
-        self.asm.emit(Op::BrTag { a: reg::U2, tag: Tag::Ref, eq: true, t: lfalse });
-        self.asm.emit(Op::BrTag { a: reg::U1, tag: Tag::Lst, eq: true, t: llst });
-        self.asm.emit(Op::BrTag { a: reg::U1, tag: Tag::Str, eq: true, t: lstr });
+        self.asm.emit(Op::BrWEq {
+            a: reg::U1,
+            b: reg::U2,
+            eq: true,
+            t: next,
+        });
+        self.asm.emit(Op::BrTag {
+            a: reg::U1,
+            tag: Tag::Ref,
+            eq: true,
+            t: lfalse,
+        });
+        self.asm.emit(Op::BrTag {
+            a: reg::U2,
+            tag: Tag::Ref,
+            eq: true,
+            t: lfalse,
+        });
+        self.asm.emit(Op::BrTag {
+            a: reg::U1,
+            tag: Tag::Lst,
+            eq: true,
+            t: llst,
+        });
+        self.asm.emit(Op::BrTag {
+            a: reg::U1,
+            tag: Tag::Str,
+            eq: true,
+            t: lstr,
+        });
         self.asm.emit(Op::Jmp { t: lfalse });
 
         self.asm.bind(llst);
-        self.asm.emit(Op::BrTag { a: reg::U2, tag: Tag::Lst, eq: false, t: lfalse });
+        self.asm.emit(Op::BrTag {
+            a: reg::U2,
+            tag: Tag::Lst,
+            eq: false,
+            t: lfalse,
+        });
         let t1 = self.asm.fresh_reg();
         let t2 = self.asm.fresh_reg();
-        self.asm.emit(Op::Ld { d: t1, base: reg::U1, off: 1 });
-        self.asm.emit(Op::Ld { d: t2, base: reg::U2, off: 1 });
-        self.asm.emit(Op::St { s: t1, base: reg::PDL, off: 0 });
-        self.asm.emit(Op::St { s: t2, base: reg::PDL, off: 1 });
-        self.asm.emit(Op::Alu { op: AluOp::Add, d: reg::PDL, a: reg::PDL, b: Operand::Imm(2) });
+        self.asm.emit(Op::Ld {
+            d: t1,
+            base: reg::U1,
+            off: 1,
+        });
+        self.asm.emit(Op::Ld {
+            d: t2,
+            base: reg::U2,
+            off: 1,
+        });
+        self.asm.emit(Op::St {
+            s: t1,
+            base: reg::PDL,
+            off: 0,
+        });
+        self.asm.emit(Op::St {
+            s: t2,
+            base: reg::PDL,
+            off: 1,
+        });
+        self.asm.emit(Op::Alu {
+            op: AluOp::Add,
+            d: reg::PDL,
+            a: reg::PDL,
+            b: Operand::Imm(2),
+        });
         let t3 = self.asm.fresh_reg();
         let t4 = self.asm.fresh_reg();
-        self.asm.emit(Op::Ld { d: t3, base: reg::U1, off: 0 });
-        self.asm.emit(Op::Ld { d: t4, base: reg::U2, off: 0 });
+        self.asm.emit(Op::Ld {
+            d: t3,
+            base: reg::U1,
+            off: 0,
+        });
+        self.asm.emit(Op::Ld {
+            d: t4,
+            base: reg::U2,
+            off: 0,
+        });
         self.asm.emit(Op::Mv { d: reg::U1, s: t3 });
         self.asm.emit(Op::Mv { d: reg::U2, s: t4 });
         self.asm.emit(Op::Jmp { t: pair });
 
         self.asm.bind(lstr);
-        self.asm.emit(Op::BrTag { a: reg::U2, tag: Tag::Str, eq: false, t: lfalse });
+        self.asm.emit(Op::BrTag {
+            a: reg::U2,
+            tag: Tag::Str,
+            eq: false,
+            t: lfalse,
+        });
         let f1 = self.asm.fresh_reg();
         let f2 = self.asm.fresh_reg();
-        self.asm.emit(Op::Ld { d: f1, base: reg::U1, off: 0 });
-        self.asm.emit(Op::Ld { d: f2, base: reg::U2, off: 0 });
-        self.asm.emit(Op::BrWEq { a: f1, b: f2, eq: false, t: lfalse });
+        self.asm.emit(Op::Ld {
+            d: f1,
+            base: reg::U1,
+            off: 0,
+        });
+        self.asm.emit(Op::Ld {
+            d: f2,
+            base: reg::U2,
+            off: 0,
+        });
+        self.asm.emit(Op::BrWEq {
+            a: f1,
+            b: f2,
+            eq: false,
+            t: lfalse,
+        });
         let n = self.asm.fresh_reg();
-        self.asm.emit(Op::Alu { op: AluOp::And, d: n, a: f1, b: Operand::Imm(0xff) });
+        self.asm.emit(Op::Alu {
+            op: AluOp::And,
+            d: n,
+            a: f1,
+            b: Operand::Imm(0xff),
+        });
         self.asm.bind(lpush);
-        self.asm.emit(Op::Br { cond: Cond::Le, a: n, b: Operand::Imm(1), t: lfirst });
+        self.asm.emit(Op::Br {
+            cond: Cond::Le,
+            a: n,
+            b: Operand::Imm(1),
+            t: lfirst,
+        });
         let p1 = self.asm.fresh_reg();
         let p2 = self.asm.fresh_reg();
         let v1 = self.asm.fresh_reg();
         let v2 = self.asm.fresh_reg();
-        self.asm.emit(Op::AddA { d: p1, a: reg::U1, b: Operand::Reg(n) });
-        self.asm.emit(Op::Ld { d: v1, base: p1, off: 0 });
-        self.asm.emit(Op::AddA { d: p2, a: reg::U2, b: Operand::Reg(n) });
-        self.asm.emit(Op::Ld { d: v2, base: p2, off: 0 });
-        self.asm.emit(Op::St { s: v1, base: reg::PDL, off: 0 });
-        self.asm.emit(Op::St { s: v2, base: reg::PDL, off: 1 });
-        self.asm.emit(Op::Alu { op: AluOp::Add, d: reg::PDL, a: reg::PDL, b: Operand::Imm(2) });
-        self.asm.emit(Op::Alu { op: AluOp::Sub, d: n, a: n, b: Operand::Imm(1) });
+        self.asm.emit(Op::AddA {
+            d: p1,
+            a: reg::U1,
+            b: Operand::Reg(n),
+        });
+        self.asm.emit(Op::Ld {
+            d: v1,
+            base: p1,
+            off: 0,
+        });
+        self.asm.emit(Op::AddA {
+            d: p2,
+            a: reg::U2,
+            b: Operand::Reg(n),
+        });
+        self.asm.emit(Op::Ld {
+            d: v2,
+            base: p2,
+            off: 0,
+        });
+        self.asm.emit(Op::St {
+            s: v1,
+            base: reg::PDL,
+            off: 0,
+        });
+        self.asm.emit(Op::St {
+            s: v2,
+            base: reg::PDL,
+            off: 1,
+        });
+        self.asm.emit(Op::Alu {
+            op: AluOp::Add,
+            d: reg::PDL,
+            a: reg::PDL,
+            b: Operand::Imm(2),
+        });
+        self.asm.emit(Op::Alu {
+            op: AluOp::Sub,
+            d: n,
+            a: n,
+            b: Operand::Imm(1),
+        });
         self.asm.emit(Op::Jmp { t: lpush });
         self.asm.bind(lfirst);
         let w1 = self.asm.fresh_reg();
         let w2 = self.asm.fresh_reg();
-        self.asm.emit(Op::Ld { d: w1, base: reg::U1, off: 1 });
-        self.asm.emit(Op::Ld { d: w2, base: reg::U2, off: 1 });
+        self.asm.emit(Op::Ld {
+            d: w1,
+            base: reg::U1,
+            off: 1,
+        });
+        self.asm.emit(Op::Ld {
+            d: w2,
+            base: reg::U2,
+            off: 1,
+        });
         self.asm.emit(Op::Mv { d: reg::U1, s: w1 });
         self.asm.emit(Op::Mv { d: reg::U2, s: w2 });
         self.asm.emit(Op::Jmp { t: pair });
 
         self.asm.bind(lfalse);
         let zero = self.asm.fresh_reg();
-        self.asm.emit(Op::MvI { d: zero, w: Word::int(0) });
-        self.asm.emit(Op::Mv { d: reg::FLAG, s: zero });
+        self.asm.emit(Op::MvI {
+            d: zero,
+            w: Word::int(0),
+        });
+        self.asm.emit(Op::Mv {
+            d: reg::FLAG,
+            s: zero,
+        });
         self.asm.emit(Op::JmpR { r: reg::RR });
 
         self.asm.bind(next);
@@ -1082,9 +1736,22 @@ impl<'a> Tr<'a> {
             b: Operand::Imm(pdl_base),
             t: ldone,
         });
-        self.asm.emit(Op::Alu { op: AluOp::Sub, d: reg::PDL, a: reg::PDL, b: Operand::Imm(2) });
-        self.asm.emit(Op::Ld { d: reg::U1, base: reg::PDL, off: 0 });
-        self.asm.emit(Op::Ld { d: reg::U2, base: reg::PDL, off: 1 });
+        self.asm.emit(Op::Alu {
+            op: AluOp::Sub,
+            d: reg::PDL,
+            a: reg::PDL,
+            b: Operand::Imm(2),
+        });
+        self.asm.emit(Op::Ld {
+            d: reg::U1,
+            base: reg::PDL,
+            off: 0,
+        });
+        self.asm.emit(Op::Ld {
+            d: reg::U2,
+            base: reg::PDL,
+            off: 1,
+        });
         self.asm.emit(Op::Jmp { t: pair });
         self.asm.bind(ldone);
         self.asm.emit(Op::JmpR { r: reg::RR });
@@ -1116,6 +1783,7 @@ fn alu_of(op: symbol_bam::ArithOp) -> AluOp {
         A::Mul => AluOp::Mul,
         A::Div => AluOp::Div,
         A::Mod => AluOp::Mod,
+        A::Rem => AluOp::Rem,
         A::And => AluOp::And,
         A::Or => AluOp::Or,
         A::Xor => AluOp::Xor,

@@ -57,7 +57,10 @@ pub struct Word {
 impl Word {
     /// An integer word.
     pub fn int(v: i64) -> Word {
-        Word { tag: Tag::Int, val: v }
+        Word {
+            tag: Tag::Int,
+            val: v,
+        }
     }
 
     /// An atom word.

@@ -24,7 +24,9 @@ fn run(src: &str) -> Outcome {
     let layout = small_layout();
     let ici = translate(&bam, main, &layout).expect("translate");
     let result = Emulator::new(&ici, &layout)
-        .run(&ExecConfig { max_steps: 50_000_000 })
+        .run(&ExecConfig {
+            max_steps: 50_000_000,
+        })
         .expect("clean run");
     result.outcome
 }

@@ -57,7 +57,15 @@ fn large_constant_table_uses_binary_search() {
     let lt_branches = ici
         .ops()
         .iter()
-        .filter(|o| matches!(o, Op::Br { cond: symbol_intcode::Cond::Gt, .. }))
+        .filter(|o| {
+            matches!(
+                o,
+                Op::Br {
+                    cond: symbol_intcode::Cond::Gt,
+                    ..
+                }
+            )
+        })
         .count();
     assert!(
         lt_branches >= 2,
@@ -78,7 +86,15 @@ fn small_constant_table_stays_linear() {
     let pivots = ici
         .ops()
         .iter()
-        .filter(|o| matches!(o, Op::Br { cond: symbol_intcode::Cond::Gt, .. }))
+        .filter(|o| {
+            matches!(
+                o,
+                Op::Br {
+                    cond: symbol_intcode::Cond::Gt,
+                    ..
+                }
+            )
+        })
         .count();
     assert_eq!(pivots, 0, "small tables use word-equality chains");
 }
@@ -132,9 +148,7 @@ fn trail_checks_guard_every_binding() {
     let hb_compares = ici
         .ops()
         .iter()
-        .filter(|o| {
-            matches!(o, Op::Br { b: symbol_intcode::Operand::Reg(r), .. } if *r == hb)
-        })
+        .filter(|o| matches!(o, Op::Br { b: symbol_intcode::Operand::Reg(r), .. } if *r == hb))
         .count();
     assert!(hb_compares > 0, "bindings must be trail-checked");
 }

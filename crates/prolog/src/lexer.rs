@@ -363,12 +363,15 @@ mod tests {
     #[test]
     fn end_vs_symbolic_dot() {
         // `=..` is a single symbolic atom, not `=` followed by End.
-        assert_eq!(kinds("a =.. b."), vec![
-            Tok::Atom("a".into()),
-            Tok::Atom("=..".into()),
-            Tok::Atom("b".into()),
-            Tok::End,
-        ]);
+        assert_eq!(
+            kinds("a =.. b."),
+            vec![
+                Tok::Atom("a".into()),
+                Tok::Atom("=..".into()),
+                Tok::Atom("b".into()),
+                Tok::End,
+            ]
+        );
     }
 
     #[test]

@@ -245,7 +245,9 @@ mod tests {
     fn ite_gets_cut() {
         let (cs, s) = normalize("p(X) :- (q(X) -> r(X) ; s(X)).");
         let aux = s.lookup("$ite_0").unwrap();
-        let then_clause = cs.iter().find(|c| c.pred() == (aux, 1) && c.body.len() == 3);
+        let then_clause = cs
+            .iter()
+            .find(|c| c.pred() == (aux, 1) && c.body.len() == 3);
         let then_clause = then_clause.expect("then-branch clause");
         assert_eq!(then_clause.body[1], Term::Atom(wk::CUT));
     }
@@ -254,7 +256,9 @@ mod tests {
     fn negation_as_failure_shape() {
         let (cs, s) = normalize("p(X) :- \\+ q(X), r(X).");
         let aux = s.lookup("$not_0").unwrap();
-        let fail_clause = cs.iter().find(|c| c.pred() == (aux, 1) && !c.body.is_empty());
+        let fail_clause = cs
+            .iter()
+            .find(|c| c.pred() == (aux, 1) && !c.body.is_empty());
         let fail_clause = fail_clause.expect("failing clause");
         assert_eq!(fail_clause.body[1], Term::Atom(wk::CUT));
         assert_eq!(fail_clause.body[2], Term::Atom(wk::FAIL));
@@ -282,10 +286,7 @@ mod tests {
         let aux = s.lookup("$or_0").unwrap();
         let c0 = cs.iter().find(|c| c.pred() == (aux, 2)).unwrap();
         // aux head is $or_0(V0, V1) with dense locals
-        assert_eq!(
-            c0.head,
-            Term::Struct(aux, vec![Term::Var(0), Term::Var(1)])
-        );
+        assert_eq!(c0.head, Term::Struct(aux, vec![Term::Var(0), Term::Var(1)]));
     }
 
     #[test]

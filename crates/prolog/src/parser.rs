@@ -127,12 +127,10 @@ impl Parser<'_> {
             let (name, op_prec, kind) = match self.peek() {
                 Some(Token {
                     kind: Tok::Comma, ..
-                }) => {
-                    match ops::infix(",") {
-                        Some((p, k)) => (",".to_owned(), p, k),
-                        None => break,
-                    }
-                }
+                }) => match ops::infix(",") {
+                    Some((p, k)) => (",".to_owned(), p, k),
+                    None => break,
+                },
                 Some(Token {
                     kind: Tok::Atom(a), ..
                 }) => match ops::infix(a) {
@@ -206,7 +204,11 @@ impl Parser<'_> {
         }
     }
 
-    fn parse_atom_or_prefix(&mut self, a: String, max_prec: u32) -> Result<(Term, u32), ParseError> {
+    fn parse_atom_or_prefix(
+        &mut self,
+        a: String,
+        max_prec: u32,
+    ) -> Result<(Term, u32), ParseError> {
         // Functor application: f(...)
         if matches!(
             self.peek(),
@@ -265,15 +267,17 @@ impl Parser<'_> {
     /// prefix operator actually applies).
     fn starts_term(&self) -> bool {
         match self.peek() {
-            Some(Token { kind, .. }) => matches!(
-                kind,
-                Tok::Int(_)
-                    | Tok::Var(_)
-                    | Tok::LParen
-                    | Tok::FunctorParen
-                    | Tok::LBracket
-                    | Tok::LBrace
-            ) || matches!(kind, Tok::Atom(a) if ops::infix(a).is_none() || ops::prefix(a).is_some()),
+            Some(Token { kind, .. }) => {
+                matches!(
+                    kind,
+                    Tok::Int(_)
+                        | Tok::Var(_)
+                        | Tok::LParen
+                        | Tok::FunctorParen
+                        | Tok::LBracket
+                        | Tok::LBrace
+                ) || matches!(kind, Tok::Atom(a) if ops::infix(a).is_none() || ops::prefix(a).is_some())
+            }
             None => false,
         }
     }
@@ -311,10 +315,7 @@ impl Parser<'_> {
                 }
             }
         }
-        let list = items
-            .into_iter()
-            .rev()
-            .fold(tail, |t, h| Term::cons(h, t));
+        let list = items.into_iter().rev().fold(tail, |t, h| Term::cons(h, t));
         Ok((list, 0))
     }
 

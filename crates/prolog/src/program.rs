@@ -22,10 +22,7 @@ impl PredId {
 
     /// Renders as `name/arity` using `symbols`.
     pub fn display<'a>(&self, symbols: &'a SymbolTable) -> PredIdDisplay<'a> {
-        PredIdDisplay {
-            id: *self,
-            symbols,
-        }
+        PredIdDisplay { id: *self, symbols }
     }
 }
 

@@ -1,27 +1,28 @@
 //! Property tests for the front end: any term the AST can express is
 //! re-parsed from its own display form to an alpha-equivalent term.
+//!
+//! Term generation uses a seeded xorshift PRNG (no external crates),
+//! so every run exercises the same deterministic case set.
 
-use proptest::prelude::*;
 use symbol_prolog::{parser, SymbolTable, Term};
 
-/// A strategy over terms whose atoms come from a safe alphabet.
-fn term_strategy() -> impl Strategy<Value = TermSpec> {
-    let leaf = prop_oneof![
-        (0usize..4).prop_map(TermSpec::Var),
-        (-999i64..999).prop_map(TermSpec::Int),
-        prop::sample::select(vec!["a", "bc", "foo", "bar_1", "quux"])
-            .prop_map(|s| TermSpec::Atom(s.to_owned())),
-    ];
-    leaf.prop_recursive(4, 24, 4, |inner| {
-        prop_oneof![
-            (
-                prop::sample::select(vec!["f", "g", "point", "wrap"]),
-                prop::collection::vec(inner.clone(), 1..4)
-            )
-                .prop_map(|(f, args)| TermSpec::Struct(f.to_owned(), args)),
-            prop::collection::vec(inner, 0..4).prop_map(TermSpec::List),
-        ]
-    })
+/// Deterministic xorshift64* PRNG.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Uniform value in `0..n`.
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
 }
 
 /// A symbol-table-independent term description.
@@ -34,6 +35,32 @@ enum TermSpec {
     List(Vec<TermSpec>),
 }
 
+/// A random term whose atoms come from a safe alphabet, at most
+/// `depth` nested levels deep.
+fn random_spec(rng: &mut Rng, depth: usize) -> TermSpec {
+    let leaf = depth == 0 || rng.below(2) == 0;
+    if leaf {
+        match rng.below(3) {
+            0 => TermSpec::Var(rng.below(4) as usize),
+            1 => TermSpec::Int(rng.below(1998) as i64 - 999),
+            _ => {
+                let a = ["a", "bc", "foo", "bar_1", "quux"][rng.below(5) as usize];
+                TermSpec::Atom(a.to_owned())
+            }
+        }
+    } else if rng.below(2) == 0 {
+        let f = ["f", "g", "point", "wrap"][rng.below(4) as usize];
+        let n = 1 + rng.below(3) as usize;
+        TermSpec::Struct(
+            f.to_owned(),
+            (0..n).map(|_| random_spec(rng, depth - 1)).collect(),
+        )
+    } else {
+        let n = rng.below(4) as usize;
+        TermSpec::List((0..n).map(|_| random_spec(rng, depth - 1)).collect())
+    }
+}
+
 impl TermSpec {
     fn build(&self, symbols: &mut SymbolTable) -> Term {
         match self {
@@ -44,9 +71,7 @@ impl TermSpec {
                 let fa = symbols.intern(f);
                 Term::Struct(fa, args.iter().map(|a| a.build(symbols)).collect())
             }
-            TermSpec::List(items) => {
-                Term::list(items.iter().map(|i| i.build(symbols)).collect())
-            }
+            TermSpec::List(items) => Term::list(items.iter().map(|i| i.build(symbols)).collect()),
         }
     }
 }
@@ -64,17 +89,17 @@ fn alpha_eq(a: &Term, b: &Term, map: &mut std::collections::HashMap<usize, usize
         (Term::Int(x), Term::Int(y)) => x == y,
         (Term::Atom(x), Term::Atom(y)) => x == y,
         (Term::Struct(f, xs), Term::Struct(g, ys)) => {
-            f == g
-                && xs.len() == ys.len()
-                && xs.iter().zip(ys).all(|(x, y)| alpha_eq(x, y, map))
+            f == g && xs.len() == ys.len() && xs.iter().zip(ys).all(|(x, y)| alpha_eq(x, y, map))
         }
         _ => false,
     }
 }
 
-proptest! {
-    #[test]
-    fn display_then_parse_is_alpha_identity(spec in term_strategy()) {
+#[test]
+fn display_then_parse_is_alpha_identity() {
+    let mut rng = Rng(0xc0ff_ee00_dead_beef);
+    for _ in 0..256 {
+        let spec = random_spec(&mut rng, 4);
         let mut symbols = SymbolTable::new();
         let term = spec.build(&mut symbols);
         let text = format!("{}", term.display(&symbols));
@@ -82,29 +107,37 @@ proptest! {
             .unwrap_or_else(|e| panic!("reparse of {text:?} failed: {e}"))
             .term;
         let mut map = std::collections::HashMap::new();
-        prop_assert!(
+        assert!(
             alpha_eq(&term, &reparsed, &mut map),
             "{} reparsed as {}",
             term.display(&symbols),
             reparsed.display(&symbols)
         );
     }
+}
 
-    #[test]
-    fn ground_terms_have_no_vars(spec in term_strategy()) {
+#[test]
+fn ground_terms_have_no_vars() {
+    let mut rng = Rng(0xdead_10cc_face_b00c);
+    for _ in 0..256 {
+        let spec = random_spec(&mut rng, 4);
         let mut symbols = SymbolTable::new();
         let term = spec.build(&mut symbols);
         let mut vars = Vec::new();
         term.collect_vars(&mut vars);
-        prop_assert_eq!(term.is_ground(), vars.is_empty());
+        assert_eq!(term.is_ground(), vars.is_empty());
     }
+}
 
-    #[test]
-    fn max_var_bounds_collected_vars(spec in term_strategy()) {
+#[test]
+fn max_var_bounds_collected_vars() {
+    let mut rng = Rng(0xba5e_ba11_ca11_ab1e);
+    for _ in 0..256 {
+        let spec = random_spec(&mut rng, 4);
         let mut symbols = SymbolTable::new();
         let term = spec.build(&mut symbols);
         let mut vars = Vec::new();
         term.collect_vars(&mut vars);
-        prop_assert_eq!(term.max_var(), vars.iter().copied().max());
+        assert_eq!(term.max_var(), vars.iter().copied().max());
     }
 }

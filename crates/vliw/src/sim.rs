@@ -16,7 +16,7 @@ use std::error::Error;
 use std::fmt;
 
 use symbol_intcode::layout::Layout;
-use symbol_intcode::{AluOp, Label, Op, OpClass, Operand, Tag, Word};
+use symbol_intcode::{Label, Op, OpClass, Operand, Tag, Word};
 
 use crate::machine::MachineConfig;
 use crate::program::VliwProgram;
@@ -204,6 +204,13 @@ impl Default for SimConfig {
 pub struct VliwSim<'a> {
     program: &'a VliwProgram,
     machine: MachineConfig,
+    /// Pre-decoded direct branch targets: for every word and slot, the
+    /// slot op's explicit `Label` operand resolved to an instruction
+    /// index at program-load time (`usize::MAX` = no explicit target,
+    /// or a label with no address in this program). The issue loop
+    /// never consults the label table for direct control transfers;
+    /// only indirect jumps (`JmpR`) resolve dynamically.
+    targets: Vec<Vec<usize>>,
     regs: Vec<Word>,
     ready: Vec<u64>,
     mem: Vec<Word>,
@@ -221,9 +228,20 @@ impl<'a> VliwSim<'a> {
                 }
             }
         }
+        let targets = program
+            .instrs()
+            .iter()
+            .map(|w| {
+                w.slots
+                    .iter()
+                    .map(|s| s.op.target().map_or(usize::MAX, |t| program.label_addr(t)))
+                    .collect()
+            })
+            .collect();
         VliwSim {
             program,
             machine,
+            targets,
             regs: vec![Word::int(0); max_reg as usize + 1],
             ready: vec![0; max_reg as usize + 1],
             mem: vec![Word::int(0); layout.total()],
@@ -276,7 +294,7 @@ impl<'a> VliwSim<'a> {
             let mut transfer: Option<Option<usize>> = None; // Some(None) = halt-success marker handled below
             let mut halt: Option<SimOutcome> = None;
 
-            for s in &word.slots {
+            for (si, s) in word.slots.iter().enumerate() {
                 // Latency check on every read.
                 for r in s.op.uses() {
                     if self.ready[r.0 as usize] > cycle {
@@ -307,7 +325,7 @@ impl<'a> VliwSim<'a> {
                     Op::Alu { op, d, a, b } => {
                         let av = self.regs[a.0 as usize].val;
                         let bv = self.operand(b);
-                        let v = match alu(*op, av, bv) {
+                        let v = match op.eval(av, bv) {
                             Some(v) => v,
                             None if s.speculative => 0,
                             None => return Err(SimError::DivideByZero { at }),
@@ -343,7 +361,7 @@ impl<'a> VliwSim<'a> {
                             let av = self.regs[a.0 as usize].val;
                             let bv = self.operand(b);
                             if cond.eval(av, bv) {
-                                transfer = Some(Some(self.resolve(*t, at)?));
+                                transfer = Some(Some(self.direct(at, si, *t)?));
                             }
                         }
                     }
@@ -351,7 +369,7 @@ impl<'a> VliwSim<'a> {
                         if transfer.is_none() && halt.is_none() {
                             let c = (self.regs[a.0 as usize].tag == *tag) == *eq;
                             if c {
-                                transfer = Some(Some(self.resolve(*t, at)?));
+                                transfer = Some(Some(self.direct(at, si, *t)?));
                             }
                         }
                     }
@@ -359,7 +377,7 @@ impl<'a> VliwSim<'a> {
                         if transfer.is_none() && halt.is_none() {
                             let c = (self.regs[a.0 as usize] == *w) == *eq;
                             if c {
-                                transfer = Some(Some(self.resolve(*t, at)?));
+                                transfer = Some(Some(self.direct(at, si, *t)?));
                             }
                         }
                     }
@@ -367,13 +385,13 @@ impl<'a> VliwSim<'a> {
                         if transfer.is_none() && halt.is_none() {
                             let c = (self.regs[a.0 as usize] == self.regs[b.0 as usize]) == *eq;
                             if c {
-                                transfer = Some(Some(self.resolve(*t, at)?));
+                                transfer = Some(Some(self.direct(at, si, *t)?));
                             }
                         }
                     }
                     Op::Jmp { t } => {
                         if transfer.is_none() && halt.is_none() {
-                            transfer = Some(Some(self.resolve(*t, at)?));
+                            transfer = Some(Some(self.direct(at, si, *t)?));
                         }
                     }
                     Op::JmpR { r } => {
@@ -490,6 +508,20 @@ impl<'a> VliwSim<'a> {
         Ok(())
     }
 
+    /// Pre-resolved target of the direct control transfer in slot `si`
+    /// of word `at`; the label is only used to report an unmapped
+    /// target (deferred to first execution, matching lazy resolution).
+    fn direct(&self, at: usize, si: usize, l: Label) -> Result<usize, SimError> {
+        let a = self.targets[at][si];
+        if a == usize::MAX {
+            Err(SimError::UnmappedLabel { at, label: l })
+        } else {
+            Ok(a)
+        }
+    }
+
+    /// Dynamic label resolution, still needed for indirect jumps whose
+    /// target lives in a `Cod`-tagged register at run time.
     fn resolve(&self, l: Label, at: usize) -> Result<usize, SimError> {
         let a = self.program.label_addr(l);
         if a == usize::MAX {
@@ -520,38 +552,12 @@ impl<'a> VliwSim<'a> {
     }
 }
 
-fn alu(op: AluOp, a: i64, b: i64) -> Option<i64> {
-    Some(match op {
-        AluOp::Add => a.wrapping_add(b),
-        AluOp::Sub => a.wrapping_sub(b),
-        AluOp::Mul => a.wrapping_mul(b),
-        AluOp::Div => {
-            if b == 0 {
-                return None;
-            }
-            a.wrapping_div(b)
-        }
-        AluOp::Mod => {
-            if b == 0 {
-                return None;
-            }
-            a.wrapping_rem(b)
-        }
-        AluOp::And => a & b,
-        AluOp::Or => a | b,
-        AluOp::Xor => a ^ b,
-        AluOp::Shl => a.wrapping_shl(b as u32),
-        AluOp::Shr => a.wrapping_shr(b as u32),
-        AluOp::Max => a.max(b),
-    })
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::program::{SlotOp, VliwInstr};
     use std::collections::HashMap;
-    use symbol_intcode::{Cond, R};
+    use symbol_intcode::{AluOp, Cond, R};
 
     fn tiny_layout() -> Layout {
         Layout {
@@ -568,7 +574,11 @@ mod tests {
             slots: ops
                 .into_iter()
                 .enumerate()
-                .map(|(u, op)| SlotOp { unit: u, op, speculative: false })
+                .map(|(u, op)| SlotOp {
+                    unit: u,
+                    op,
+                    speculative: false,
+                })
                 .collect(),
         }
     }
@@ -597,8 +607,14 @@ mod tests {
     fn swap_semantics_success() {
         let instrs = vec![
             word(vec![
-                Op::MvI { d: R(40), w: Word::int(1) },
-                Op::MvI { d: R(41), w: Word::int(2) },
+                Op::MvI {
+                    d: R(40),
+                    w: Word::int(1),
+                },
+                Op::MvI {
+                    d: R(41),
+                    w: Word::int(2),
+                },
             ]),
             VliwInstr::default(),
             word(vec![
@@ -628,9 +644,16 @@ mod tests {
     #[test]
     fn latency_violation_detected() {
         let instrs = vec![
-            word(vec![Op::MvI { d: R(50), w: Word::int(3) }]),
+            word(vec![Op::MvI {
+                d: R(50),
+                w: Word::int(3),
+            }]),
             VliwInstr::default(),
-            word(vec![Op::Ld { d: R(40), base: R(50), off: 0 }]),
+            word(vec![Op::Ld {
+                d: R(40),
+                base: R(50),
+                off: 0,
+            }]),
             // consumer one cycle later: too early for mem_latency 2
             word(vec![Op::Mv { d: R(41), s: R(40) }]),
             word(vec![Op::Halt { success: true }]),
@@ -642,11 +665,22 @@ mod tests {
     #[test]
     fn memory_port_overflow_detected() {
         let instrs = vec![
-            word(vec![Op::MvI { d: R(50), w: Word::int(3) }]),
+            word(vec![Op::MvI {
+                d: R(50),
+                w: Word::int(3),
+            }]),
             VliwInstr::default(),
             word(vec![
-                Op::Ld { d: R(40), base: R(50), off: 0 },
-                Op::Ld { d: R(41), base: R(50), off: 1 },
+                Op::Ld {
+                    d: R(40),
+                    base: R(50),
+                    off: 0,
+                },
+                Op::Ld {
+                    d: R(41),
+                    base: R(50),
+                    off: 1,
+                },
             ]),
             word(vec![Op::Halt { success: true }]),
         ];
@@ -676,8 +710,14 @@ mod tests {
     fn double_write_detected() {
         let instrs = vec![
             word(vec![
-                Op::MvI { d: R(40), w: Word::int(1) },
-                Op::MvI { d: R(40), w: Word::int(2) },
+                Op::MvI {
+                    d: R(40),
+                    w: Word::int(1),
+                },
+                Op::MvI {
+                    d: R(40),
+                    w: Word::int(2),
+                },
             ]),
             word(vec![Op::Halt { success: true }]),
         ];
@@ -717,6 +757,54 @@ mod tests {
     }
 
     #[test]
+    fn alu_mod_is_floored_and_rem_is_truncated() {
+        // -7 mod 3 =:= 2 (floored, divisor's sign); -7 rem 3 =:= -1
+        // (truncated, dividend's sign). Any other result branches to
+        // the failure halt.
+        let mut labels = HashMap::new();
+        labels.insert(Label(0), 0);
+        labels.insert(Label(1), 7);
+        let instrs = vec![
+            word(vec![Op::MvI {
+                d: R(40),
+                w: Word::int(-7),
+            }]),
+            VliwInstr::default(),
+            word(vec![Op::Alu {
+                op: AluOp::Mod,
+                d: R(41),
+                a: R(40),
+                b: Operand::Imm(3),
+            }]),
+            word(vec![Op::Alu {
+                op: AluOp::Rem,
+                d: R(42),
+                a: R(40),
+                b: Operand::Imm(3),
+            }]),
+            word(vec![Op::Br {
+                cond: Cond::Ne,
+                a: R(41),
+                b: Operand::Imm(2),
+                t: Label(1),
+            }]),
+            word(vec![Op::Br {
+                cond: Cond::Ne,
+                a: R(42),
+                b: Operand::Imm(-1),
+                t: Label(1),
+            }]),
+            word(vec![Op::Halt { success: true }]),
+            word(vec![Op::Halt { success: false }]), // label 1
+        ];
+        let p = VliwProgram::new(instrs, labels, 2, Label(0));
+        let r = VliwSim::new(&p, MachineConfig::units(1), &tiny_layout())
+            .run(&SimConfig::default())
+            .unwrap();
+        assert_eq!(r.outcome, SimOutcome::Success);
+    }
+
+    #[test]
     fn multiway_branch_priority() {
         // two branches, both true: the first (priority) wins
         let mut labels = HashMap::new();
@@ -724,10 +812,7 @@ mod tests {
         labels.insert(Label(1), 1);
         labels.insert(Label(2), 2);
         let instrs = vec![
-            word(vec![
-                Op::Jmp { t: Label(1) },
-                Op::Jmp { t: Label(2) },
-            ]),
+            word(vec![Op::Jmp { t: Label(1) }, Op::Jmp { t: Label(2) }]),
             word(vec![Op::Halt { success: true }]),  // label 1
             word(vec![Op::Halt { success: false }]), // label 2
         ];

@@ -3,7 +3,7 @@
 use std::collections::HashMap;
 
 use symbol_intcode::layout::Layout;
-use symbol_intcode::{Label, Op, OpClass, R, Word};
+use symbol_intcode::{Label, Op, OpClass, Word, R};
 use symbol_vliw::{MachineConfig, SimConfig, SlotOp, VliwInstr, VliwProgram, VliwSim};
 
 fn word(ops: Vec<Op>) -> VliwInstr {
@@ -36,11 +36,21 @@ fn class_ops_and_issue_rate() {
     labels.insert(Label(0), 0);
     let instrs = vec![
         word(vec![
-            Op::MvI { d: R(40), w: Word::int(3) },
-            Op::MvI { d: R(41), w: Word::int(4) },
+            Op::MvI {
+                d: R(40),
+                w: Word::int(3),
+            },
+            Op::MvI {
+                d: R(41),
+                w: Word::int(4),
+            },
         ]),
         VliwInstr::default(),
-        word(vec![Op::Ld { d: R(42), base: R(40), off: 0 }]),
+        word(vec![Op::Ld {
+            d: R(42),
+            base: R(40),
+            off: 0,
+        }]),
         word(vec![Op::Halt { success: true }]),
     ];
     let p = VliwProgram::new(instrs, labels, 1, Label(0));
@@ -73,7 +83,12 @@ fn utilization_bounded_by_one() {
     let r = VliwSim::new(&p, machine, &layout())
         .run(&SimConfig::default())
         .unwrap();
-    for class in [OpClass::Memory, OpClass::Alu, OpClass::Move, OpClass::Control] {
+    for class in [
+        OpClass::Memory,
+        OpClass::Alu,
+        OpClass::Move,
+        OpClass::Control,
+    ] {
         let u = r.utilization(&machine, class);
         assert!((0.0..=1.0).contains(&u), "{class:?} utilization {u}");
     }

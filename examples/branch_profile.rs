@@ -14,8 +14,7 @@ use symbol_core::pipeline::Compiled;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let name = std::env::args().nth(1).unwrap_or_else(|| "zebra".into());
-    let bench =
-        benchmarks::by_name(&name).ok_or_else(|| format!("unknown benchmark {name}"))?;
+    let bench = benchmarks::by_name(&name).ok_or_else(|| format!("unknown benchmark {name}"))?;
     let compiled = Compiled::from_source(bench.source)?;
     let run = compiled.run_sequential()?;
 

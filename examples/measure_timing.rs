@@ -1,0 +1,32 @@
+//! Times the suite measurement sequentially and on the parallel
+//! driver, verifying the results are bit-identical (the determinism
+//! guarantee of `experiments::measure_all_with`).
+//!
+//! ```sh
+//! cargo run --release -p symbol-core --example measure_timing
+//! ```
+
+use std::time::Instant;
+
+use symbol_core::experiments::measure_all_with;
+
+fn main() {
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    let t0 = Instant::now();
+    let sequential = measure_all_with(1).expect("suite measures");
+    let seq_time = t0.elapsed();
+    println!("sequential (1 thread):   {seq_time:?}");
+
+    let t1 = Instant::now();
+    let parallel = measure_all_with(threads).expect("suite measures");
+    let par_time = t1.elapsed();
+    println!("parallel ({threads} threads):  {par_time:?}");
+
+    assert_eq!(sequential, parallel, "parallel driver must be bit-identical");
+    println!(
+        "speed-up: {:.2}x (bit-identical results over {} benchmarks)",
+        seq_time.as_secs_f64() / par_time.as_secs_f64(),
+        parallel.len()
+    );
+}

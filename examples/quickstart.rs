@@ -44,8 +44,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         CompactMode::TraceSchedule,
         &TracePolicy::default(),
     );
-    let result = VliwSim::new(&compacted.program, machine, &compiled.layout)
-        .run(&SimConfig::default())?;
+    let result =
+        VliwSim::new(&compacted.program, machine, &compiled.layout).run(&SimConfig::default())?;
     println!(
         "3-unit VLIW: {} cycles ({} words, {} taken transfers) -> {:?}",
         result.cycles, result.instructions, result.taken_branches, result.outcome

@@ -23,8 +23,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             CompactMode::TraceSchedule,
             &TracePolicy::default(),
         );
-        let (_, phys) = regalloc::allocate(&compacted.program, 64)
-            .expect("benchmarks allocate comfortably");
+        let (_, phys) =
+            regalloc::allocate(&compacted.program, 64).expect("benchmarks allocate comfortably");
         let p = pressure::measure(&compacted.program);
         rows.push((format!("{} (alloc {phys} regs)", b.name), p));
     }

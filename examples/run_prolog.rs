@@ -14,9 +14,7 @@ use symbol_vliw::{MachineConfig, SimConfig, SimOutcome, VliwSim};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut args = std::env::args().skip(1);
-    let path = args
-        .next()
-        .ok_or("usage: run_prolog <file.pl> [units]")?;
+    let path = args.next().ok_or("usage: run_prolog <file.pl> [units]")?;
     let units: usize = args.next().map(|u| u.parse()).transpose()?.unwrap_or(3);
 
     let src = std::fs::read_to_string(&path)?;

@@ -1,0 +1,53 @@
+//! The parallel experiment drivers must be *bit-identical* to their
+//! sequential counterparts: every `f64` statistic, every cycle count,
+//! every histogram bin. Results are collected by work-list index, so
+//! thread scheduling can reorder completion but never output — this
+//! suite asserts exactly that.
+
+use symbol_core::benchmarks;
+use symbol_core::experiments::{measure, measure_cached};
+use symbol_core::{Compiled, CompiledCache};
+
+/// Benchmarks small enough to measure repeatedly in debug builds.
+const SUBSET: [&str; 4] = ["conc30", "nreverse", "qsort", "serialise"];
+
+#[test]
+fn parallel_simulations_are_bit_identical_to_sequential() {
+    for name in SUBSET {
+        let b = benchmarks::by_name(name).expect("known benchmark");
+        let compiled = Compiled::from_source(b.source).expect("compiles");
+        let cache = CompiledCache::new(&compiled).expect("profiles");
+        let sequential = measure_cached(b.name, &cache, 1).expect("measures");
+        // Oversubscribe relative to the 8-entry work list so workers
+        // genuinely contend for jobs.
+        for threads in [2, 8, 32] {
+            let parallel = measure_cached(b.name, &cache, threads).expect("measures");
+            assert_eq!(
+                sequential, parallel,
+                "{name}: {threads}-thread driver diverged from sequential"
+            );
+        }
+    }
+}
+
+#[test]
+fn cached_profile_reproduces_the_standalone_driver() {
+    // measure() compiles and profiles internally; going through an
+    // explicitly shared CompiledCache must change nothing.
+    let b = benchmarks::by_name("nreverse").expect("known benchmark");
+    let standalone = measure(b).expect("measures");
+    let compiled = Compiled::from_source(b.source).expect("compiles");
+    let cache = CompiledCache::new(&compiled).expect("profiles");
+    let cached = measure_cached(b.name, &cache, 4).expect("measures");
+    assert_eq!(standalone, cached);
+}
+
+#[test]
+fn repeated_parallel_runs_agree_with_each_other() {
+    let b = benchmarks::by_name("qsort").expect("known benchmark");
+    let compiled = Compiled::from_source(b.source).expect("compiles");
+    let cache = CompiledCache::new(&compiled).expect("profiles");
+    let first = measure_cached(b.name, &cache, 8).expect("measures");
+    let second = measure_cached(b.name, &cache, 8).expect("measures");
+    assert_eq!(first, second);
+}

@@ -147,7 +147,11 @@ fn aquarius_conc30_everywhere() {
 
 #[test]
 fn aquarius_serialise_everywhere() {
-    outcomes_agree(symbol_core::benchmarks::by_name("serialise").unwrap().source);
+    outcomes_agree(
+        symbol_core::benchmarks::by_name("serialise")
+            .unwrap()
+            .source,
+    );
 }
 
 #[test]

@@ -31,13 +31,20 @@ fn assert_shapes(results: &[BenchResult]) {
     // Table 2 / Figure 4: Prolog branches are predictable — the 90/50
     // rule does NOT hold (average P_fp far below 0.25).
     let pfp = avg(&|r| r.pfp_average);
-    assert!(pfp < 0.25, "P_fp {pfp:.3} not clearly below the coin-flip regime");
+    assert!(
+        pfp < 0.25,
+        "P_fp {pfp:.3} not clearly below the coin-flip regime"
+    );
 
     // Table 1: global compaction clearly beats basic blocks, and the
     // trace speed-up sits in the paper's 1.6–3.2 per-benchmark band.
     for r in results {
         let (tr, bb) = r.unbounded_speedups();
-        assert!(tr > bb, "{}: trace {tr:.2} not above basic-block {bb:.2}", r.name);
+        assert!(
+            tr > bb,
+            "{}: trace {tr:.2} not above basic-block {bb:.2}",
+            r.name
+        );
         assert!(
             (1.3..=3.5).contains(&tr),
             "{}: trace speed-up {tr:.2} outside the plausible band",
@@ -93,7 +100,14 @@ fn assert_shapes(results: &[BenchResult]) {
 
 #[test]
 fn shapes_hold_on_fast_subset() {
-    let results = measure_subset(&["conc30", "nreverse", "ops8", "qsort", "serialise", "times10"]);
+    let results = measure_subset(&[
+        "conc30",
+        "nreverse",
+        "ops8",
+        "qsort",
+        "serialise",
+        "times10",
+    ]);
     assert_shapes(&results);
 }
 
