@@ -1,0 +1,185 @@
+//! Legacy vs pre-decoded engine timing: runs the timing subset through
+//! the op-at-a-time [`symbol_intcode::Emulator`] and the micro-op
+//! [`symbol_intcode::DecodedEmulator`] (and the two VLIW simulators)
+//! and reports the step-throughput speedup. Writes the per-benchmark
+//! numbers to `BENCH_emulator.json` at the workspace root.
+//!
+//! With `--check`, exits nonzero if the decoded emulator's geometric
+//! mean speedup over the subset drops below 1.0× — the CI
+//! `timing-smoke` gate that keeps the default engine from regressing
+//! behind the legacy path it replaced.
+
+use std::fmt::Write as _;
+use std::path::Path;
+use std::time::Duration;
+
+use symbol_bench::timing::Harness;
+use symbol_bench::TIMING_SUBSET;
+use symbol_compactor::{compact, CompactMode, TracePolicy};
+use symbol_core::benchmarks;
+use symbol_core::pipeline::Compiled;
+use symbol_intcode::{DecodedEmulator, Emulator, ExecConfig, Layout};
+use symbol_vliw::{DecodedVliw, DecodedVliwSim, MachineConfig, SimConfig, VliwSim};
+
+/// One benchmark's legacy/decoded emulator comparison.
+struct Row {
+    name: &'static str,
+    steps: u64,
+    legacy: Duration,
+    decoded: Duration,
+}
+
+impl Row {
+    fn speedup(&self) -> f64 {
+        self.legacy.as_secs_f64() / self.decoded.as_secs_f64()
+    }
+
+    fn steps_per_sec(&self, mean: Duration) -> f64 {
+        self.steps as f64 / mean.as_secs_f64()
+    }
+}
+
+/// Arenas just big enough for the timing subset. Every `Emulator::new`
+/// zeroes the whole data memory; with the default ~3.6M-word layout
+/// that allocation dominates the per-iteration time for *both* engines
+/// and hides the step-loop difference this bench exists to measure.
+fn small_layout() -> Layout {
+    Layout {
+        heap_size: 1 << 16,
+        env_size: 1 << 14,
+        cp_size: 1 << 14,
+        trail_size: 1 << 14,
+        pdl_size: 1 << 10,
+    }
+}
+
+fn measure(h: &mut Harness) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for &name in TIMING_SUBSET {
+        let src = benchmarks::by_name(name).expect("known benchmark").source;
+        let c = Compiled::from_source_with_layout(src, small_layout()).expect("compiles");
+        let run = c.run_sequential().expect("profiling run");
+        let cfg = ExecConfig::default();
+
+        h.bench_function(&format!("emulator/legacy/{name}"), |b| {
+            b.iter(|| Emulator::new(&c.ici, &c.layout).run(&cfg).expect("runs"))
+        });
+        h.bench_function(&format!("emulator/decoded/{name}"), |b| {
+            b.iter(|| {
+                DecodedEmulator::new(&c.decoded, &c.layout)
+                    .run(&cfg)
+                    .expect("runs")
+            })
+        });
+        let n = h.samples().len();
+        rows.push(Row {
+            name,
+            steps: run.steps,
+            legacy: h.samples()[n - 2].mean,
+            decoded: h.samples()[n - 1].mean,
+        });
+
+        // VLIW side of the tentpole: same comparison on the scheduled
+        // code (timed, reported in the JSON's sidecar section, but not
+        // part of the --check gate — the emulator dominates runtime).
+        let machine = MachineConfig::units(3);
+        let compacted = compact(
+            &c.ici,
+            &run.stats,
+            &machine,
+            CompactMode::TraceSchedule,
+            &TracePolicy::default(),
+        );
+        let sim_cfg = SimConfig::default();
+        h.bench_function(&format!("vliw/legacy/{name}"), |b| {
+            b.iter(|| {
+                VliwSim::new(&compacted.program, machine, &c.layout)
+                    .run(&sim_cfg)
+                    .expect("simulates")
+            })
+        });
+        let lowered = DecodedVliw::new(&compacted.program, machine);
+        h.bench_function(&format!("vliw/decoded/{name}"), |b| {
+            b.iter(|| {
+                DecodedVliwSim::new(&lowered, &c.layout)
+                    .run(&sim_cfg)
+                    .expect("simulates")
+            })
+        });
+    }
+    rows
+}
+
+fn geomean_speedup(rows: &[Row]) -> f64 {
+    let log_sum: f64 = rows.iter().map(|r| r.speedup().ln()).sum();
+    (log_sum / rows.len() as f64).exp()
+}
+
+fn write_report(rows: &[Row], h: &Harness, geomean: f64) {
+    let mut out = String::from("{\n  \"emulator\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let sep = if i + 1 == rows.len() { "" } else { "," };
+        let _ = writeln!(
+            out,
+            "    {{\"name\": \"{}\", \"steps\": {}, \"legacy_ns\": {}, \"decoded_ns\": {}, \
+             \"legacy_steps_per_sec\": {:.0}, \"decoded_steps_per_sec\": {:.0}, \
+             \"speedup\": {:.3}}}{sep}",
+            r.name,
+            r.steps,
+            r.legacy.as_nanos(),
+            r.decoded.as_nanos(),
+            r.steps_per_sec(r.legacy),
+            r.steps_per_sec(r.decoded),
+            r.speedup(),
+        );
+    }
+    let _ = write!(out, "  ],\n  \"vliw\": [\n");
+    let vliw: Vec<_> = h
+        .samples()
+        .iter()
+        .filter(|s| s.name.starts_with("vliw/"))
+        .collect();
+    for (i, s) in vliw.iter().enumerate() {
+        let sep = if i + 1 == vliw.len() { "" } else { "," };
+        let _ = writeln!(
+            out,
+            "    {{\"name\": \"{}\", \"mean_ns\": {}}}{sep}",
+            s.name,
+            s.mean.as_nanos()
+        );
+    }
+    let _ = write!(
+        out,
+        "  ],\n  \"emulator_geomean_speedup\": {geomean:.3}\n}}\n"
+    );
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_emulator.json");
+    if let Err(e) = std::fs::write(&path, out) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    } else {
+        println!("wrote {}", path.display());
+    }
+}
+
+fn main() {
+    let check = std::env::args().any(|a| a == "--check");
+    let mut h = Harness::new();
+    let rows = measure(&mut h);
+    let geomean = geomean_speedup(&rows);
+    write_report(&rows, &h, geomean);
+    for r in &rows {
+        println!(
+            "{:<10} {:>12} steps  legacy {:>9.2} Msteps/s  decoded {:>9.2} Msteps/s  {:>5.2}x",
+            r.name,
+            r.steps,
+            r.steps_per_sec(r.legacy) / 1e6,
+            r.steps_per_sec(r.decoded) / 1e6,
+            r.speedup()
+        );
+    }
+    println!("emulator geomean speedup: {geomean:.3}x");
+    h.final_summary();
+    if check && geomean < 1.0 {
+        eprintln!("FAIL: decoded emulator is slower than legacy (geomean {geomean:.3}x < 1.0x)");
+        std::process::exit(1);
+    }
+}

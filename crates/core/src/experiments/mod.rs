@@ -15,7 +15,7 @@ use symbol_analysis::{ClassMix, PredictStats};
 use symbol_compactor::{
     compact, equal_duration_cycles, sequential_cycles, CompactMode, SeqDurations, TracePolicy,
 };
-use symbol_vliw::{MachineConfig, SimConfig, SimOutcome, SimResult, VliwSim};
+use symbol_vliw::{DecodedVliw, DecodedVliwSim, MachineConfig, SimConfig, SimOutcome, SimResult};
 
 use crate::benchmarks::Benchmark;
 use crate::pipeline::{Compiled, CompiledCache, PipelineError};
@@ -228,8 +228,11 @@ pub fn measure_cached(
     > {
         let machine = sim_machine(machine_code);
         let compacted = compact(&compiled.ici, &run.stats, &machine, mode, &policy);
-        let result = VliwSim::new(&compacted.program, machine, &compiled.layout)
-            .run(&SimConfig::default())?;
+        // Default engine: pre-decode the schedule for this machine and
+        // run the micro-op simulator (bit-identical to the legacy
+        // `VliwSim`, asserted by the workspace differential suite).
+        let decoded = DecodedVliw::new(&compacted.program, machine);
+        let result = DecodedVliwSim::new(&decoded, &compiled.layout).run(&SimConfig::default())?;
         if result.outcome != SimOutcome::Success {
             return Err(PipelineError::WrongAnswer);
         }

@@ -6,6 +6,7 @@ use std::error::Error;
 use std::fmt;
 
 use symbol_bam::BamProgram;
+use symbol_intcode::decode::{DecodedEmulator, DecodedProgram};
 use symbol_intcode::emu::{Emulator, ExecConfig, Outcome, RunResult};
 use symbol_intcode::layout::Layout;
 use symbol_intcode::program::IciProgram;
@@ -89,6 +90,9 @@ pub struct Compiled {
     pub bam: BamProgram,
     /// Executable IntCode.
     pub ici: IciProgram,
+    /// The IntCode pre-decoded into the flat micro-op form — the
+    /// default execution engine of [`Compiled::run_sequential`].
+    pub decoded: DecodedProgram,
     /// Memory layout the code was generated for.
     pub layout: Layout,
 }
@@ -121,16 +125,19 @@ impl Compiled {
             return Err(PipelineError::NoMain);
         }
         let ici = translate::translate(&bam, main, &layout)?;
+        let decoded = DecodedProgram::new(&ici);
         Ok(Compiled {
             program,
             bam,
             ici,
+            decoded,
             layout,
         })
     }
 
-    /// Runs the sequential emulator, requiring the query's self-check
-    /// to succeed.
+    /// Runs the sequential emulation on the pre-decoded micro-op
+    /// engine (the default path), requiring the query's self-check to
+    /// succeed.
     ///
     /// # Errors
     ///
@@ -138,6 +145,22 @@ impl Compiled {
     /// [`PipelineError::Exec`] on machine errors or step-limit
     /// exhaustion.
     pub fn run_sequential(&self) -> Result<RunResult, PipelineError> {
+        let result =
+            DecodedEmulator::new(&self.decoded, &self.layout).run(&ExecConfig::default())?;
+        if result.outcome != Outcome::Success {
+            return Err(PipelineError::WrongAnswer);
+        }
+        Ok(result)
+    }
+
+    /// [`Compiled::run_sequential`] on the legacy op-at-a-time
+    /// interpreter — kept for differential testing against the decoded
+    /// engine.
+    ///
+    /// # Errors
+    ///
+    /// See [`Compiled::run_sequential`].
+    pub fn run_sequential_legacy(&self) -> Result<RunResult, PipelineError> {
         let result = Emulator::new(&self.ici, &self.layout).run(&ExecConfig::default())?;
         if result.outcome != Outcome::Success {
             return Err(PipelineError::WrongAnswer);
@@ -187,6 +210,17 @@ mod tests {
         assert_eq!(cache.run.steps, direct.steps);
         assert_eq!(cache.run.stats.expect, direct.stats.expect);
         assert_eq!(cache.run.stats.taken, direct.stats.taken);
+    }
+
+    #[test]
+    fn decoded_default_engine_matches_legacy() {
+        let c = Compiled::from_source("main :- X is 5 * 5, X = 25.").unwrap();
+        let d = c.run_sequential().unwrap();
+        let l = c.run_sequential_legacy().unwrap();
+        assert_eq!(d.outcome, l.outcome);
+        assert_eq!(d.steps, l.steps);
+        assert_eq!(d.stats.expect, l.stats.expect);
+        assert_eq!(d.stats.taken, l.stats.taken);
     }
 
     #[test]

@@ -60,6 +60,14 @@ pub enum ExecError {
         /// Op index.
         at: usize,
     },
+    /// Indirect jump through a code word whose label id has no
+    /// address in this program.
+    UnmappedLabel {
+        /// The unresolvable label.
+        label: Label,
+        /// Op index.
+        at: usize,
+    },
     /// The step limit was exceeded.
     StepLimit {
         /// The limit that was hit.
@@ -78,6 +86,9 @@ impl fmt::Display for ExecError {
             ExecError::DivideByZero { at } => write!(f, "division by zero at op {at}"),
             ExecError::BadCodeWord { word, at } => {
                 write!(f, "indirect jump through non-code word {word} at op {at}")
+            }
+            ExecError::UnmappedLabel { label, at } => {
+                write!(f, "indirect jump to unmapped label {label} at op {at}")
             }
             ExecError::StepLimit { limit } => write!(f, "step limit {limit} exceeded"),
             ExecError::RanOffEnd => write!(f, "execution ran off the end of the program"),
@@ -333,7 +344,20 @@ impl<'a> Emulator<'a> {
                     if w.tag != Tag::Cod {
                         return Err(ExecError::BadCodeWord { word: w, at });
                     }
-                    self.pc = self.program.label_addr(Label(w.val as u32));
+                    // Dense label → pc table; an unmapped id is a
+                    // run-time error, not a panic (code words can hold
+                    // arbitrary values by the time they are jumped
+                    // through).
+                    let id = w.val as u32;
+                    match self.program.label_table().get(id as usize) {
+                        Some(&a) if a != usize::MAX => self.pc = a,
+                        _ => {
+                            return Err(ExecError::UnmappedLabel {
+                                label: Label(id),
+                                at,
+                            })
+                        }
+                    }
                 }
                 Op::Halt { success } => {
                     return Ok(if *success {

@@ -1,0 +1,935 @@
+//! Pre-decoded micro-op execution engine for the VLIW simulator.
+//!
+//! [`DecodedVliw`] lowers a scheduled [`VliwProgram`] once, at load
+//! time, for one specific [`MachineConfig`]:
+//!
+//! * every long-instruction word's slots become dense per-class issue
+//!   records ([`DecodedSlot`]s) with register ids, immediates and the
+//!   (at most two) source registers of the latency check pre-extracted
+//!   — the per-cycle `Vec` allocations of the legacy issue loop
+//!   (`Op::uses()`, the write buffers) are gone,
+//! * the static resource verdict of each word — issue width, per-class
+//!   slot budgets, unit conflicts, the prototype's format restriction —
+//!   is evaluated **once** per word by
+//!   [`crate::sim::check_word_resources`] and stored, so the issue loop
+//!   replays a precomputed `Option<SimError>` instead of re-matching
+//!   slots against classes every cycle,
+//! * direct branch targets are pre-resolved instruction indices and the
+//!   per-word class-operation counts are pre-summed.
+//!
+//! [`DecodedVliwSim`] executes the decoded form and is **bit-identical**
+//! to [`crate::sim::VliwSim`]: same [`SimResult`] (cycles, instruction
+//! and op counts, taken branches, class ops) and same [`SimError`]
+//! values, asserted by the workspace differential suite.
+
+use symbol_intcode::layout::Layout;
+use symbol_intcode::{AluOp, Cond, Label, Op, OpClass, Operand, Tag, Word};
+
+use crate::machine::MachineConfig;
+use crate::program::VliwProgram;
+use crate::sim::{check_word_resources, SimConfig, SimError, SimOutcome, SimResult};
+
+/// Sentinel for "no register" in a [`DecodedSlot`]'s use list and for
+/// "no address" in a resolved target.
+const NONE: u32 = u32::MAX;
+
+/// The operation payload of one decoded slot: operands resolved to
+/// plain indices, the register/immediate alternative monomorphized
+/// into separate kinds, and branch targets resolved to instruction
+/// indices (`NONE` = the label has no address in this program; taking
+/// such a branch reports [`SimError::UnmappedLabel`] with the kept
+/// label id, exactly like the legacy lazy resolution).
+#[derive(Copy, Clone, Debug)]
+enum SlotMicro {
+    Ld {
+        d: u32,
+        base: u32,
+        off: i32,
+    },
+    St {
+        s: u32,
+        base: u32,
+        off: i32,
+    },
+    Mv {
+        d: u32,
+        s: u32,
+    },
+    MvI {
+        d: u32,
+        w: Word,
+    },
+    AluRR {
+        op: AluOp,
+        d: u32,
+        a: u32,
+        b: u32,
+    },
+    AluRI {
+        op: AluOp,
+        d: u32,
+        a: u32,
+        imm: i64,
+    },
+    AddARR {
+        d: u32,
+        a: u32,
+        b: u32,
+    },
+    AddARI {
+        d: u32,
+        a: u32,
+        imm: i64,
+    },
+    MkTag {
+        d: u32,
+        s: u32,
+        tag: Tag,
+    },
+    BrRR {
+        cond: Cond,
+        a: u32,
+        b: u32,
+        t: u32,
+        l: u32,
+    },
+    BrRI {
+        cond: Cond,
+        a: u32,
+        imm: i64,
+        t: u32,
+        l: u32,
+    },
+    BrTag {
+        a: u32,
+        tag: Tag,
+        eq: bool,
+        t: u32,
+        l: u32,
+    },
+    BrWord {
+        a: u32,
+        w: Word,
+        eq: bool,
+        t: u32,
+        l: u32,
+    },
+    BrWEq {
+        a: u32,
+        b: u32,
+        eq: bool,
+        t: u32,
+        l: u32,
+    },
+    Jmp {
+        t: u32,
+        l: u32,
+    },
+    JmpR {
+        r: u32,
+    },
+    Halt {
+        success: bool,
+    },
+}
+
+/// One pre-decoded issue record.
+#[derive(Copy, Clone, Debug)]
+struct DecodedSlot {
+    /// Source registers read by the op (`NONE`-padded), extracted once
+    /// so the per-cycle latency check never allocates.
+    uses: [u32; 2],
+    /// Whether faults of this op are dismissed (compactor speculation).
+    speculative: bool,
+    /// The operation.
+    op: SlotMicro,
+}
+
+/// One pre-decoded instruction word: a dense slice into the flat slot
+/// vector plus everything about the word that is static per machine.
+#[derive(Clone, Debug)]
+struct DecodedWord {
+    /// First slot index in [`DecodedVliw::slots`].
+    first: u32,
+    /// Number of slots.
+    len: u32,
+    /// Pre-summed executed-op counts per class (memory, ALU, move,
+    /// control).
+    class_counts: [u16; 4],
+    /// Pre-evaluated static resource verdict: the error the legacy
+    /// simulator would raise on every issue of this word, or `None`
+    /// when the word fits the machine.
+    fault: Option<SimError>,
+}
+
+/// A [`VliwProgram`] lowered to the flat issue-record form for one
+/// specific machine configuration.
+#[derive(Clone, Debug)]
+pub struct DecodedVliw {
+    words: Vec<DecodedWord>,
+    slots: Vec<DecodedSlot>,
+    /// Dense label id → instruction index (`NONE` = unbound), for the
+    /// indirect jumps that must still resolve at run time.
+    label_pc: Vec<u32>,
+    machine: MachineConfig,
+    entry_pc: usize,
+    num_regs: usize,
+}
+
+impl DecodedVliw {
+    /// Decodes a scheduled program for `machine`. Decoding never fails:
+    /// resource violations are recorded per word and reported (exactly
+    /// like the legacy simulator) when the word is first issued.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program has ≥ `u32::MAX` slots or instruction
+    /// words (far beyond any schedulable program).
+    pub fn new(program: &VliwProgram, machine: MachineConfig) -> Self {
+        let instrs = program.instrs();
+        assert!(instrs.len() < u32::MAX as usize, "program too large");
+        let mut words = Vec::with_capacity(instrs.len());
+        let mut slots = Vec::with_capacity(program.num_ops());
+        let mut num_regs = 1usize;
+        for (at, w) in instrs.iter().enumerate() {
+            let first = u32::try_from(slots.len()).expect("slot count fits u32");
+            let mut class_counts = [0u16; 4];
+            for s in &w.slots {
+                let idx = match s.op.class() {
+                    OpClass::Memory => 0,
+                    OpClass::Alu => 1,
+                    OpClass::Move => 2,
+                    OpClass::Control => 3,
+                };
+                class_counts[idx] += 1;
+                let mut uses = [NONE; 2];
+                for (k, r) in s.op.uses().into_iter().enumerate() {
+                    uses[k] = r.0;
+                    num_regs = num_regs.max(r.0 as usize + 1);
+                }
+                if let Some(r) = s.op.def() {
+                    num_regs = num_regs.max(r.0 as usize + 1);
+                }
+                let t = |l: Label| {
+                    let a = program.label_addr(l);
+                    if a == usize::MAX {
+                        NONE
+                    } else {
+                        a as u32
+                    }
+                };
+                let op = match s.op {
+                    Op::Ld { d, base, off } => SlotMicro::Ld {
+                        d: d.0,
+                        base: base.0,
+                        off,
+                    },
+                    Op::St { s, base, off } => SlotMicro::St {
+                        s: s.0,
+                        base: base.0,
+                        off,
+                    },
+                    Op::Mv { d, s } => SlotMicro::Mv { d: d.0, s: s.0 },
+                    Op::MvI { d, w } => SlotMicro::MvI { d: d.0, w },
+                    Op::Alu { op, d, a, b } => match b {
+                        Operand::Reg(b) => SlotMicro::AluRR {
+                            op,
+                            d: d.0,
+                            a: a.0,
+                            b: b.0,
+                        },
+                        Operand::Imm(imm) => SlotMicro::AluRI {
+                            op,
+                            d: d.0,
+                            a: a.0,
+                            imm,
+                        },
+                    },
+                    Op::AddA { d, a, b } => match b {
+                        Operand::Reg(b) => SlotMicro::AddARR {
+                            d: d.0,
+                            a: a.0,
+                            b: b.0,
+                        },
+                        Operand::Imm(imm) => SlotMicro::AddARI {
+                            d: d.0,
+                            a: a.0,
+                            imm,
+                        },
+                    },
+                    Op::MkTag { d, s, tag } => SlotMicro::MkTag {
+                        d: d.0,
+                        s: s.0,
+                        tag,
+                    },
+                    Op::Br { cond, a, b, t: l } => match b {
+                        Operand::Reg(b) => SlotMicro::BrRR {
+                            cond,
+                            a: a.0,
+                            b: b.0,
+                            t: t(l),
+                            l: l.0,
+                        },
+                        Operand::Imm(imm) => SlotMicro::BrRI {
+                            cond,
+                            a: a.0,
+                            imm,
+                            t: t(l),
+                            l: l.0,
+                        },
+                    },
+                    Op::BrTag { a, tag, eq, t: l } => SlotMicro::BrTag {
+                        a: a.0,
+                        tag,
+                        eq,
+                        t: t(l),
+                        l: l.0,
+                    },
+                    Op::BrWord { a, w, eq, t: l } => SlotMicro::BrWord {
+                        a: a.0,
+                        w,
+                        eq,
+                        t: t(l),
+                        l: l.0,
+                    },
+                    Op::BrWEq { a, b, eq, t: l } => SlotMicro::BrWEq {
+                        a: a.0,
+                        b: b.0,
+                        eq,
+                        t: t(l),
+                        l: l.0,
+                    },
+                    Op::Jmp { t: l } => SlotMicro::Jmp { t: t(l), l: l.0 },
+                    Op::JmpR { r } => SlotMicro::JmpR { r: r.0 },
+                    Op::Halt { success } => SlotMicro::Halt { success },
+                };
+                slots.push(DecodedSlot {
+                    uses,
+                    speculative: s.speculative,
+                    op,
+                });
+            }
+            words.push(DecodedWord {
+                first,
+                len: w.slots.len() as u32,
+                class_counts,
+                fault: check_word_resources(w, &machine, at).err(),
+            });
+        }
+        let label_pc = program
+            .label_table()
+            .iter()
+            .map(|&a| if a == usize::MAX { NONE } else { a as u32 })
+            .collect();
+        DecodedVliw {
+            words,
+            slots,
+            label_pc,
+            machine,
+            entry_pc: program.label_addr(program.entry()),
+            num_regs,
+        }
+    }
+
+    /// The machine configuration the program was decoded for.
+    pub fn machine(&self) -> &MachineConfig {
+        &self.machine
+    }
+
+    /// Number of instruction words.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Whether the program is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+}
+
+/// The VLIW machine state, executing a [`DecodedVliw`].
+#[derive(Debug)]
+pub struct DecodedVliwSim<'a> {
+    program: &'a DecodedVliw,
+    regs: Vec<Word>,
+    ready: Vec<u64>,
+    mem: Vec<Word>,
+    pc: usize,
+    /// Reused phase-1 buffers (register writes carry the result-ready
+    /// cycle); cleared every issue instead of reallocated.
+    reg_writes: Vec<(u32, Word, u64)>,
+    mem_writes: Vec<(i64, Word)>,
+    written: Vec<u32>,
+}
+
+impl<'a> DecodedVliwSim<'a> {
+    /// Creates a simulator with zeroed state.
+    pub fn new(program: &'a DecodedVliw, layout: &Layout) -> Self {
+        DecodedVliwSim {
+            program,
+            regs: vec![Word::int(0); program.num_regs],
+            ready: vec![0; program.num_regs],
+            mem: vec![Word::int(0); layout.total()],
+            pc: program.entry_pc,
+            reg_writes: Vec::new(),
+            mem_writes: Vec::new(),
+            written: Vec::new(),
+        }
+    }
+
+    /// Runs to completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SimError`] on any machine-model violation or
+    /// run-time fault; Prolog failure is a normal outcome.
+    pub fn run(&mut self, cfg: &SimConfig) -> Result<SimResult, SimError> {
+        let words = self.program.words.as_slice();
+        let all_slots = self.program.slots.as_slice();
+        let mem_latency = self.program.machine.mem_latency as u64;
+        let alu_latency = self.program.machine.alu_latency as u64;
+        let branch_penalty = self.program.machine.taken_branch_penalty as u64;
+        let mut cycle: u64 = 0;
+        let mut executed: u64 = 0;
+        let mut ops: u64 = 0;
+        let mut taken: u64 = 0;
+        let mut class_ops = [0u64; 4];
+
+        loop {
+            if cycle >= cfg.max_cycles {
+                return Err(SimError::CycleLimit {
+                    limit: cfg.max_cycles,
+                });
+            }
+            let at = self.pc;
+            let word = match words.get(at) {
+                Some(w) => w,
+                None => return Err(SimError::RanOffEnd),
+            };
+            executed += 1;
+            ops += word.len as u64;
+            for (acc, &c) in class_ops.iter_mut().zip(&word.class_counts) {
+                *acc += c as u64;
+            }
+            if let Some(fault) = &word.fault {
+                return Err(fault.clone());
+            }
+            let slots = &all_slots[word.first as usize..(word.first + word.len) as usize];
+
+            // Phase 1: evaluate everything against the pre-state.
+            self.reg_writes.clear();
+            self.mem_writes.clear();
+            let mut transfer: Option<usize> = None;
+            let mut halt: Option<SimOutcome> = None;
+
+            for s in slots {
+                // Latency check on every read (use-list order matches
+                // the legacy `Op::uses()` order).
+                for &r in &s.uses {
+                    if r != NONE && self.ready[r as usize] > cycle {
+                        return Err(SimError::LatencyViolation { at, reg: r });
+                    }
+                }
+                match s.op {
+                    SlotMicro::Ld { d, base, off } => {
+                        let addr = self.regs[base as usize].val + off as i64;
+                        let w = match self.load(addr, at) {
+                            Ok(w) => w,
+                            // dismissable speculative load: the value is
+                            // dead on the faulting path
+                            Err(_) if s.speculative => Word::int(0),
+                            Err(e) => return Err(e),
+                        };
+                        self.reg_writes.push((d, w, cycle + mem_latency));
+                    }
+                    SlotMicro::St { s: src, base, off } => {
+                        let addr = self.regs[base as usize].val + off as i64;
+                        self.check_addr(addr, at)?;
+                        self.mem_writes.push((addr, self.regs[src as usize]));
+                    }
+                    SlotMicro::Mv { d, s: src } => {
+                        self.reg_writes
+                            .push((d, self.regs[src as usize], cycle + 1));
+                    }
+                    SlotMicro::MvI { d, w } => self.reg_writes.push((d, w, cycle + 1)),
+                    SlotMicro::AluRR { op, d, a, b } => {
+                        let av = self.regs[a as usize].val;
+                        let bv = self.regs[b as usize].val;
+                        let v = match op.eval(av, bv) {
+                            Some(v) => v,
+                            None if s.speculative => 0,
+                            None => return Err(SimError::DivideByZero { at }),
+                        };
+                        self.reg_writes.push((d, Word::int(v), cycle + alu_latency));
+                    }
+                    SlotMicro::AluRI { op, d, a, imm } => {
+                        let av = self.regs[a as usize].val;
+                        let v = match op.eval(av, imm) {
+                            Some(v) => v,
+                            None if s.speculative => 0,
+                            None => return Err(SimError::DivideByZero { at }),
+                        };
+                        self.reg_writes.push((d, Word::int(v), cycle + alu_latency));
+                    }
+                    SlotMicro::AddARR { d, a, b } => {
+                        let aw = self.regs[a as usize];
+                        let bv = self.regs[b as usize].val;
+                        self.reg_writes.push((
+                            d,
+                            Word {
+                                tag: aw.tag,
+                                val: aw.val.wrapping_add(bv),
+                            },
+                            cycle + alu_latency,
+                        ));
+                    }
+                    SlotMicro::AddARI { d, a, imm } => {
+                        let aw = self.regs[a as usize];
+                        self.reg_writes.push((
+                            d,
+                            Word {
+                                tag: aw.tag,
+                                val: aw.val.wrapping_add(imm),
+                            },
+                            cycle + alu_latency,
+                        ));
+                    }
+                    SlotMicro::MkTag { d, s: src, tag } => {
+                        let v = self.regs[src as usize].val;
+                        self.reg_writes
+                            .push((d, Word { tag, val: v }, cycle + alu_latency));
+                    }
+                    SlotMicro::BrRR { cond, a, b, t, l } => {
+                        if transfer.is_none()
+                            && halt.is_none()
+                            && cond.eval(self.regs[a as usize].val, self.regs[b as usize].val)
+                        {
+                            transfer = Some(Self::direct(t, l, at)?);
+                        }
+                    }
+                    SlotMicro::BrRI { cond, a, imm, t, l } => {
+                        if transfer.is_none()
+                            && halt.is_none()
+                            && cond.eval(self.regs[a as usize].val, imm)
+                        {
+                            transfer = Some(Self::direct(t, l, at)?);
+                        }
+                    }
+                    SlotMicro::BrTag { a, tag, eq, t, l } => {
+                        if transfer.is_none()
+                            && halt.is_none()
+                            && (self.regs[a as usize].tag == tag) == eq
+                        {
+                            transfer = Some(Self::direct(t, l, at)?);
+                        }
+                    }
+                    SlotMicro::BrWord { a, w, eq, t, l } => {
+                        if transfer.is_none()
+                            && halt.is_none()
+                            && (self.regs[a as usize] == w) == eq
+                        {
+                            transfer = Some(Self::direct(t, l, at)?);
+                        }
+                    }
+                    SlotMicro::BrWEq { a, b, eq, t, l } => {
+                        if transfer.is_none()
+                            && halt.is_none()
+                            && (self.regs[a as usize] == self.regs[b as usize]) == eq
+                        {
+                            transfer = Some(Self::direct(t, l, at)?);
+                        }
+                    }
+                    SlotMicro::Jmp { t, l } => {
+                        if transfer.is_none() && halt.is_none() {
+                            transfer = Some(Self::direct(t, l, at)?);
+                        }
+                    }
+                    SlotMicro::JmpR { r } => {
+                        if transfer.is_none() && halt.is_none() {
+                            let w = self.regs[r as usize];
+                            if w.tag != Tag::Cod {
+                                return Err(SimError::BadCodeWord { at });
+                            }
+                            transfer = Some(self.resolve(Label(w.val as u32), at)?);
+                        }
+                    }
+                    SlotMicro::Halt { success } => {
+                        if transfer.is_none() && halt.is_none() {
+                            halt = Some(if success {
+                                SimOutcome::Success
+                            } else {
+                                SimOutcome::Failure
+                            });
+                        }
+                    }
+                }
+            }
+
+            // Phase 2: commit.
+            self.written.clear();
+            for &(r, w, rdy) in &self.reg_writes {
+                if self.written.contains(&r) {
+                    return Err(SimError::DoubleWrite { at, reg: r });
+                }
+                self.written.push(r);
+                self.regs[r as usize] = w;
+                self.ready[r as usize] = rdy;
+            }
+            for &(addr, w) in &self.mem_writes {
+                self.mem[addr as usize] = w;
+            }
+
+            if let Some(outcome) = halt {
+                return Ok(SimResult {
+                    outcome,
+                    cycles: cycle + 1,
+                    instructions: executed,
+                    ops,
+                    taken_branches: taken,
+                    class_ops,
+                });
+            }
+            match transfer {
+                Some(target) => {
+                    taken += 1;
+                    cycle += 1 + branch_penalty;
+                    self.pc = target;
+                }
+                None => {
+                    cycle += 1;
+                    self.pc = at + 1;
+                }
+            }
+        }
+    }
+
+    /// Pre-resolved target of a direct control transfer; the kept label
+    /// id is only used to report an unmapped target, deferred to first
+    /// execution exactly like the legacy lazy resolution.
+    #[inline(always)]
+    fn direct(t: u32, l: u32, at: usize) -> Result<usize, SimError> {
+        if t == NONE {
+            Err(SimError::UnmappedLabel {
+                at,
+                label: Label(l),
+            })
+        } else {
+            Ok(t as usize)
+        }
+    }
+
+    /// Dynamic label resolution for indirect jumps whose target lives
+    /// in a `Cod`-tagged register at run time.
+    #[inline(always)]
+    fn resolve(&self, l: Label, at: usize) -> Result<usize, SimError> {
+        match self.program.label_pc.get(l.0 as usize) {
+            Some(&a) if a != NONE => Ok(a as usize),
+            _ => Err(SimError::UnmappedLabel { at, label: l }),
+        }
+    }
+
+    fn check_addr(&self, addr: i64, at: usize) -> Result<(), SimError> {
+        if addr < 0 || addr as usize >= self.mem.len() {
+            Err(SimError::BadAddress { at, addr })
+        } else {
+            Ok(())
+        }
+    }
+
+    fn load(&self, addr: i64, at: usize) -> Result<Word, SimError> {
+        self.check_addr(addr, at)?;
+        Ok(self.mem[addr as usize])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{SlotOp, VliwInstr};
+    use crate::sim::VliwSim;
+    use std::collections::HashMap;
+    use symbol_intcode::R;
+
+    fn tiny_layout() -> Layout {
+        Layout {
+            heap_size: 64,
+            env_size: 64,
+            cp_size: 64,
+            trail_size: 64,
+            pdl_size: 64,
+        }
+    }
+
+    fn word(ops: Vec<Op>) -> VliwInstr {
+        VliwInstr {
+            slots: ops
+                .into_iter()
+                .enumerate()
+                .map(|(u, op)| SlotOp {
+                    unit: u,
+                    op,
+                    speculative: false,
+                })
+                .collect(),
+        }
+    }
+
+    /// Runs a program through both engines and asserts bit-identical
+    /// results (success or error alike).
+    fn differential(p: &VliwProgram, machine: MachineConfig) {
+        let layout = tiny_layout();
+        let legacy = VliwSim::new(p, machine, &layout).run(&SimConfig::default());
+        let decoded = DecodedVliw::new(p, machine);
+        let fast = DecodedVliwSim::new(&decoded, &layout).run(&SimConfig::default());
+        match (legacy, fast) {
+            (Ok(l), Ok(d)) => {
+                assert_eq!(l.outcome, d.outcome, "outcome diverged");
+                assert_eq!(l.cycles, d.cycles, "cycles diverged");
+                assert_eq!(l.instructions, d.instructions, "instructions diverged");
+                assert_eq!(l.ops, d.ops, "ops diverged");
+                assert_eq!(l.taken_branches, d.taken_branches, "taken diverged");
+                assert_eq!(l.class_ops, d.class_ops, "class_ops diverged");
+            }
+            (l, d) => assert_eq!(l.err(), d.err(), "errors diverged"),
+        }
+    }
+
+    fn program(instrs: Vec<VliwInstr>, labels: &[(u32, usize)]) -> VliwProgram {
+        let mut map = HashMap::new();
+        let mut num = 1;
+        for &(l, at) in labels {
+            map.insert(Label(l), at);
+            num = num.max(l + 1);
+        }
+        VliwProgram::new(instrs, map, num, Label(0))
+    }
+
+    #[test]
+    fn decoded_matches_legacy_on_swap_and_branches() {
+        let instrs = vec![
+            word(vec![
+                Op::MvI {
+                    d: R(40),
+                    w: Word::int(1),
+                },
+                Op::MvI {
+                    d: R(41),
+                    w: Word::int(2),
+                },
+            ]),
+            VliwInstr::default(),
+            word(vec![
+                Op::Mv { d: R(40), s: R(41) },
+                Op::Mv { d: R(41), s: R(40) },
+            ]),
+            VliwInstr::default(),
+            word(vec![Op::Br {
+                cond: Cond::Ne,
+                a: R(41),
+                b: Operand::Imm(1),
+                t: Label(1),
+            }]),
+            word(vec![Op::Halt { success: true }]),
+            word(vec![Op::Halt { success: false }]),
+        ];
+        let p = program(instrs, &[(0, 0), (1, 6)]);
+        differential(&p, MachineConfig::units(4));
+    }
+
+    #[test]
+    fn decoded_matches_legacy_on_memory_and_latency() {
+        // store + load round trip with the mem-latency gap respected
+        let instrs = vec![
+            word(vec![Op::MvI {
+                d: R(50),
+                w: Word::int(3),
+            }]),
+            VliwInstr::default(),
+            word(vec![Op::St {
+                s: R(50),
+                base: R(50),
+                off: 0,
+            }]),
+            word(vec![Op::Ld {
+                d: R(40),
+                base: R(50),
+                off: 0,
+            }]),
+            VliwInstr::default(),
+            VliwInstr::default(),
+            word(vec![Op::BrWEq {
+                a: R(40),
+                b: R(50),
+                eq: true,
+                t: Label(1),
+            }]),
+            word(vec![Op::Halt { success: false }]),
+            word(vec![Op::Halt { success: true }]),
+        ];
+        let p = program(instrs, &[(0, 0), (1, 8)]);
+        differential(&p, MachineConfig::units(2));
+    }
+
+    #[test]
+    fn decoded_matches_legacy_on_latency_violation() {
+        let instrs = vec![
+            word(vec![Op::MvI {
+                d: R(50),
+                w: Word::int(3),
+            }]),
+            VliwInstr::default(),
+            word(vec![Op::Ld {
+                d: R(40),
+                base: R(50),
+                off: 0,
+            }]),
+            word(vec![Op::Mv { d: R(41), s: R(40) }]),
+            word(vec![Op::Halt { success: true }]),
+        ];
+        let p = program(instrs, &[(0, 0)]);
+        differential(&p, MachineConfig::units(1));
+    }
+
+    #[test]
+    fn decoded_matches_legacy_on_double_write_and_overflow() {
+        // double write
+        let p = program(
+            vec![
+                word(vec![
+                    Op::MvI {
+                        d: R(40),
+                        w: Word::int(1),
+                    },
+                    Op::MvI {
+                        d: R(40),
+                        w: Word::int(2),
+                    },
+                ]),
+                word(vec![Op::Halt { success: true }]),
+            ],
+            &[(0, 0)],
+        );
+        differential(&p, MachineConfig::units(4));
+
+        // memory-port slot overflow
+        let p = program(
+            vec![
+                word(vec![
+                    Op::Ld {
+                        d: R(40),
+                        base: R(50),
+                        off: 0,
+                    },
+                    Op::Ld {
+                        d: R(41),
+                        base: R(50),
+                        off: 1,
+                    },
+                ]),
+                word(vec![Op::Halt { success: true }]),
+            ],
+            &[(0, 0)],
+        );
+        differential(&p, MachineConfig::units(4));
+    }
+
+    #[test]
+    fn precomputed_fault_carries_the_overflowing_class() {
+        let p = program(
+            vec![
+                word(vec![
+                    Op::Ld {
+                        d: R(40),
+                        base: R(50),
+                        off: 0,
+                    },
+                    Op::Ld {
+                        d: R(41),
+                        base: R(50),
+                        off: 1,
+                    },
+                ]),
+                word(vec![Op::Halt { success: true }]),
+            ],
+            &[(0, 0)],
+        );
+        let decoded = DecodedVliw::new(&p, MachineConfig::units(4));
+        let err = DecodedVliwSim::new(&decoded, &tiny_layout())
+            .run(&SimConfig::default())
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SimError::SlotOverflow {
+                at: 0,
+                class: OpClass::Memory
+            }
+        );
+    }
+
+    #[test]
+    fn width_overflow_is_its_own_error() {
+        let p = program(
+            vec![
+                word(vec![
+                    Op::MvI {
+                        d: R(40),
+                        w: Word::int(1),
+                    },
+                    Op::MvI {
+                        d: R(41),
+                        w: Word::int(2),
+                    },
+                ]),
+                word(vec![Op::Halt { success: true }]),
+            ],
+            &[(0, 0)],
+        );
+        let machine = MachineConfig {
+            issue_width: 1,
+            ..MachineConfig::units(2)
+        };
+        let decoded = DecodedVliw::new(&p, machine);
+        let err = DecodedVliwSim::new(&decoded, &tiny_layout())
+            .run(&SimConfig::default())
+            .unwrap_err();
+        assert_eq!(err, SimError::WidthOverflow { at: 0 });
+        differential(&p, machine);
+    }
+
+    #[test]
+    fn unexecuted_overfull_word_is_not_an_error() {
+        // The fault is precomputed at decode but must only surface when
+        // the word is actually issued — the legacy lazy semantics.
+        let p = program(
+            vec![
+                word(vec![Op::Halt { success: true }]),
+                word(vec![
+                    Op::Ld {
+                        d: R(40),
+                        base: R(50),
+                        off: 0,
+                    },
+                    Op::Ld {
+                        d: R(41),
+                        base: R(50),
+                        off: 1,
+                    },
+                ]),
+            ],
+            &[(0, 0)],
+        );
+        differential(&p, MachineConfig::units(4));
+        let decoded = DecodedVliw::new(&p, MachineConfig::units(4));
+        let r = DecodedVliwSim::new(&decoded, &tiny_layout())
+            .run(&SimConfig::default())
+            .expect("halts before the bad word");
+        assert_eq!(r.outcome, SimOutcome::Success);
+    }
+
+    #[test]
+    fn decoded_slots_stay_compact() {
+        // Cache density is the point: one issue record must not grow
+        // past 48 bytes (32-byte op payload + uses + flags).
+        assert!(std::mem::size_of::<DecodedSlot>() <= 48);
+    }
+}

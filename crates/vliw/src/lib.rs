@@ -10,10 +10,12 @@
 //! sequential answer, while verifying slot budgets, the shared-memory
 //! port limit and result latencies on every word.
 
+pub mod decode;
 pub mod machine;
 pub mod program;
 pub mod sim;
 
+pub use decode::{DecodedVliw, DecodedVliwSim};
 pub use machine::MachineConfig;
 pub use program::{SlotOp, VliwInstr, VliwProgram};
-pub use sim::{SimConfig, SimError, SimOutcome, SimResult, VliwSim};
+pub use sim::{check_word_resources, SimConfig, SimError, SimOutcome, SimResult, VliwSim};

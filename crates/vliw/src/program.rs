@@ -118,6 +118,11 @@ impl VliwProgram {
             .unwrap_or(usize::MAX)
     }
 
+    /// The raw label→address table (`usize::MAX` = unbound).
+    pub fn label_table(&self) -> &[usize] {
+        &self.label_addr
+    }
+
     /// Entry label.
     pub fn entry(&self) -> Label {
         self.entry

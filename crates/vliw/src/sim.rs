@@ -39,7 +39,12 @@ pub enum SimError {
         /// Instruction index.
         at: usize,
         /// The class that overflowed.
-        class: String,
+        class: OpClass,
+    },
+    /// More ops in one word than the machine's total issue width.
+    WidthOverflow {
+        /// Instruction index.
+        at: usize,
     },
     /// Two ops write the same register in one word.
     DoubleWrite {
@@ -108,6 +113,9 @@ impl fmt::Display for SimError {
         match self {
             SimError::SlotOverflow { at, class } => {
                 write!(f, "slot overflow for class {class} at word {at}")
+            }
+            SimError::WidthOverflow { at } => {
+                write!(f, "issue width exceeded at word {at}")
             }
             SimError::DoubleWrite { at, reg } => {
                 write!(f, "double write of r{reg} at word {at}")
@@ -197,6 +205,70 @@ impl Default for SimConfig {
             max_cycles: 2_000_000_000,
         }
     }
+}
+
+/// Validates one instruction word against a machine's static resource
+/// model: total issue width, per-class slot budgets, one op per
+/// (unit, class) pair, and the prototype's two-format restriction.
+///
+/// The verdict depends only on the word and the machine — never on
+/// run-time state — so the pre-decoded engine evaluates it once per
+/// word at load time while the legacy simulator calls it on every
+/// issue; both report the identical (first) violation.
+///
+/// # Errors
+///
+/// The first violation in the legacy check order: width overflow, then
+/// per-slot unit/format conflicts, then per-class slot overflow.
+pub fn check_word_resources(
+    word: &crate::program::VliwInstr,
+    machine: &MachineConfig,
+    at: usize,
+) -> Result<(), SimError> {
+    use OpClass::*;
+    if word.slots.len() > machine.issue_width {
+        return Err(SimError::WidthOverflow { at });
+    }
+    let mut counts = [0usize; 4];
+    let mut unit_class: Vec<(usize, OpClass)> = Vec::new();
+    for s in &word.slots {
+        let c = s.op.class();
+        let idx = match c {
+            Memory => 0,
+            Alu => 1,
+            Move => 2,
+            Control => 3,
+        };
+        counts[idx] += 1;
+        if unit_class.contains(&(s.unit, c)) {
+            return Err(SimError::UnitConflict { at, unit: s.unit });
+        }
+        unit_class.push((s.unit, c));
+        if machine.split_formats {
+            let other = match c {
+                Alu | Move => Some(Control),
+                Control => Some(Alu),
+                Memory => None,
+            };
+            if let Some(o) = other {
+                if unit_class.contains(&(s.unit, o)) {
+                    return Err(SimError::FormatConflict { at, unit: s.unit });
+                }
+            }
+        }
+    }
+    let budgets = [
+        (Memory, counts[0]),
+        (Alu, counts[1]),
+        (Move, counts[2]),
+        (Control, counts[3]),
+    ];
+    for (class, used) in budgets {
+        if used > machine.slots(class) {
+            return Err(SimError::SlotOverflow { at, class });
+        }
+    }
+    Ok(())
 }
 
 /// The VLIW machine state.
@@ -456,56 +528,7 @@ impl<'a> VliwSim<'a> {
     }
 
     fn check_resources(&self, word: &crate::program::VliwInstr, at: usize) -> Result<(), SimError> {
-        use OpClass::*;
-        if word.slots.len() > self.machine.issue_width {
-            return Err(SimError::SlotOverflow {
-                at,
-                class: "issue width".into(),
-            });
-        }
-        let mut counts = [0usize; 4];
-        let mut unit_class: Vec<(usize, OpClass)> = Vec::new();
-        for s in &word.slots {
-            let c = s.op.class();
-            let idx = match c {
-                Memory => 0,
-                Alu => 1,
-                Move => 2,
-                Control => 3,
-            };
-            counts[idx] += 1;
-            if unit_class.contains(&(s.unit, c)) {
-                return Err(SimError::UnitConflict { at, unit: s.unit });
-            }
-            unit_class.push((s.unit, c));
-            if self.machine.split_formats {
-                let other = match c {
-                    Alu | Move => Some(Control),
-                    Control => Some(Alu),
-                    Memory => None,
-                };
-                if let Some(o) = other {
-                    if unit_class.contains(&(s.unit, o)) {
-                        return Err(SimError::FormatConflict { at, unit: s.unit });
-                    }
-                }
-            }
-        }
-        let budgets = [
-            (Memory, counts[0]),
-            (Alu, counts[1]),
-            (Move, counts[2]),
-            (Control, counts[3]),
-        ];
-        for (class, used) in budgets {
-            if used > self.machine.slots(class) {
-                return Err(SimError::SlotOverflow {
-                    at,
-                    class: format!("{class}"),
-                });
-            }
-        }
-        Ok(())
+        check_word_resources(word, &self.machine, at)
     }
 
     /// Pre-resolved target of the direct control transfer in slot `si`

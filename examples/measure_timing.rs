@@ -23,7 +23,10 @@ fn main() {
     let par_time = t1.elapsed();
     println!("parallel ({threads} threads):  {par_time:?}");
 
-    assert_eq!(sequential, parallel, "parallel driver must be bit-identical");
+    assert_eq!(
+        sequential, parallel,
+        "parallel driver must be bit-identical"
+    );
     println!(
         "speed-up: {:.2}x (bit-identical results over {} benchmarks)",
         seq_time.as_secs_f64() / par_time.as_secs_f64(),

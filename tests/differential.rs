@@ -1,0 +1,107 @@
+//! Differential suite for the pre-decoded execution engines: every
+//! built-in benchmark runs through both the legacy op-at-a-time
+//! interpreters and the decoded micro-op engines, and the results must
+//! be **bit-identical** — same `Outcome`, step counts and branch
+//! statistics for the emulator; same `SimResult` down to every counter
+//! for the VLIW simulator. The decoded engines are the default
+//! production path (`Compiled::run_sequential`, the experiment
+//! drivers), so any divergence here is a correctness bug, not a perf
+//! regression.
+
+use std::thread;
+
+use symbol_compactor::{compact, CompactMode, TracePolicy};
+use symbol_core::benchmarks;
+use symbol_core::pipeline::Compiled;
+use symbol_intcode::{DecodedEmulator, Emulator, ExecConfig};
+use symbol_vliw::{DecodedVliw, DecodedVliwSim, MachineConfig, SimConfig, VliwSim};
+
+/// Runs `f` once per benchmark, in parallel, propagating panics with
+/// the benchmark name attached.
+fn for_each_benchmark(f: impl Fn(&benchmarks::Benchmark) + Sync) {
+    thread::scope(|s| {
+        let handles: Vec<_> = benchmarks::ALL
+            .iter()
+            .map(|b| (b.name, s.spawn(|| f(b))))
+            .collect();
+        for (name, h) in handles {
+            if h.join().is_err() {
+                panic!("differential check failed for benchmark `{name}`");
+            }
+        }
+    });
+}
+
+#[test]
+fn emulator_decoded_matches_legacy_on_every_benchmark() {
+    for_each_benchmark(|b| {
+        let compiled = Compiled::from_source(b.source).expect("compiles");
+        let cfg = ExecConfig::default();
+        let legacy = Emulator::new(&compiled.ici, &compiled.layout)
+            .run(&cfg)
+            .expect("legacy run");
+        let decoded = DecodedEmulator::new(&compiled.decoded, &compiled.layout)
+            .run(&cfg)
+            .expect("decoded run");
+        assert_eq!(decoded.outcome, legacy.outcome, "{}: outcome", b.name);
+        assert_eq!(decoded.steps, legacy.steps, "{}: steps", b.name);
+        assert_eq!(
+            decoded.stats.expect, legacy.stats.expect,
+            "{}: per-op expect counts",
+            b.name
+        );
+        assert_eq!(
+            decoded.stats.taken, legacy.stats.taken,
+            "{}: per-op taken counts",
+            b.name
+        );
+    });
+}
+
+#[test]
+fn vliw_decoded_matches_legacy_on_every_benchmark() {
+    let combos = [
+        (CompactMode::TraceSchedule, MachineConfig::units(3)),
+        (CompactMode::BasicBlock, MachineConfig::prototype()),
+        (CompactMode::TraceSchedule, MachineConfig::unbounded()),
+    ];
+    for_each_benchmark(|b| {
+        let compiled = Compiled::from_source(b.source).expect("compiles");
+        let run = compiled.run_sequential().expect("profiling run");
+        for (mode, machine) in combos {
+            let compacted = compact(
+                &compiled.ici,
+                &run.stats,
+                &machine,
+                mode,
+                &TracePolicy::default(),
+            );
+            let cfg = SimConfig::default();
+            let legacy = VliwSim::new(&compacted.program, machine, &compiled.layout)
+                .run(&cfg)
+                .unwrap_or_else(|e| panic!("{}: legacy {mode:?} sim: {e}", b.name));
+            let lowered = DecodedVliw::new(&compacted.program, machine);
+            let fast = DecodedVliwSim::new(&lowered, &compiled.layout)
+                .run(&cfg)
+                .unwrap_or_else(|e| panic!("{}: decoded {mode:?} sim: {e}", b.name));
+            assert_eq!(fast.outcome, legacy.outcome, "{}/{mode:?}: outcome", b.name);
+            assert_eq!(fast.cycles, legacy.cycles, "{}/{mode:?}: cycles", b.name);
+            assert_eq!(
+                fast.instructions, legacy.instructions,
+                "{}/{mode:?}: instructions",
+                b.name
+            );
+            assert_eq!(fast.ops, legacy.ops, "{}/{mode:?}: ops", b.name);
+            assert_eq!(
+                fast.taken_branches, legacy.taken_branches,
+                "{}/{mode:?}: taken branches",
+                b.name
+            );
+            assert_eq!(
+                fast.class_ops, legacy.class_ops,
+                "{}/{mode:?}: per-class op counts",
+                b.name
+            );
+        }
+    });
+}
