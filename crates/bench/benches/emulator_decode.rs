@@ -7,7 +7,11 @@
 //! With `--check`, exits nonzero if the decoded emulator's geometric
 //! mean speedup over the subset drops below 1.0× — the CI
 //! `timing-smoke` gate that keeps the default engine from regressing
-//! behind the legacy path it replaced.
+//! behind the legacy path it replaced — or if running through the
+//! observability layer with a [`Registry::disabled`] costs more than
+//! [`MAX_OBS_OVERHEAD`] over the plain engine (the zero-cost-when-off
+//! guarantee of `symbol-obs`, measured on the same machine in the same
+//! process rather than against a stale cross-machine baseline).
 
 use std::fmt::Write as _;
 use std::path::Path;
@@ -19,7 +23,12 @@ use symbol_compactor::{compact, CompactMode, TracePolicy};
 use symbol_core::benchmarks;
 use symbol_core::pipeline::Compiled;
 use symbol_intcode::{DecodedEmulator, Emulator, ExecConfig, Layout};
+use symbol_obs::Registry;
 use symbol_vliw::{DecodedVliw, DecodedVliwSim, MachineConfig, SimConfig, VliwSim};
+
+/// Largest tolerated geomean slowdown of the disabled-observability
+/// path over the plain engine (2%).
+const MAX_OBS_OVERHEAD: f64 = 0.02;
 
 /// One benchmark's legacy/decoded emulator comparison.
 struct Row {
@@ -27,11 +36,20 @@ struct Row {
     steps: u64,
     legacy: Duration,
     decoded: Duration,
+    /// The same decoded run through `run_sequential_obs` with a
+    /// disabled registry — the instrumented-but-off product path.
+    obs_off: Duration,
 }
 
 impl Row {
     fn speedup(&self) -> f64 {
         self.legacy.as_secs_f64() / self.decoded.as_secs_f64()
+    }
+
+    /// Fractional cost of the disabled observability layer (0.01 = 1%
+    /// slower than the plain engine; negative = within noise).
+    fn obs_overhead(&self) -> f64 {
+        self.obs_off.as_secs_f64() / self.decoded.as_secs_f64() - 1.0
     }
 
     fn steps_per_sec(&self, mean: Duration) -> f64 {
@@ -71,12 +89,17 @@ fn measure(h: &mut Harness) -> Vec<Row> {
                     .expect("runs")
             })
         });
+        let off = Registry::disabled();
+        h.bench_function(&format!("emulator/obs-off/{name}"), |b| {
+            b.iter(|| c.run_sequential_obs(&off, name).expect("runs"))
+        });
         let n = h.samples().len();
         rows.push(Row {
             name,
             steps: run.steps,
-            legacy: h.samples()[n - 2].mean,
-            decoded: h.samples()[n - 1].mean,
+            legacy: h.samples()[n - 3].mean,
+            decoded: h.samples()[n - 2].mean,
+            obs_off: h.samples()[n - 1].mean,
         });
 
         // VLIW side of the tentpole: same comparison on the scheduled
@@ -115,22 +138,32 @@ fn geomean_speedup(rows: &[Row]) -> f64 {
     (log_sum / rows.len() as f64).exp()
 }
 
-fn write_report(rows: &[Row], h: &Harness, geomean: f64) {
+/// Geomean of the obs-off/plain time ratios, expressed as an overhead
+/// fraction.
+fn geomean_obs_overhead(rows: &[Row]) -> f64 {
+    let log_sum: f64 = rows.iter().map(|r| (1.0 + r.obs_overhead()).ln()).sum();
+    (log_sum / rows.len() as f64).exp() - 1.0
+}
+
+fn write_report(rows: &[Row], h: &Harness, geomean: f64, obs_overhead: f64) {
     let mut out = String::from("{\n  \"emulator\": [\n");
     for (i, r) in rows.iter().enumerate() {
         let sep = if i + 1 == rows.len() { "" } else { "," };
         let _ = writeln!(
             out,
             "    {{\"name\": \"{}\", \"steps\": {}, \"legacy_ns\": {}, \"decoded_ns\": {}, \
-             \"legacy_steps_per_sec\": {:.0}, \"decoded_steps_per_sec\": {:.0}, \
-             \"speedup\": {:.3}}}{sep}",
+             \"obs_off_ns\": {}, \"legacy_steps_per_sec\": {:.0}, \
+             \"decoded_steps_per_sec\": {:.0}, \"speedup\": {:.3}, \
+             \"obs_overhead\": {:.4}}}{sep}",
             r.name,
             r.steps,
             r.legacy.as_nanos(),
             r.decoded.as_nanos(),
+            r.obs_off.as_nanos(),
             r.steps_per_sec(r.legacy),
             r.steps_per_sec(r.decoded),
             r.speedup(),
+            r.obs_overhead(),
         );
     }
     let _ = write!(out, "  ],\n  \"vliw\": [\n");
@@ -150,7 +183,8 @@ fn write_report(rows: &[Row], h: &Harness, geomean: f64) {
     }
     let _ = write!(
         out,
-        "  ],\n  \"emulator_geomean_speedup\": {geomean:.3}\n}}\n"
+        "  ],\n  \"emulator_geomean_speedup\": {geomean:.3},\n  \
+         \"obs_off_geomean_overhead\": {obs_overhead:.4}\n}}\n"
     );
     let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_emulator.json");
     if let Err(e) = std::fs::write(&path, out) {
@@ -165,21 +199,37 @@ fn main() {
     let mut h = Harness::new();
     let rows = measure(&mut h);
     let geomean = geomean_speedup(&rows);
-    write_report(&rows, &h, geomean);
+    let obs_overhead = geomean_obs_overhead(&rows);
+    write_report(&rows, &h, geomean, obs_overhead);
     for r in &rows {
         println!(
-            "{:<10} {:>12} steps  legacy {:>9.2} Msteps/s  decoded {:>9.2} Msteps/s  {:>5.2}x",
+            "{:<10} {:>12} steps  legacy {:>9.2} Msteps/s  decoded {:>9.2} Msteps/s  {:>5.2}x  \
+             obs-off {:>+6.2}%",
             r.name,
             r.steps,
             r.steps_per_sec(r.legacy) / 1e6,
             r.steps_per_sec(r.decoded) / 1e6,
-            r.speedup()
+            r.speedup(),
+            r.obs_overhead() * 100.0
         );
     }
     println!("emulator geomean speedup: {geomean:.3}x");
+    println!(
+        "disabled-observability geomean overhead: {:+.2}% (limit {:.0}%)",
+        obs_overhead * 100.0,
+        MAX_OBS_OVERHEAD * 100.0
+    );
     h.final_summary();
     if check && geomean < 1.0 {
         eprintln!("FAIL: decoded emulator is slower than legacy (geomean {geomean:.3}x < 1.0x)");
+        std::process::exit(1);
+    }
+    if check && obs_overhead > MAX_OBS_OVERHEAD {
+        eprintln!(
+            "FAIL: disabled observability costs {:.2}% over the plain engine (limit {:.0}%)",
+            obs_overhead * 100.0,
+            MAX_OBS_OVERHEAD * 100.0
+        );
         std::process::exit(1);
     }
 }

@@ -469,13 +469,13 @@ pub fn schedule_trace(
             .collect();
         ready.sort_by_key(|&i| (std::cmp::Reverse(height[i]), i));
 
-        let mut used = [0usize; 4]; // mem, alu, move, ctl
+        let mut used = [0usize; OpClass::COUNT]; // indexed by OpClass::index()
         let mut total_used = 0usize;
         let mut placed_any = false;
         let mut placed: Vec<usize> = Vec::new();
         for i in ready {
             let class = trace_ops[i].op.class();
-            let idx = class_index(class);
+            let idx = class.index();
             let budget = machine.slots(class);
             let fits = total_used < machine.issue_width
                 && used[idx] < budget
@@ -530,14 +530,14 @@ pub fn schedule_trace(
     }
     for c in 0..=max_cycle as usize {
         by_cycle[c].sort_unstable(); // branch priority = original order
-        let mut unit_next = [0usize; 4];
+        let mut unit_next = [0usize; OpClass::COUNT];
         for &i in &by_cycle[c] {
             let mut op = trace_ops[i].op.clone();
             if let Some(l) = retarget.get(&i) {
                 op.set_target(*l);
             }
             let class = op.class();
-            let idx = class_index(class);
+            let idx = class.index();
             let unit = assign_unit(machine, class, &mut unit_next, idx);
             let speculative = branch_positions
                 .iter()
@@ -557,17 +557,16 @@ pub fn schedule_trace(
     }
 }
 
-fn class_index(c: OpClass) -> usize {
-    match c {
-        OpClass::Memory => 0,
-        OpClass::Alu => 1,
-        OpClass::Move => 2,
-        OpClass::Control => 3,
-    }
-}
-
-fn fits_split_formats(machine: &MachineConfig, used: &[usize; 4], adding: OpClass) -> bool {
-    let (mut alu, mut mov, mut ctl) = (used[1], used[2], used[3]);
+fn fits_split_formats(
+    machine: &MachineConfig,
+    used: &[usize; OpClass::COUNT],
+    adding: OpClass,
+) -> bool {
+    let (mut alu, mut mov, mut ctl) = (
+        used[OpClass::Alu.index()],
+        used[OpClass::Move.index()],
+        used[OpClass::Control.index()],
+    );
     match adding {
         OpClass::Alu => alu += 1,
         OpClass::Move => mov += 1,
@@ -580,7 +579,7 @@ fn fits_split_formats(machine: &MachineConfig, used: &[usize; 4], adding: OpClas
 fn assign_unit(
     machine: &MachineConfig,
     class: OpClass,
-    unit_next: &mut [usize; 4],
+    unit_next: &mut [usize; OpClass::COUNT],
     idx: usize,
 ) -> usize {
     let unit = if machine.split_formats && class == OpClass::Control {

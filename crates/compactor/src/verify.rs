@@ -92,17 +92,12 @@ pub fn verify_program(program: &VliwProgram, machine: &MachineConfig) -> Result<
                 ops: word.slots.len(),
             });
         }
-        let mut class_used = [0usize; 4];
+        let mut class_used = [0usize; OpClass::COUNT];
         let mut unit_class: Vec<(usize, OpClass)> = Vec::new();
         let mut written: Vec<u32> = Vec::new();
         for s in &word.slots {
             let class = s.op.class();
-            let idx = match class {
-                OpClass::Memory => 0,
-                OpClass::Alu => 1,
-                OpClass::Move => 2,
-                OpClass::Control => 3,
-            };
+            let idx = class.index();
             class_used[idx] += 1;
             if class_used[idx] > machine.slots(class) {
                 return Err(Violation::ClassBudget {

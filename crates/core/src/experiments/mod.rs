@@ -15,6 +15,8 @@ use symbol_analysis::{ClassMix, PredictStats};
 use symbol_compactor::{
     compact, equal_duration_cycles, sequential_cycles, CompactMode, SeqDurations, TracePolicy,
 };
+use symbol_intcode::Layout;
+use symbol_obs::Registry;
 use symbol_vliw::{DecodedVliw, DecodedVliwSim, MachineConfig, SimConfig, SimOutcome, SimResult};
 
 use crate::benchmarks::Benchmark;
@@ -116,7 +118,7 @@ pub struct BenchResult {
     /// Resource utilization on the 3-unit machine: fraction of
     /// memory / ALU / move / control slot-cycles used (paper §3.2's
     /// simulator statistics).
-    pub utilization3: [f64; 4],
+    pub utilization3: [f64; symbol_intcode::OpClass::COUNT],
     /// Operations issued per cycle on the 3-unit machine.
     pub issue_rate3: f64,
 }
@@ -196,6 +198,19 @@ fn sim_machine(code: usize) -> MachineConfig {
     }
 }
 
+/// Stable metric-label name for the machine column of [`SIM_JOBS`].
+fn machine_name(code: usize) -> &'static str {
+    match code {
+        0 => "bam",
+        1 => "units1",
+        2 => "units2",
+        3 => "units3",
+        4 => "units4",
+        5 => "units5",
+        _ => "unbounded",
+    }
+}
+
 /// [`measure`] for a cached compilation + sequential profile, running
 /// the per-(mode, machine) simulations on up to `threads` scoped
 /// worker threads.
@@ -215,6 +230,25 @@ pub fn measure_cached(
     cache: &CompiledCache<'_>,
     threads: usize,
 ) -> Result<BenchResult, PipelineError> {
+    measure_cached_obs(name, cache, threads, &Registry::disabled())
+}
+
+/// [`measure_cached`] with every per-(mode, machine) simulation wrapped
+/// in a `simulate` span on `obs` — labelled with the benchmark, the
+/// compaction mode and the machine — plus cycle/op counters per
+/// configuration. Spans carry the worker thread's id, so the exported
+/// Chrome trace shows the simulation fan-out across the pool. With
+/// [`Registry::disabled`] this is exactly [`measure_cached`].
+///
+/// # Errors
+///
+/// See [`measure_cached`].
+pub fn measure_cached_obs(
+    name: &'static str,
+    cache: &CompiledCache<'_>,
+    threads: usize,
+    obs: &Registry,
+) -> Result<BenchResult, PipelineError> {
     let compiled = cache.compiled;
     let run = &cache.run;
     let seq_cycles = sequential_cycles(&compiled.ici, &run.stats, &SeqDurations::default());
@@ -227,6 +261,18 @@ pub fn measure_cached(
         PipelineError,
     > {
         let machine = sim_machine(machine_code);
+        let mode_label = match mode {
+            CompactMode::BamGroups => "bam",
+            CompactMode::BasicBlock => "basic-block",
+            CompactMode::TraceSchedule => "trace",
+        };
+        let machine_label = machine_name(machine_code);
+        let labels: &[(&str, &str)] = &[
+            ("bench", name),
+            ("mode", mode_label),
+            ("machine", machine_label),
+        ];
+        let _span = obs.span("simulate", labels);
         let compacted = compact(&compiled.ici, &run.stats, &machine, mode, &policy);
         // Default engine: pre-decode the schedule for this machine and
         // run the micro-op simulator (bit-identical to the legacy
@@ -236,6 +282,10 @@ pub fn measure_cached(
         if result.outcome != SimOutcome::Success {
             return Err(PipelineError::WrongAnswer);
         }
+        obs.counter("sim.cycles", labels).add(result.cycles);
+        obs.counter("sim.ops", labels).add(result.ops);
+        obs.counter("sim.taken_branches", labels)
+            .add(result.taken_branches);
         Ok((
             result,
             compacted.stats.avg_region_len,
@@ -252,18 +302,12 @@ pub fn measure_cached(
     let (bb_unbounded, _, _) = sims.next().expect("basic-block job");
     let (trace_unbounded, trace_length, code_growth) = sims.next().expect("trace job");
     let mut unit_cycles = Vec::new();
-    let mut utilization3 = [0.0; 4];
+    let mut utilization3 = [0.0; symbol_intcode::OpClass::COUNT];
     let mut issue_rate3 = 0.0;
     for (units, (r, _, _)) in UNIT_SWEEP.into_iter().zip(sims) {
         if units == 3 {
-            use symbol_intcode::OpClass::*;
             let machine = MachineConfig::units(units);
-            utilization3 = [
-                r.utilization(&machine, Memory),
-                r.utilization(&machine, Alu),
-                r.utilization(&machine, Move),
-                r.utilization(&machine, Control),
-            ];
+            utilization3 = symbol_intcode::OpClass::ALL.map(|c| r.utilization(&machine, c));
             issue_rate3 = r.issue_rate();
         }
         unit_cycles.push(r.cycles);
@@ -316,12 +360,42 @@ pub fn measure_all() -> Result<Vec<BenchResult>, PipelineError> {
 /// every configuration; when several fail, the error of the earliest
 /// benchmark (table order) is returned.
 pub fn measure_all_with(threads: usize) -> Result<Vec<BenchResult>, PipelineError> {
-    let benches = crate::benchmarks::ALL;
+    measure_all_obs(threads, &Registry::disabled())
+}
+
+/// [`measure_all_with`] with the whole suite observed through `obs`:
+/// per-benchmark compile/emulate/simulate spans (thread-aware — the
+/// exported Chrome trace shows the suite fan-out across the worker
+/// pool), front-end events, and per-configuration counters. With
+/// [`Registry::disabled`] this is exactly [`measure_all_with`].
+///
+/// # Errors
+///
+/// See [`measure_all_with`].
+pub fn measure_all_obs(threads: usize, obs: &Registry) -> Result<Vec<BenchResult>, PipelineError> {
+    measure_suite_obs(crate::benchmarks::ALL, threads, obs)
+}
+
+/// [`measure_all_obs`] over an explicit benchmark subset — the
+/// `obs_report` driver uses this to run the instrumented suite, and the
+/// schema-pinning test uses a one-benchmark subset (the metric *schema*
+/// is independent of which benchmarks run).
+///
+/// # Errors
+///
+/// See [`measure_all_with`].
+pub fn measure_suite_obs(
+    benches: &[Benchmark],
+    threads: usize,
+    obs: &Registry,
+) -> Result<Vec<BenchResult>, PipelineError> {
     run_indexed(benches.len(), threads, |i| {
         let b = &benches[i];
-        let compiled = Compiled::from_source(b.source)?;
-        let cache = CompiledCache::new(&compiled)?;
-        measure_cached(b.name, &cache, 1)
+        let labels: &[(&str, &str)] = &[("bench", b.name)];
+        let _span = obs.span("measure", labels);
+        let compiled = Compiled::from_source_obs(b.source, Layout::default(), obs, b.name)?;
+        let cache = CompiledCache::new_obs(&compiled, obs, b.name)?;
+        measure_cached_obs(b.name, &cache, 1, obs)
     })
     .into_iter()
     .collect()

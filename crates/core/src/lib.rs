@@ -19,6 +19,7 @@
 pub mod benchmarks;
 pub mod experiments;
 pub mod extras;
+pub mod obs_report;
 pub mod pipeline;
 
 pub use benchmarks::{Benchmark, ALL};

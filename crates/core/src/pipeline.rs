@@ -11,6 +11,7 @@ use symbol_intcode::emu::{Emulator, ExecConfig, Outcome, RunResult};
 use symbol_intcode::layout::Layout;
 use symbol_intcode::program::IciProgram;
 use symbol_intcode::translate::{self, TranslateError};
+use symbol_obs::Registry;
 use symbol_prolog::{ParseError, PredId, Program};
 
 /// Any error the pipeline can produce.
@@ -114,8 +115,34 @@ impl Compiled {
     ///
     /// See [`Compiled::from_source`].
     pub fn from_source_with_layout(src: &str, layout: Layout) -> Result<Self, PipelineError> {
-        let program = symbol_prolog::parse_program(src)?;
-        let bam = symbol_bam::compile(&program)?;
+        Self::from_source_obs(src, layout, &Registry::disabled(), "")
+    }
+
+    /// [`Compiled::from_source_with_layout`] with every compilation
+    /// stage observed through `obs`: RAII spans (`parse`, `compile`,
+    /// `translate`, `decode`) labelled with `bench`, and the front-end
+    /// crates' diagnostics routed to the registry's event sink. With
+    /// [`Registry::disabled`] this is exactly the plain path.
+    ///
+    /// # Errors
+    ///
+    /// See [`Compiled::from_source`].
+    pub fn from_source_obs(
+        src: &str,
+        layout: Layout,
+        obs: &Registry,
+        bench: &str,
+    ) -> Result<Self, PipelineError> {
+        let labels: &[(&str, &str)] = &[("bench", bench)];
+        let events = obs.events();
+        let program = {
+            let _span = obs.span("parse", labels);
+            symbol_prolog::parse_program_with_events(src, &events)?
+        };
+        let bam = {
+            let _span = obs.span("compile", labels);
+            symbol_bam::compile_with_events(&program, &events)?
+        };
         let main_atom = program
             .symbols()
             .lookup("main")
@@ -124,8 +151,14 @@ impl Compiled {
         if program.predicate(main).is_none() {
             return Err(PipelineError::NoMain);
         }
-        let ici = translate::translate(&bam, main, &layout)?;
-        let decoded = DecodedProgram::new(&ici);
+        let ici = {
+            let _span = obs.span("translate", labels);
+            translate::translate_with_events(&bam, main, &layout, &events)?
+        };
+        let decoded = {
+            let _span = obs.span("decode", labels);
+            DecodedProgram::new(&ici)
+        };
         Ok(Compiled {
             program,
             bam,
@@ -150,6 +183,28 @@ impl Compiled {
         if result.outcome != Outcome::Success {
             return Err(PipelineError::WrongAnswer);
         }
+        Ok(result)
+    }
+
+    /// [`Compiled::run_sequential`] wrapped in an `emulate` span and
+    /// step/op accounting on `obs`. The run itself is the identical
+    /// unprofiled engine — observability changes nothing about the
+    /// result.
+    ///
+    /// # Errors
+    ///
+    /// See [`Compiled::run_sequential`].
+    pub fn run_sequential_obs(
+        &self,
+        obs: &Registry,
+        bench: &str,
+    ) -> Result<RunResult, PipelineError> {
+        let labels: &[(&str, &str)] = &[("bench", bench)];
+        let result = {
+            let _span = obs.span("emulate", labels);
+            self.run_sequential()?
+        };
+        obs.counter("emulator.steps", labels).add(result.steps);
         Ok(result)
     }
 
@@ -194,6 +249,21 @@ impl<'a> CompiledCache<'a> {
     /// See [`Compiled::run_sequential`].
     pub fn new(compiled: &'a Compiled) -> Result<Self, PipelineError> {
         let run = compiled.run_sequential()?;
+        Ok(CompiledCache { compiled, run })
+    }
+
+    /// [`CompiledCache::new`] with the profiling run observed through
+    /// `obs` (see [`Compiled::run_sequential_obs`]).
+    ///
+    /// # Errors
+    ///
+    /// See [`Compiled::run_sequential`].
+    pub fn new_obs(
+        compiled: &'a Compiled,
+        obs: &Registry,
+        bench: &str,
+    ) -> Result<Self, PipelineError> {
+        let run = compiled.run_sequential_obs(obs, bench)?;
         Ok(CompiledCache { compiled, run })
     }
 }

@@ -220,6 +220,45 @@ impl DecodedProgram {
     }
 }
 
+/// Per-PC dynamic profile gathered by the profiled step loop
+/// ([`DecodedEmulator::run_with_profile`]).
+///
+/// The execution counts themselves already live in
+/// [`ExecStats::expect`] (the paper's *Expect*); this adds what a
+/// hardware profile would: per-branch misprediction counts under a
+/// 2-bit saturating counter predictor (one counter per conditional
+/// branch, initialized to weakly-not-taken). Indices are op indices,
+/// parallel to the program.
+#[derive(Clone, Debug, Default)]
+pub struct ExecProfile {
+    /// Times the 2-bit predictor mispredicted the branch at op `i`
+    /// (zero for non-branch ops).
+    pub mispredict: Vec<u64>,
+}
+
+impl ExecProfile {
+    /// Total mispredictions over the run.
+    pub fn total_mispredicts(&self) -> u64 {
+        self.mispredict.iter().sum()
+    }
+
+    /// Misprediction rate over the dynamically executed conditional
+    /// branches, or `None` when no conditional branch ever executed.
+    pub fn mispredict_rate(&self, program: &IciProgram, stats: &ExecStats) -> Option<f64> {
+        let mut dynamic_branches = 0u64;
+        for (i, op) in program.ops().iter().enumerate() {
+            if op.is_conditional_branch() {
+                dynamic_branches += stats.expect[i];
+            }
+        }
+        if dynamic_branches == 0 {
+            None
+        } else {
+            Some(self.total_mispredicts() as f64 / dynamic_branches as f64)
+        }
+    }
+}
+
 /// The sequential machine state, executing a [`DecodedProgram`].
 ///
 /// Mirrors [`crate::emu::Emulator`]'s interface: `run`,
@@ -305,22 +344,91 @@ impl<'a> DecodedEmulator<'a> {
         let mut taken = vec![0u64; n];
         let mut steps: u64 = 0;
         let res = if self.trace_cap > 0 {
-            self.step_loop::<true>(cfg, &mut expect, &mut taken, &mut steps)
+            self.step_loop::<true, false>(
+                cfg,
+                &mut expect,
+                &mut taken,
+                &mut steps,
+                &mut [],
+                &mut [],
+            )
         } else {
-            self.step_loop::<false>(cfg, &mut expect, &mut taken, &mut steps)
+            self.step_loop::<false, false>(
+                cfg,
+                &mut expect,
+                &mut taken,
+                &mut steps,
+                &mut [],
+                &mut [],
+            )
         };
         (res, ExecStats { expect, taken }, steps)
     }
 
+    /// Like [`DecodedEmulator::run_with_stats`] but additionally runs
+    /// the per-PC profiling hooks: a 2-bit saturating branch predictor
+    /// whose per-branch misprediction counts land in the returned
+    /// [`ExecProfile`].
+    ///
+    /// This is a *separate monomorphization* of the same step loop —
+    /// the default `run`/`run_with_stats` path compiles with
+    /// `PROFILE = false` and contains none of this bookkeeping, which
+    /// is how instrumentation stays free when off. Outcome, step count
+    /// and [`ExecStats`] are bit-identical to the unprofiled run.
+    pub fn run_with_profile(
+        &mut self,
+        cfg: &ExecConfig,
+    ) -> (Result<Outcome, ExecError>, ExecStats, u64, ExecProfile) {
+        let n = self.program.micro.len();
+        let mut expect = vec![0u64; n];
+        let mut taken = vec![0u64; n];
+        let mut mispredict = vec![0u64; n];
+        // One 2-bit counter per op, initialized to 01 (weakly not
+        // taken); only conditional branches ever read or update theirs.
+        let mut predictor = vec![1u8; n];
+        let mut steps: u64 = 0;
+        let res = if self.trace_cap > 0 {
+            self.step_loop::<true, true>(
+                cfg,
+                &mut expect,
+                &mut taken,
+                &mut steps,
+                &mut predictor,
+                &mut mispredict,
+            )
+        } else {
+            self.step_loop::<false, true>(
+                cfg,
+                &mut expect,
+                &mut taken,
+                &mut steps,
+                &mut predictor,
+                &mut mispredict,
+            )
+        };
+        (
+            res,
+            ExecStats { expect, taken },
+            steps,
+            ExecProfile { mispredict },
+        )
+    }
+
     /// The monomorphized step loop. With `TRACE = false` (the
     /// profile-only default) the trace bookkeeping — including its
-    /// capacity test — compiles out entirely.
-    fn step_loop<const TRACE: bool>(
+    /// capacity test — compiles out entirely; with `PROFILE = false`
+    /// the branch-predictor accounting compiles out the same way, so
+    /// the default path is the same machine code it was before the
+    /// profiling hooks existed.
+    #[allow(clippy::too_many_arguments)]
+    fn step_loop<const TRACE: bool, const PROFILE: bool>(
         &mut self,
         cfg: &ExecConfig,
         expect: &mut [u64],
         taken: &mut [u64],
         steps: &mut u64,
+        predictor: &mut [u8],
+        mispredict: &mut [u64],
     ) -> Result<Outcome, ExecError> {
         let micro = self.program.micro.as_slice();
         let label_pc = self.program.label_pc.as_slice();
@@ -357,7 +465,21 @@ impl<'a> DecodedEmulator<'a> {
             }
             macro_rules! branch {
                 ($cond:expr, $t:expr) => {{
-                    if $cond {
+                    let taken_now = $cond;
+                    if PROFILE {
+                        // 2-bit saturating counter: 00/01 predict not
+                        // taken, 10/11 predict taken.
+                        let state = predictor[at];
+                        if (state >= 2) != taken_now {
+                            mispredict[at] += 1;
+                        }
+                        predictor[at] = if taken_now {
+                            (state + 1).min(3)
+                        } else {
+                            state.saturating_sub(1)
+                        };
+                    }
+                    if taken_now {
                         taken[at] += 1;
                         pc = $t as usize;
                     } else {
@@ -745,6 +867,97 @@ mod tests {
         fast.set_trace(16);
         fast.run(&ExecConfig::default()).unwrap();
         assert_eq!(legacy.trace(), fast.trace());
+    }
+
+    #[test]
+    fn profiled_run_is_bit_identical_and_predicts_loops_well() {
+        // A 100-iteration counted loop: the backward branch is taken 99
+        // times then falls through once. Starting from weakly-not-taken
+        // (01) the counter mispredicts the first taken (moving to 10,
+        // predict-taken) and the final fall-through — exactly 2
+        // mispredictions.
+        let p = assemble(|a| {
+            let e = a.fresh_label();
+            let lp = a.fresh_label();
+            let i = a.fresh_reg();
+            a.bind(e);
+            a.emit(Op::MvI {
+                d: i,
+                w: Word::int(0),
+            });
+            a.bind(lp);
+            a.emit(Op::Alu {
+                op: AluOp::Add,
+                d: i,
+                a: i,
+                b: Operand::Imm(1),
+            });
+            a.emit(Op::Br {
+                cond: Cond::Lt,
+                a: i,
+                b: Operand::Imm(100),
+                t: lp,
+            });
+            a.emit(Op::Halt { success: true });
+            e
+        });
+        let layout = tiny_layout();
+        let cfg = ExecConfig::default();
+        let decoded = DecodedProgram::new(&p);
+        let (r1, s1, n1) = DecodedEmulator::new(&decoded, &layout).run_with_stats(&cfg);
+        let (r2, s2, n2, prof) = DecodedEmulator::new(&decoded, &layout).run_with_profile(&cfg);
+        assert_eq!(
+            r1.unwrap(),
+            r2.unwrap(),
+            "profiling must not change results"
+        );
+        assert_eq!(n1, n2);
+        assert_eq!(s1.expect, s2.expect);
+        assert_eq!(s1.taken, s2.taken);
+        let branch_at = 2; // MvI, Alu, Br, Halt
+        assert_eq!(s2.expect[branch_at], 100);
+        assert_eq!(s2.taken[branch_at], 99);
+        assert_eq!(prof.mispredict[branch_at], 2);
+        assert_eq!(prof.total_mispredicts(), 2);
+        let rate = prof.mispredict_rate(&p, &s2).unwrap();
+        assert!((rate - 0.02).abs() < 1e-12, "rate {rate}");
+    }
+
+    #[test]
+    fn hot_pcs_rank_by_execution_count() {
+        let p = assemble(|a| {
+            let e = a.fresh_label();
+            let lp = a.fresh_label();
+            let i = a.fresh_reg();
+            a.bind(e);
+            a.emit(Op::MvI {
+                d: i,
+                w: Word::int(0),
+            });
+            a.bind(lp);
+            a.emit(Op::Alu {
+                op: AluOp::Add,
+                d: i,
+                a: i,
+                b: Operand::Imm(1),
+            });
+            a.emit(Op::Br {
+                cond: Cond::Lt,
+                a: i,
+                b: Operand::Imm(10),
+                t: lp,
+            });
+            a.emit(Op::Halt { success: true });
+            e
+        });
+        let layout = tiny_layout();
+        let decoded = DecodedProgram::new(&p);
+        let (_, stats, _) =
+            DecodedEmulator::new(&decoded, &layout).run_with_stats(&ExecConfig::default());
+        let hot = stats.hot_pcs(2);
+        // Ops 1 and 2 each ran 10 times; ties break by index.
+        assert_eq!(hot, vec![(1, 10), (2, 10)]);
+        assert_eq!(stats.hot_pcs(100).len(), 4, "halt and init ran once");
     }
 
     #[test]

@@ -114,23 +114,28 @@ impl ExecStats {
     }
 
     /// Dynamic op count per class.
-    pub fn class_counts(&self, program: &IciProgram) -> [(OpClass, u64); 4] {
-        let mut counts = [
-            (OpClass::Memory, 0),
-            (OpClass::Alu, 0),
-            (OpClass::Move, 0),
-            (OpClass::Control, 0),
-        ];
+    pub fn class_counts(&self, program: &IciProgram) -> [(OpClass, u64); OpClass::COUNT] {
+        let mut counts = OpClass::ALL.map(|c| (c, 0));
         for (i, op) in program.ops().iter().enumerate() {
-            let slot = match op.class() {
-                OpClass::Memory => 0,
-                OpClass::Alu => 1,
-                OpClass::Move => 2,
-                OpClass::Control => 3,
-            };
-            counts[slot].1 += self.expect[i];
+            counts[op.class().index()].1 += self.expect[i];
         }
         counts
+    }
+
+    /// The `n` most-executed op indices with their counts, descending
+    /// by count (ties broken by op index). Never-executed ops are
+    /// omitted — the basis of the hot-block report.
+    pub fn hot_pcs(&self, n: usize) -> Vec<(usize, u64)> {
+        let mut v: Vec<(usize, u64)> = self
+            .expect
+            .iter()
+            .copied()
+            .enumerate()
+            .filter(|&(_, c)| c > 0)
+            .collect();
+        v.sort_by_key(|&(i, c)| (std::cmp::Reverse(c), i));
+        v.truncate(n);
+        v
     }
 
     /// Probability that branch op `i` of `program` is taken.

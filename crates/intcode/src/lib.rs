@@ -45,7 +45,7 @@ pub mod translate;
 pub mod word;
 
 pub use asm::Asm;
-pub use decode::{DecodedEmulator, DecodedProgram};
+pub use decode::{DecodedEmulator, DecodedProgram, ExecProfile};
 pub use emu::{Emulator, ExecConfig, ExecError, ExecStats, Outcome, RunResult};
 pub use layout::Layout;
 pub use op::{AluOp, Cond, Label, Op, OpClass, Operand, R};

@@ -187,15 +187,47 @@ pub enum OpClass {
     Control,
 }
 
-impl fmt::Display for OpClass {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let s = match self {
+impl OpClass {
+    /// Number of classes — the width of every per-class counter array.
+    pub const COUNT: usize = 4;
+
+    /// Every class, in canonical accounting order. This order *is* the
+    /// index space: `ALL[c.index()] == c`. All per-class arrays in the
+    /// emulator, the VLIW machine model and the analysis layer are
+    /// indexed through [`OpClass::index`], so the mapping lives in
+    /// exactly one place.
+    pub const ALL: [OpClass; OpClass::COUNT] = [
+        OpClass::Memory,
+        OpClass::Alu,
+        OpClass::Move,
+        OpClass::Control,
+    ];
+
+    /// The class's canonical index into per-class counter arrays.
+    #[inline]
+    pub const fn index(self) -> usize {
+        match self {
+            OpClass::Memory => 0,
+            OpClass::Alu => 1,
+            OpClass::Move => 2,
+            OpClass::Control => 3,
+        }
+    }
+
+    /// Lower-case display name (also used as a metric label value).
+    pub const fn name(self) -> &'static str {
+        match self {
             OpClass::Memory => "memory",
             OpClass::Alu => "alu",
             OpClass::Move => "move",
             OpClass::Control => "control",
-        };
-        f.write_str(s)
+        }
+    }
+}
+
+impl fmt::Display for OpClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
     }
 }
 
@@ -501,6 +533,88 @@ mod tests {
             OpClass::Alu
         );
         assert_eq!(Op::Halt { success: true }.class(), OpClass::Control);
+    }
+
+    #[test]
+    fn class_index_round_trips_and_covers_every_op_variant() {
+        // ALL is the inverse of index().
+        for (i, c) in OpClass::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+            assert_eq!(OpClass::ALL[c.index()], *c);
+        }
+        // One value of every `Op` variant; `.class().index()` must be
+        // in range for each, so every per-class array sized
+        // `OpClass::COUNT` can hold every op. If a variant is added
+        // without extending this list, the count check below fails.
+        let every_variant: Vec<Op> = vec![
+            Op::Ld {
+                d: R(0),
+                base: R(1),
+                off: 0,
+            },
+            Op::St {
+                s: R(0),
+                base: R(1),
+                off: 0,
+            },
+            Op::Mv { d: R(0), s: R(1) },
+            Op::MvI {
+                d: R(0),
+                w: Word::int(0),
+            },
+            Op::Alu {
+                op: AluOp::Add,
+                d: R(0),
+                a: R(1),
+                b: Operand::Imm(1),
+            },
+            Op::AddA {
+                d: R(0),
+                a: R(1),
+                b: Operand::Imm(1),
+            },
+            Op::MkTag {
+                d: R(0),
+                s: R(1),
+                tag: Tag::Int,
+            },
+            Op::Br {
+                cond: Cond::Eq,
+                a: R(0),
+                b: Operand::Imm(0),
+                t: Label(0),
+            },
+            Op::BrTag {
+                a: R(0),
+                tag: Tag::Int,
+                eq: true,
+                t: Label(0),
+            },
+            Op::BrWord {
+                a: R(0),
+                w: Word::int(0),
+                eq: true,
+                t: Label(0),
+            },
+            Op::BrWEq {
+                a: R(0),
+                b: R(1),
+                eq: true,
+                t: Label(0),
+            },
+            Op::Jmp { t: Label(0) },
+            Op::JmpR { r: R(0) },
+            Op::Halt { success: true },
+        ];
+        assert_eq!(every_variant.len(), 14, "one entry per Op variant");
+        let mut per_class = [0usize; OpClass::COUNT];
+        for op in &every_variant {
+            per_class[op.class().index()] += 1;
+        }
+        assert_eq!(per_class[OpClass::Memory.index()], 2, "Ld, St");
+        assert_eq!(per_class[OpClass::Alu.index()], 3, "Alu, AddA, MkTag");
+        assert_eq!(per_class[OpClass::Move.index()], 2, "Mv, MvI");
+        assert_eq!(per_class[OpClass::Control.index()], 7, "branch family");
     }
 
     #[test]

@@ -1,0 +1,223 @@
+//! Leveled, silenceable diagnostic events.
+//!
+//! Library crates (`symbol-bam`, `symbol-intcode`, `symbol-prolog`)
+//! never write to stderr themselves: they emit events through an
+//! [`Events`] handle, and the *application* decides what happens —
+//! nothing (the default silent handle), collection into a bounded
+//! in-memory ring, or forwarding to stderr above a level threshold.
+//!
+//! The handle is cheap to clone and a disabled handle reduces every
+//! emission to a null check, so passing one through the compiler
+//! pipeline costs nothing when observability is off.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Maximum retained records in the recent-events ring.
+const RECENT_CAP: usize = 256;
+
+/// Event severity, ordered from most to least severe.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum Level {
+    /// Unrecoverable problems (the library also returns an error).
+    Error = 0,
+    /// Suspicious conditions the caller may want to know about.
+    Warn = 1,
+    /// Milestone diagnostics (stage completed, sizes, counts).
+    Info = 2,
+    /// Verbose internals.
+    Debug = 3,
+}
+
+impl Level {
+    /// Lower-case display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+        }
+    }
+}
+
+/// One collected event.
+#[derive(Clone, Debug)]
+pub struct EventRecord {
+    /// Severity.
+    pub level: Level,
+    /// Emitting component, e.g. `"bam::compile"`.
+    pub target: String,
+    /// Rendered message.
+    pub message: String,
+}
+
+#[derive(Debug)]
+pub(crate) struct EventInner {
+    /// Highest accepted level (as `u8`); emissions above it are dropped
+    /// before the message is even formatted.
+    max_level: AtomicU8,
+    /// Whether accepted events are echoed to stderr.
+    to_stderr: bool,
+    /// Per-level counts (`Level as usize` indexed).
+    pub counts: [AtomicU64; 4],
+    /// The last [`RECENT_CAP`] accepted records.
+    recent: Mutex<VecDeque<EventRecord>>,
+}
+
+/// A cloneable event sink handle. `Events::silent()` drops everything.
+#[derive(Clone, Debug, Default)]
+pub struct Events(pub(crate) Option<Arc<EventInner>>);
+
+impl Events {
+    /// The silent handle: every emission is a no-op.
+    pub fn silent() -> Self {
+        Events(None)
+    }
+
+    /// A collecting handle accepting events up to `max_level`.
+    pub fn collecting(max_level: Level) -> Self {
+        Events::with_config(max_level, false)
+    }
+
+    /// A handle that both collects and echoes accepted events to
+    /// stderr — for binaries that want live diagnostics.
+    pub fn stderr(max_level: Level) -> Self {
+        Events::with_config(max_level, true)
+    }
+
+    fn with_config(max_level: Level, to_stderr: bool) -> Self {
+        Events(Some(Arc::new(EventInner {
+            max_level: AtomicU8::new(max_level as u8),
+            to_stderr,
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            recent: Mutex::new(VecDeque::new()),
+        })))
+    }
+
+    /// Whether an event at `level` would be accepted — use to skip
+    /// expensive message formatting.
+    #[inline]
+    pub fn enabled(&self, level: Level) -> bool {
+        match &self.0 {
+            None => false,
+            Some(i) => (level as u8) <= i.max_level.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Raises or lowers the acceptance threshold at run time.
+    pub fn set_max_level(&self, level: Level) {
+        if let Some(i) = &self.0 {
+            i.max_level.store(level as u8, Ordering::Relaxed);
+        }
+    }
+
+    /// Emits a pre-rendered message.
+    pub fn emit(&self, level: Level, target: &str, message: &str) {
+        let Some(inner) = &self.0 else { return };
+        if (level as u8) > inner.max_level.load(Ordering::Relaxed) {
+            return;
+        }
+        inner.counts[level as usize].fetch_add(1, Ordering::Relaxed);
+        if inner.to_stderr {
+            eprintln!("[{}] {target}: {message}", level.name());
+        }
+        let mut recent = inner.recent.lock().expect("event ring poisoned");
+        if recent.len() == RECENT_CAP {
+            recent.pop_front();
+        }
+        recent.push_back(EventRecord {
+            level,
+            target: target.to_string(),
+            message: message.to_string(),
+        });
+    }
+
+    /// Emits with lazy formatting: `render` only runs if the level is
+    /// accepted.
+    #[inline]
+    pub fn emit_with(&self, level: Level, target: &str, render: impl FnOnce() -> String) {
+        if self.enabled(level) {
+            self.emit(level, target, &render());
+        }
+    }
+
+    /// Number of accepted events at `level`.
+    pub fn count(&self, level: Level) -> u64 {
+        self.0
+            .as_ref()
+            .map_or(0, |i| i.counts[level as usize].load(Ordering::Relaxed))
+    }
+
+    /// Copies out the retained recent records, oldest first.
+    pub fn recent(&self) -> Vec<EventRecord> {
+        self.0.as_ref().map_or_else(Vec::new, |i| {
+            i.recent
+                .lock()
+                .expect("event ring poisoned")
+                .iter()
+                .cloned()
+                .collect()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn silent_handle_drops_everything() {
+        let e = Events::silent();
+        e.emit(Level::Error, "t", "boom");
+        assert!(!e.enabled(Level::Error));
+        assert_eq!(e.count(Level::Error), 0);
+        assert!(e.recent().is_empty());
+    }
+
+    #[test]
+    fn level_threshold_filters() {
+        let e = Events::collecting(Level::Warn);
+        e.emit(Level::Error, "t", "e");
+        e.emit(Level::Warn, "t", "w");
+        e.emit(Level::Info, "t", "i");
+        e.emit(Level::Debug, "t", "d");
+        assert_eq!(e.count(Level::Error), 1);
+        assert_eq!(e.count(Level::Warn), 1);
+        assert_eq!(e.count(Level::Info), 0);
+        assert_eq!(e.count(Level::Debug), 0);
+        assert_eq!(e.recent().len(), 2);
+    }
+
+    #[test]
+    fn lazy_formatting_skips_disabled_levels() {
+        let e = Events::collecting(Level::Error);
+        let mut rendered = false;
+        e.emit_with(Level::Debug, "t", || {
+            rendered = true;
+            "never".into()
+        });
+        assert!(!rendered);
+    }
+
+    #[test]
+    fn threshold_is_adjustable_at_run_time() {
+        let e = Events::collecting(Level::Error);
+        assert!(!e.enabled(Level::Debug));
+        e.set_max_level(Level::Debug);
+        assert!(e.enabled(Level::Debug));
+    }
+
+    #[test]
+    fn ring_is_bounded() {
+        let e = Events::collecting(Level::Debug);
+        for i in 0..RECENT_CAP + 10 {
+            e.emit(Level::Info, "t", &format!("m{i}"));
+        }
+        let recent = e.recent();
+        assert_eq!(recent.len(), RECENT_CAP);
+        assert_eq!(recent[0].message, "m10", "oldest records are evicted");
+        assert_eq!(e.count(Level::Info), (RECENT_CAP + 10) as u64);
+    }
+}

@@ -1,0 +1,79 @@
+//! A minimal JSON writer — just enough for the exporters, so the crate
+//! stays free of external dependencies.
+//!
+//! Only object/array/string/integer shapes are produced; floats are
+//! written with a fixed precision by the callers that need them. The
+//! writer guarantees valid UTF-8 JSON output with correct string
+//! escaping.
+
+use std::fmt::Write as _;
+
+/// Escapes `s` as the *contents* of a JSON string (no surrounding
+/// quotes).
+pub fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// `"s"` with escaping.
+pub fn string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    escape_into(&mut out, s);
+    out.push('"');
+    out
+}
+
+/// Renders a label set as a JSON object with keys in the stored order
+/// (callers keep labels sorted, making the output canonical).
+pub fn label_object(labels: &[(String, String)]) -> String {
+    let mut out = String::from("{");
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&string(k));
+        out.push_str(": ");
+        out.push_str(&string(v));
+    }
+    out.push('}');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_quotes_backslashes_and_controls() {
+        assert_eq!(string("a\"b"), "\"a\\\"b\"");
+        assert_eq!(string("a\\b"), "\"a\\\\b\"");
+        assert_eq!(string("a\nb\tc"), "\"a\\nb\\tc\"");
+        assert_eq!(string("\u{1}"), "\"\\u0001\"");
+        assert_eq!(string("plain"), "\"plain\"");
+    }
+
+    #[test]
+    fn label_objects_are_canonical() {
+        let labels = vec![
+            ("bench".to_string(), "qsort".to_string()),
+            ("mode".to_string(), "trace".to_string()),
+        ];
+        assert_eq!(
+            label_object(&labels),
+            "{\"bench\": \"qsort\", \"mode\": \"trace\"}"
+        );
+        assert_eq!(label_object(&[]), "{}");
+    }
+}

@@ -1,0 +1,264 @@
+//! Atomic metric cells and their public handles.
+//!
+//! Every metric is an atomics-only cell shared between the registry
+//! (which snapshots it) and any number of handle clones (which update
+//! it). Updates are single `fetch_add`/`store` operations — no locks on
+//! the hot path — and a handle obtained from a disabled registry is a
+//! no-op, so instrumented code never branches on "is observability on"
+//! beyond the null check the compiler folds away.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Number of histogram buckets: one for zero plus one per power of two
+/// up to `2^63..`.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// The identity of a metric: its name plus a sorted label set.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub(crate) struct MetricId {
+    pub name: String,
+    /// Sorted by key (then value); sorted at construction so snapshot
+    /// output is canonical.
+    pub labels: Vec<(String, String)>,
+}
+
+impl MetricId {
+    pub fn new(name: &str, labels: &[(&str, &str)]) -> Self {
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        labels.sort();
+        MetricId {
+            name: name.to_string(),
+            labels,
+        }
+    }
+}
+
+#[derive(Debug)]
+pub(crate) struct CounterCell {
+    pub id: MetricId,
+    pub value: AtomicU64,
+}
+
+#[derive(Debug)]
+pub(crate) struct GaugeCell {
+    pub id: MetricId,
+    pub value: AtomicI64,
+}
+
+#[derive(Debug)]
+pub(crate) struct HistogramCell {
+    pub id: MetricId,
+    pub count: AtomicU64,
+    pub sum: AtomicU64,
+    pub buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+}
+
+impl HistogramCell {
+    pub fn new(id: MetricId) -> Self {
+        HistogramCell {
+            id,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+/// Bucket index of a recorded value: `0` for zero, else
+/// `floor(log2(v)) + 1`.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+/// Inclusive `[lo, hi]` value range of bucket `i`.
+///
+/// # Panics
+///
+/// Panics if `i >= HISTOGRAM_BUCKETS`.
+pub fn bucket_bounds(i: usize) -> (u64, u64) {
+    assert!(i < HISTOGRAM_BUCKETS, "bucket index out of range");
+    if i == 0 {
+        (0, 0)
+    } else if i == 64 {
+        (1 << 63, u64::MAX)
+    } else {
+        (1 << (i - 1), (1 << i) - 1)
+    }
+}
+
+/// A monotonically increasing counter. Cloneable; a handle from a
+/// disabled registry ignores updates.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(pub(crate) Option<Arc<CounterCell>>);
+
+impl Counter {
+    /// A no-op counter (what disabled registries hand out).
+    pub fn noop() -> Self {
+        Counter(None)
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if let Some(c) = &self.0 {
+            c.value.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value (0 for a no-op handle).
+    pub fn get(&self) -> u64 {
+        self.0
+            .as_ref()
+            .map_or(0, |c| c.value.load(Ordering::Relaxed))
+    }
+}
+
+/// A gauge holding the last `set` value (or a running signed sum).
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(pub(crate) Option<Arc<GaugeCell>>);
+
+impl Gauge {
+    /// A no-op gauge.
+    pub fn noop() -> Self {
+        Gauge(None)
+    }
+
+    /// Sets the value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        if let Some(g) = &self.0 {
+            g.value.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds a (possibly negative) delta.
+    #[inline]
+    pub fn add(&self, d: i64) {
+        if let Some(g) = &self.0 {
+            g.value.fetch_add(d, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0 for a no-op handle).
+    pub fn get(&self) -> i64 {
+        self.0
+            .as_ref()
+            .map_or(0, |g| g.value.load(Ordering::Relaxed))
+    }
+}
+
+/// A log2-bucketed histogram of `u64` samples (typically nanoseconds
+/// or counts). Bucket `0` holds zeros; bucket `i ≥ 1` holds values in
+/// `[2^(i-1), 2^i)`.
+#[derive(Clone, Debug, Default)]
+pub struct Histogram(pub(crate) Option<Arc<HistogramCell>>);
+
+impl Histogram {
+    /// A no-op histogram.
+    pub fn noop() -> Self {
+        Histogram(None)
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if let Some(h) = &self.0 {
+            h.count.fetch_add(1, Ordering::Relaxed);
+            h.sum.fetch_add(v, Ordering::Relaxed);
+            h.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.0
+            .as_ref()
+            .map_or(0, |h| h.count.load(Ordering::Relaxed))
+    }
+
+    /// Sum of recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.0.as_ref().map_or(0, |h| h.sum.load(Ordering::Relaxed))
+    }
+
+    /// Mean sample, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / n as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), 64);
+    }
+
+    #[test]
+    fn bucket_bounds_partition_the_u64_range() {
+        assert_eq!(bucket_bounds(0), (0, 0));
+        assert_eq!(bucket_bounds(1), (1, 1));
+        assert_eq!(bucket_bounds(2), (2, 3));
+        assert_eq!(bucket_bounds(64), (1 << 63, u64::MAX));
+        // Every bucket's hi + 1 is the next bucket's lo, and every value
+        // lands in the bucket whose bounds contain it.
+        for i in 0..HISTOGRAM_BUCKETS - 1 {
+            let (_, hi) = bucket_bounds(i);
+            let (lo_next, _) = bucket_bounds(i + 1);
+            assert_eq!(hi + 1, lo_next, "bucket {i} does not abut bucket {}", i + 1);
+        }
+        for v in [0u64, 1, 2, 3, 4, 7, 8, 1000, 1 << 40, u64::MAX] {
+            let (lo, hi) = bucket_bounds(bucket_index(v));
+            assert!(lo <= v && v <= hi, "value {v} outside its bucket");
+        }
+    }
+
+    #[test]
+    fn noop_handles_swallow_updates() {
+        let c = Counter::noop();
+        c.add(5);
+        assert_eq!(c.get(), 0);
+        let g = Gauge::noop();
+        g.set(9);
+        assert_eq!(g.get(), 0);
+        let h = Histogram::noop();
+        h.record(1);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn metric_ids_sort_their_labels() {
+        let id = MetricId::new("m", &[("z", "1"), ("a", "2")]);
+        assert_eq!(id.labels[0].0, "a");
+        assert_eq!(id.labels[1].0, "z");
+    }
+}

@@ -1,0 +1,161 @@
+//! RAII span timers and the Chrome Trace Format export.
+//!
+//! A [`Span`] measures the wall-clock duration of a scope. On drop it
+//! appends one complete (`"ph": "X"`) event to the registry's trace
+//! buffer — timestamped against the registry's epoch, tagged with a
+//! small dense thread id — and records the duration into a log2
+//! histogram named `span.<name>.ns` carrying the span's labels. The
+//! resulting `trace.json` opens directly in Perfetto or
+//! `chrome://tracing`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use crate::json;
+use crate::metrics::Histogram;
+
+/// Process-wide dense thread-id allocator. Chrome Trace wants small
+/// integer `tid`s; `std::thread::ThreadId` has no stable integer
+/// accessor, so each thread takes the next id on first use.
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+}
+
+/// This thread's dense id (stable for the thread's lifetime).
+pub fn thread_id() -> u64 {
+    TID.with(|t| *t)
+}
+
+/// One completed trace event (Chrome Trace Format `"ph": "X"`).
+#[derive(Clone, Debug)]
+pub struct TraceEvent {
+    /// Span name (the trace viewer's slice title).
+    pub name: String,
+    /// Microseconds from the registry epoch to the span start.
+    pub ts_us: u64,
+    /// Span duration in microseconds.
+    pub dur_us: u64,
+    /// Dense thread id of the recording thread.
+    pub tid: u64,
+    /// Label set, exported as the event's `args`.
+    pub labels: Vec<(String, String)>,
+}
+
+/// An RAII span: created by [`crate::Registry::span`], finished on
+/// drop. A span from a disabled registry is entirely inert.
+#[derive(Debug)]
+pub struct Span {
+    pub(crate) state: Option<SpanState>,
+}
+
+#[derive(Debug)]
+pub(crate) struct SpanState {
+    pub registry: crate::Registry,
+    pub name: String,
+    pub labels: Vec<(String, String)>,
+    pub start: Instant,
+    pub histogram: Histogram,
+}
+
+impl Span {
+    /// An inert span (what disabled registries hand out).
+    pub fn noop() -> Self {
+        Span { state: None }
+    }
+
+    /// Elapsed time so far (zero for an inert span).
+    pub fn elapsed_ns(&self) -> u64 {
+        self.state
+            .as_ref()
+            .map_or(0, |s| s.start.elapsed().as_nanos() as u64)
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(state) = self.state.take() else {
+            return;
+        };
+        let dur = state.start.elapsed();
+        state.histogram.record(dur.as_nanos() as u64);
+        state.registry.push_trace_event(TraceEvent {
+            ts_us: state.registry.elapsed_since_epoch(state.start).as_micros() as u64,
+            dur_us: dur.as_micros() as u64,
+            tid: thread_id(),
+            name: state.name,
+            labels: state.labels,
+        });
+    }
+}
+
+/// Renders events as a Chrome Trace Format JSON document
+/// (`{"traceEvents": [...]}`).
+pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
+    let mut out = String::from("{\"traceEvents\": [\n");
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str(&format!(
+            "  {{\"name\": {}, \"cat\": \"symbol\", \"ph\": \"X\", \"ts\": {}, \"dur\": {}, \
+             \"pid\": 1, \"tid\": {}, \"args\": {}}}",
+            json::string(&e.name),
+            e.ts_us,
+            e.dur_us,
+            e.tid,
+            json::label_object(&e.labels),
+        ));
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_ids_are_stable_within_a_thread() {
+        assert_eq!(thread_id(), thread_id());
+    }
+
+    #[test]
+    fn thread_ids_differ_across_threads() {
+        let mine = thread_id();
+        let theirs = std::thread::spawn(thread_id).join().unwrap();
+        assert_ne!(mine, theirs);
+    }
+
+    #[test]
+    fn chrome_trace_renders_valid_shape() {
+        let events = vec![TraceEvent {
+            name: "parse".into(),
+            ts_us: 10,
+            dur_us: 5,
+            tid: 1,
+            labels: vec![("bench".into(), "qsort".into())],
+        }];
+        let json = chrome_trace_json(&events);
+        assert!(json.starts_with("{\"traceEvents\": ["));
+        assert!(json.contains("\"ph\": \"X\""));
+        assert!(json.contains("\"ts\": 10"));
+        assert!(json.contains("\"dur\": 5"));
+        assert!(json.contains("\"bench\": \"qsort\""));
+        assert!(json.trim_end().ends_with("]}"));
+    }
+
+    #[test]
+    fn empty_trace_is_still_valid() {
+        let json = chrome_trace_json(&[]);
+        assert_eq!(json, "{\"traceEvents\": [\n\n]}\n");
+    }
+
+    #[test]
+    fn noop_span_is_inert() {
+        let s = Span::noop();
+        assert_eq!(s.elapsed_ns(), 0);
+        drop(s);
+    }
+}

@@ -155,7 +155,7 @@ struct DecodedWord {
     len: u32,
     /// Pre-summed executed-op counts per class (memory, ALU, move,
     /// control).
-    class_counts: [u16; 4],
+    class_counts: [u16; OpClass::COUNT],
     /// Pre-evaluated static resource verdict: the error the legacy
     /// simulator would raise on every issue of this word, or `None`
     /// when the word fits the machine.
@@ -193,15 +193,9 @@ impl DecodedVliw {
         let mut num_regs = 1usize;
         for (at, w) in instrs.iter().enumerate() {
             let first = u32::try_from(slots.len()).expect("slot count fits u32");
-            let mut class_counts = [0u16; 4];
+            let mut class_counts = [0u16; OpClass::COUNT];
             for s in &w.slots {
-                let idx = match s.op.class() {
-                    OpClass::Memory => 0,
-                    OpClass::Alu => 1,
-                    OpClass::Move => 2,
-                    OpClass::Control => 3,
-                };
-                class_counts[idx] += 1;
+                class_counts[s.op.class().index()] += 1;
                 let mut uses = [NONE; 2];
                 for (k, r) in s.op.uses().into_iter().enumerate() {
                     uses[k] = r.0;
@@ -347,6 +341,55 @@ impl DecodedVliw {
     }
 }
 
+/// Per-cycle machine profile gathered by
+/// [`DecodedVliwSim::run_profiled`]: slot occupancy, per-class busy
+/// slot-cycles, and stall causes. All counters describe *issued* words
+/// — a taken branch's bubble cycles issue nothing and are accounted
+/// separately in [`SimProfile::branch_bubble_cycles`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SimProfile {
+    /// `occupancy[k]` = number of issued words carrying exactly `k`
+    /// ops (length `issue_width + 1`).
+    pub occupancy: Vec<u64>,
+    /// Busy slot-cycles per class, indexed by [`OpClass::index`].
+    pub class_busy: [u64; OpClass::COUNT],
+    /// Cycles lost to the pipelined-control bubble of taken branches —
+    /// the machine's only stall source (paper §4.3 timing model).
+    pub branch_bubble_cycles: u64,
+    /// Issued words carrying zero ops (scheduler nops).
+    pub empty_words: u64,
+}
+
+impl SimProfile {
+    /// Mean ops per issued word (0 when nothing issued).
+    pub fn mean_occupancy(&self) -> f64 {
+        let words: u64 = self.occupancy.iter().sum();
+        if words == 0 {
+            return 0.0;
+        }
+        let ops: u64 = self
+            .occupancy
+            .iter()
+            .enumerate()
+            .map(|(k, &n)| k as u64 * n)
+            .sum();
+        ops as f64 / words as f64
+    }
+
+    /// Per-class utilization against the machine's slot budget over
+    /// `cycles` total cycles, indexed by [`OpClass::index`].
+    pub fn class_utilization(&self, machine: &MachineConfig, cycles: u64) -> [f64; OpClass::COUNT] {
+        OpClass::ALL.map(|c| {
+            let budget = machine.slots(c) as u64 * cycles;
+            if budget == 0 {
+                0.0
+            } else {
+                self.class_busy[c.index()] as f64 / budget as f64
+            }
+        })
+    }
+}
+
 /// The VLIW machine state, executing a [`DecodedVliw`].
 #[derive(Debug)]
 pub struct DecodedVliwSim<'a> {
@@ -384,6 +427,38 @@ impl<'a> DecodedVliwSim<'a> {
     /// Returns a [`SimError`] on any machine-model violation or
     /// run-time fault; Prolog failure is a normal outcome.
     pub fn run(&mut self, cfg: &SimConfig) -> Result<SimResult, SimError> {
+        self.run_loop::<false>(cfg, &mut SimProfile::default())
+    }
+
+    /// Like [`DecodedVliwSim::run`] but also gathers the per-cycle
+    /// [`SimProfile`] (slot occupancy, class busy slot-cycles, stall
+    /// causes). A separate `PROFILE = true` monomorphization of the
+    /// same issue loop — the plain `run` path contains none of the
+    /// profiling bookkeeping. The [`SimResult`] is bit-identical to the
+    /// unprofiled run's.
+    ///
+    /// The profile is returned even when the run errors, describing the
+    /// cycles executed up to the fault.
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`DecodedVliwSim::run`].
+    pub fn run_profiled(&mut self, cfg: &SimConfig) -> (Result<SimResult, SimError>, SimProfile) {
+        let mut profile = SimProfile {
+            occupancy: vec![0; self.program.machine.issue_width + 1],
+            ..SimProfile::default()
+        };
+        let res = self.run_loop::<true>(cfg, &mut profile);
+        (res, profile)
+    }
+
+    /// The monomorphized issue loop behind [`DecodedVliwSim::run`] and
+    /// [`DecodedVliwSim::run_profiled`].
+    fn run_loop<const PROFILE: bool>(
+        &mut self,
+        cfg: &SimConfig,
+        profile: &mut SimProfile,
+    ) -> Result<SimResult, SimError> {
         let words = self.program.words.as_slice();
         let all_slots = self.program.slots.as_slice();
         let mem_latency = self.program.machine.mem_latency as u64;
@@ -393,7 +468,7 @@ impl<'a> DecodedVliwSim<'a> {
         let mut executed: u64 = 0;
         let mut ops: u64 = 0;
         let mut taken: u64 = 0;
-        let mut class_ops = [0u64; 4];
+        let mut class_ops = [0u64; OpClass::COUNT];
 
         loop {
             if cycle >= cfg.max_cycles {
@@ -410,6 +485,15 @@ impl<'a> DecodedVliwSim<'a> {
             ops += word.len as u64;
             for (acc, &c) in class_ops.iter_mut().zip(&word.class_counts) {
                 *acc += c as u64;
+            }
+            if PROFILE {
+                profile.occupancy[word.len as usize] += 1;
+                if word.len == 0 {
+                    profile.empty_words += 1;
+                }
+                for (acc, &c) in profile.class_busy.iter_mut().zip(&word.class_counts) {
+                    *acc += c as u64;
+                }
             }
             if let Some(fault) = &word.fault {
                 return Err(fault.clone());
@@ -593,6 +677,9 @@ impl<'a> DecodedVliwSim<'a> {
                 Some(target) => {
                     taken += 1;
                     cycle += 1 + branch_penalty;
+                    if PROFILE {
+                        profile.branch_bubble_cycles += branch_penalty;
+                    }
                     self.pc = target;
                 }
                 None => {
@@ -734,6 +821,77 @@ mod tests {
         ];
         let p = program(instrs, &[(0, 0), (1, 6)]);
         differential(&p, MachineConfig::units(4));
+    }
+
+    #[test]
+    fn profiled_run_is_bit_identical_and_accounts_every_cycle() {
+        // Same program as the swap test: two 2-op words, two nops, a
+        // taken Ne-branch, and the success halt behind label 1.
+        let instrs = vec![
+            word(vec![
+                Op::MvI {
+                    d: R(40),
+                    w: Word::int(1),
+                },
+                Op::MvI {
+                    d: R(41),
+                    w: Word::int(2),
+                },
+            ]),
+            VliwInstr::default(),
+            word(vec![
+                Op::Mv { d: R(40), s: R(41) },
+                Op::Mv { d: R(41), s: R(40) },
+            ]),
+            VliwInstr::default(),
+            word(vec![Op::Br {
+                cond: Cond::Ne,
+                a: R(41),
+                b: Operand::Imm(1),
+                t: Label(1),
+            }]),
+            word(vec![Op::Halt { success: true }]),
+            word(vec![Op::Halt { success: false }]),
+        ];
+        let p = program(instrs, &[(0, 0), (1, 6)]);
+        let machine = MachineConfig::units(4);
+        let layout = tiny_layout();
+        let decoded = DecodedVliw::new(&p, machine);
+        let plain = DecodedVliwSim::new(&decoded, &layout)
+            .run(&SimConfig::default())
+            .unwrap();
+        let (profiled, prof) =
+            DecodedVliwSim::new(&decoded, &layout).run_profiled(&SimConfig::default());
+        let profiled = profiled.unwrap();
+        assert_eq!(plain.outcome, profiled.outcome);
+        assert_eq!(plain.cycles, profiled.cycles, "profiling must not retime");
+        assert_eq!(plain.class_ops, profiled.class_ops);
+
+        // Every issued word landed in exactly one occupancy bucket.
+        let words_issued: u64 = prof.occupancy.iter().sum();
+        assert_eq!(words_issued, profiled.instructions);
+        assert_eq!(prof.occupancy.len(), machine.issue_width + 1);
+        assert_eq!(prof.occupancy[2], 2, "the two swap words");
+        assert_eq!(prof.occupancy[1], 2, "branch and halt");
+        assert_eq!(prof.empty_words, 2, "the two scheduler nops");
+        assert_eq!(prof.occupancy[0], prof.empty_words);
+
+        // Busy slot-cycles per class agree with the class-op counts,
+        // and the only stall source is the taken-branch bubble.
+        assert_eq!(prof.class_busy, profiled.class_ops);
+        assert_eq!(
+            prof.branch_bubble_cycles,
+            profiled.taken_branches * machine.taken_branch_penalty as u64
+        );
+        let mean = prof.mean_occupancy();
+        assert!((mean - 6.0 / 6.0).abs() < 1e-12, "mean {mean}");
+        let util = prof.class_utilization(&machine, profiled.cycles);
+        let move_util = util[OpClass::Move.index()];
+        // 4 move ops over cycles × 4 move slots.
+        assert!(
+            (move_util - 4.0 / (profiled.cycles as f64 * 4.0)).abs() < 1e-12,
+            "move util {move_util}"
+        );
     }
 
     #[test]

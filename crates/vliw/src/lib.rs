@@ -15,7 +15,7 @@ pub mod machine;
 pub mod program;
 pub mod sim;
 
-pub use decode::{DecodedVliw, DecodedVliwSim};
+pub use decode::{DecodedVliw, DecodedVliwSim, SimProfile};
 pub use machine::MachineConfig;
 pub use program::{SlotOp, VliwInstr, VliwProgram};
 pub use sim::{check_word_resources, SimConfig, SimError, SimOutcome, SimResult, VliwSim};

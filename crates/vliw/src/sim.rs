@@ -145,8 +145,10 @@ impl fmt::Display for SimError {
 
 impl Error for SimError {}
 
-/// Result of a completed simulation.
-#[derive(Clone, Debug)]
+/// Result of a completed simulation. `PartialEq` compares every
+/// counter exactly — the differential suites require profiled and
+/// plain runs to agree bit for bit.
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SimResult {
     /// Success or failure of the query.
     pub outcome: SimOutcome,
@@ -161,7 +163,7 @@ pub struct SimResult {
     /// Executed operations per class: memory, ALU, move, control
     /// (the event-driven simulator's resource-utilization statistics,
     /// paper §3.2).
-    pub class_ops: [u64; 4],
+    pub class_ops: [u64; OpClass::COUNT],
 }
 
 impl SimResult {
@@ -177,17 +179,11 @@ impl SimResult {
     /// Utilization of a resource class against its per-cycle budget
     /// (fraction of slot-cycles actually used).
     pub fn utilization(&self, machine: &MachineConfig, class: OpClass) -> f64 {
-        let idx = match class {
-            OpClass::Memory => 0,
-            OpClass::Alu => 1,
-            OpClass::Move => 2,
-            OpClass::Control => 3,
-        };
         let budget = machine.slots(class) as u64 * self.cycles;
         if budget == 0 {
             0.0
         } else {
-            self.class_ops[idx] as f64 / budget as f64
+            self.class_ops[class.index()] as f64 / budget as f64
         }
     }
 }
@@ -229,17 +225,11 @@ pub fn check_word_resources(
     if word.slots.len() > machine.issue_width {
         return Err(SimError::WidthOverflow { at });
     }
-    let mut counts = [0usize; 4];
+    let mut counts = [0usize; OpClass::COUNT];
     let mut unit_class: Vec<(usize, OpClass)> = Vec::new();
     for s in &word.slots {
         let c = s.op.class();
-        let idx = match c {
-            Memory => 0,
-            Alu => 1,
-            Move => 2,
-            Control => 3,
-        };
-        counts[idx] += 1;
+        counts[c.index()] += 1;
         if unit_class.contains(&(s.unit, c)) {
             return Err(SimError::UnitConflict { at, unit: s.unit });
         }
@@ -257,12 +247,7 @@ pub fn check_word_resources(
             }
         }
     }
-    let budgets = [
-        (Memory, counts[0]),
-        (Alu, counts[1]),
-        (Move, counts[2]),
-        (Control, counts[3]),
-    ];
+    let budgets = OpClass::ALL.map(|c| (c, counts[c.index()]));
     for (class, used) in budgets {
         if used > machine.slots(class) {
             return Err(SimError::SlotOverflow { at, class });
@@ -333,7 +318,7 @@ impl<'a> VliwSim<'a> {
         let mut executed: u64 = 0;
         let mut ops: u64 = 0;
         let mut taken: u64 = 0;
-        let mut class_ops = [0u64; 4];
+        let mut class_ops = [0u64; OpClass::COUNT];
 
         loop {
             if cycle >= cfg.max_cycles {
@@ -349,13 +334,7 @@ impl<'a> VliwSim<'a> {
             executed += 1;
             ops += word.slots.len() as u64;
             for slot in &word.slots {
-                let idx = match slot.op.class() {
-                    OpClass::Memory => 0,
-                    OpClass::Alu => 1,
-                    OpClass::Move => 2,
-                    OpClass::Control => 3,
-                };
-                class_ops[idx] += 1;
+                class_ops[slot.op.class().index()] += 1;
             }
 
             self.check_resources(word, at)?;

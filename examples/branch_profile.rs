@@ -6,6 +6,7 @@
 //!
 //! ```sh
 //! cargo run --release -p symbol-core --example branch_profile -- zebra
+//! cargo run --release -p symbol-core --example branch_profile -- zebra --json
 //! ```
 
 use symbol_analysis::PredictStats;
@@ -13,12 +14,33 @@ use symbol_core::benchmarks;
 use symbol_core::pipeline::Compiled;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "zebra".into());
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    args.retain(|a| a != "--json");
+    let name = args.first().cloned().unwrap_or_else(|| "zebra".into());
     let bench = benchmarks::by_name(&name).ok_or_else(|| format!("unknown benchmark {name}"))?;
     let compiled = Compiled::from_source(bench.source)?;
     let run = compiled.run_sequential()?;
 
     let stats = PredictStats::measure(&compiled.ici, &run.stats);
+    let hist = stats.histogram(10);
+
+    if json {
+        let counts = hist
+            .counts
+            .iter()
+            .map(|v| format!("{v:.6}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        println!(
+            "{{\"bench\": \"{name}\", \"branches\": {}, \"pfp_average\": {:.6}, \
+             \"pfp_histogram\": [{counts}]}}",
+            stats.branches.len(),
+            stats.average()
+        );
+        return Ok(());
+    }
+
     println!(
         "{name}: {} executed conditional branches, average P_fp = {:.4}",
         stats.branches.len(),
@@ -26,7 +48,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     println!("\ndistribution of the probability of faulty prediction:");
-    let hist = stats.histogram(10);
     for (i, v) in hist.counts.iter().enumerate() {
         let (lo, hi) = hist.range(i);
         let bar = "#".repeat((v * 120.0).round() as usize);

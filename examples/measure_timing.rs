@@ -4,6 +4,7 @@
 //!
 //! ```sh
 //! cargo run --release -p symbol-core --example measure_timing
+//! cargo run --release -p symbol-core --example measure_timing -- --json
 //! ```
 
 use std::time::Instant;
@@ -11,25 +12,40 @@ use std::time::Instant;
 use symbol_core::experiments::measure_all_with;
 
 fn main() {
+    let json = std::env::args().any(|a| a == "--json");
     let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
 
     let t0 = Instant::now();
     let sequential = measure_all_with(1).expect("suite measures");
     let seq_time = t0.elapsed();
-    println!("sequential (1 thread):   {seq_time:?}");
 
     let t1 = Instant::now();
     let parallel = measure_all_with(threads).expect("suite measures");
     let par_time = t1.elapsed();
-    println!("parallel ({threads} threads):  {par_time:?}");
 
     assert_eq!(
         sequential, parallel,
         "parallel driver must be bit-identical"
     );
+    let speedup = seq_time.as_secs_f64() / par_time.as_secs_f64();
+
+    if json {
+        println!(
+            "{{\"threads\": {threads}, \"benchmarks\": {}, \
+             \"sequential_ms\": {:.3}, \"parallel_ms\": {:.3}, \
+             \"speedup\": {speedup:.3}, \"bit_identical\": true}}",
+            parallel.len(),
+            seq_time.as_secs_f64() * 1e3,
+            par_time.as_secs_f64() * 1e3
+        );
+        return;
+    }
+
+    println!("sequential (1 thread):   {seq_time:?}");
+    println!("parallel ({threads} threads):  {par_time:?}");
     println!(
         "speed-up: {:.2}x (bit-identical results over {} benchmarks)",
-        seq_time.as_secs_f64() / par_time.as_secs_f64(),
+        speedup,
         parallel.len()
     );
 }

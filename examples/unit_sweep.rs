@@ -4,13 +4,17 @@
 //!
 //! ```sh
 //! cargo run --release -p symbol-core --example unit_sweep -- queens_8
+//! cargo run --release -p symbol-core --example unit_sweep -- queens_8 --json
 //! ```
 
 use symbol_core::benchmarks;
 use symbol_core::experiments::measure;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "queens_8".into());
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    args.retain(|a| a != "--json");
+    let name = args.first().cloned().unwrap_or_else(|| "queens_8".into());
     let bench = benchmarks::by_name(&name).ok_or_else(|| {
         format!(
             "unknown benchmark {name}; available: {}",
@@ -21,9 +25,36 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 .join(", ")
         )
     })?;
-    println!("{}: {}", bench.name, bench.description);
 
     let r = measure(bench)?;
+    if json {
+        let cycles = r
+            .unit_cycles
+            .iter()
+            .map(|c| c.to_string())
+            .collect::<Vec<_>>()
+            .join(", ");
+        let speedups = (1..=5)
+            .map(|u| format!("{:.6}", r.unit_speedup(u)))
+            .collect::<Vec<_>>()
+            .join(", ");
+        println!(
+            "{{\"bench\": \"{}\", \"ops\": {}, \"seq_cycles\": {}, \"bam_cycles\": {}, \
+             \"bam_speedup\": {:.6}, \"unit_cycles\": [{cycles}], \
+             \"unit_speedups\": [{speedups}], \"trace_length\": {:.6}, \
+             \"pfp_average\": {:.6}}}",
+            bench.name,
+            r.ops,
+            r.seq_cycles,
+            r.bam_cycles,
+            r.bam_speedup(),
+            r.trace_length,
+            r.pfp_average
+        );
+        return Ok(());
+    }
+
+    println!("{}: {}", bench.name, bench.description);
     println!(
         "sequential machine: {} cycles ({} ops, memory {:.1}%, control {:.1}%)",
         r.seq_cycles,

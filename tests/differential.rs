@@ -12,8 +12,10 @@ use std::thread;
 
 use symbol_compactor::{compact, CompactMode, TracePolicy};
 use symbol_core::benchmarks;
-use symbol_core::pipeline::Compiled;
+use symbol_core::experiments::{measure_cached, measure_cached_obs};
+use symbol_core::pipeline::{Compiled, CompiledCache};
 use symbol_intcode::{DecodedEmulator, Emulator, ExecConfig};
+use symbol_obs::Registry;
 use symbol_vliw::{DecodedVliw, DecodedVliwSim, MachineConfig, SimConfig, VliwSim};
 
 /// Runs `f` once per benchmark, in parallel, propagating panics with
@@ -55,6 +57,77 @@ fn emulator_decoded_matches_legacy_on_every_benchmark() {
             "{}: per-op taken counts",
             b.name
         );
+    });
+}
+
+/// Observability must never change a result: the fully instrumented
+/// pipeline (live registry, spans, counters, events) and the profiled
+/// engine monomorphizations must produce bit-identical outcomes,
+/// per-op statistics and simulation counters versus the plain path.
+#[test]
+fn instrumentation_on_and_off_are_bit_identical_on_every_benchmark() {
+    for_each_benchmark(|b| {
+        let obs = Registry::new();
+
+        // Compilation + sequential run, plain vs observed.
+        let plain = Compiled::from_source(b.source).expect("compiles");
+        let observed = Compiled::from_source_obs(b.source, Default::default(), &obs, b.name)
+            .expect("compiles");
+        let plain_run = plain.run_sequential().expect("plain run");
+        let observed_run = observed
+            .run_sequential_obs(&obs, b.name)
+            .expect("observed run");
+        assert_eq!(
+            observed_run.outcome, plain_run.outcome,
+            "{}: outcome",
+            b.name
+        );
+        assert_eq!(observed_run.steps, plain_run.steps, "{}: steps", b.name);
+        assert_eq!(
+            observed_run.stats.expect, plain_run.stats.expect,
+            "{}: per-op expect counts",
+            b.name
+        );
+        assert_eq!(
+            observed_run.stats.taken, plain_run.stats.taken,
+            "{}: per-op taken counts",
+            b.name
+        );
+
+        // PROFILE = true emulator monomorphization vs the plain engine.
+        let (outcome, stats, steps, _profile) = DecodedEmulator::new(&plain.decoded, &plain.layout)
+            .run_with_profile(&ExecConfig::default());
+        assert_eq!(outcome.expect("profiled run"), plain_run.outcome);
+        assert_eq!(steps, plain_run.steps, "{}: profiled steps", b.name);
+        assert_eq!(
+            stats.expect, plain_run.stats.expect,
+            "{}: profiled expect",
+            b.name
+        );
+
+        // PROFILE = true VLIW monomorphization vs the plain simulator.
+        let machine = MachineConfig::units(3);
+        let compacted = compact(
+            &plain.ici,
+            &plain_run.stats,
+            &machine,
+            CompactMode::TraceSchedule,
+            &TracePolicy::default(),
+        );
+        let lowered = DecodedVliw::new(&compacted.program, machine);
+        let cfg = SimConfig::default();
+        let plain_sim = DecodedVliwSim::new(&lowered, &plain.layout)
+            .run(&cfg)
+            .expect("plain sim");
+        let (profiled_sim, _) = DecodedVliwSim::new(&lowered, &plain.layout).run_profiled(&cfg);
+        let profiled_sim = profiled_sim.expect("profiled sim");
+        assert_eq!(profiled_sim, plain_sim, "{}: SimResult", b.name);
+
+        // The whole experiment driver, observed vs not.
+        let cache = CompiledCache::new(&plain).expect("cache");
+        let silent = measure_cached(b.name, &cache, 1).expect("silent measure");
+        let loud = measure_cached_obs(b.name, &cache, 1, &obs).expect("observed measure");
+        assert_eq!(loud, silent, "{}: BenchResult", b.name);
     });
 }
 
