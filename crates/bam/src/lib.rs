@@ -44,7 +44,7 @@ pub fn compile(program: &symbol_prolog::Program) -> Result<BamProgram, CompileEr
     compile_with_events(program, &symbol_obs::Events::silent())
 }
 
-/// [`compile`] with compiler diagnostics emitted to `events` instead of
+/// [`compile()`] with compiler diagnostics emitted to `events` instead of
 /// any output stream — the library never prints; the caller decides
 /// whether events are collected, echoed or dropped.
 ///

@@ -63,6 +63,13 @@ pub struct Compacted {
 
 /// Compacts `program` for `machine` according to `mode`, guided by the
 /// sequential-execution statistics.
+///
+/// # Panics
+///
+/// Panics if the produced schedule fails static verification — on the
+/// compiler pipeline that is an internal bug. Fuzzing drives
+/// [`try_compact`] instead, where an illegal schedule is a reportable
+/// finding rather than a crash.
 pub fn compact(
     program: &IciProgram,
     exec: &ExecStats,
@@ -70,6 +77,30 @@ pub fn compact(
     mode: CompactMode,
     policy: &TracePolicy,
 ) -> Compacted {
+    match try_compact(program, exec, machine, mode, policy) {
+        Ok(c) => c,
+        Err(v) => panic!("compactor produced an illegal schedule: {v}"),
+    }
+}
+
+/// [`compact`] returning the static-verification [`Violation`](crate::verify::Violation) instead
+/// of panicking when the produced schedule is illegal.
+///
+/// Every schedule — including cold code the profile never executes —
+/// is checked against the machine by [`crate::verify::verify_program`]
+/// before it is returned, so a buggy scheduling pass cannot hand the
+/// simulator an impossible program.
+///
+/// # Errors
+///
+/// The first [`Violation`](crate::verify::Violation) found in the emitted schedule.
+pub fn try_compact(
+    program: &IciProgram,
+    exec: &ExecStats,
+    machine: &MachineConfig,
+    mode: CompactMode,
+    policy: &TracePolicy,
+) -> Result<Compacted, crate::verify::Violation> {
     let cfg = Cfg::build(program, exec);
     let live = Liveness::compute(program, &cfg);
     let live_at = LiveAtLabel::new(&cfg, &live);
@@ -160,8 +191,6 @@ pub fn compact(
     let program = VliwProgram::new(instrs, label_at, labels.total(), program.entry());
     // Every schedule — including cold code the profile never executes —
     // must satisfy the machine statically.
-    if let Err(v) = crate::verify::verify_program(&program, machine) {
-        panic!("compactor produced an illegal schedule: {v}");
-    }
-    Compacted { program, stats }
+    crate::verify::verify_program(&program, machine)?;
+    Ok(Compacted { program, stats })
 }

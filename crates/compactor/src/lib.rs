@@ -23,7 +23,7 @@ pub mod verify;
 
 pub use cfg::{Block, Cfg, Edge};
 pub use copyprop::copy_propagate;
-pub use emit::{compact, CompactMode, CompactStats, Compacted};
+pub use emit::{compact, try_compact, CompactMode, CompactStats, Compacted};
 pub use pressure::{measure as measure_pressure, Pressure};
 pub use regalloc::{allocate as allocate_registers, OutOfRegisters};
 pub use schedule::{ScheduleOptions, ScheduledTrace};

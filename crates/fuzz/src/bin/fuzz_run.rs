@@ -1,0 +1,153 @@
+//! Command-line driver for the differential fuzzer.
+//!
+//! ```text
+//! fuzz_run --seed 0xSYMBOL5 --cases 500 --budget-secs 120
+//! fuzz_run --seed 7 --cases 100000 --kind intcode --repro-dir found/ --json
+//! ```
+//!
+//! Exit status: 0 when every case passed, 1 when the oracle found
+//! divergences (shrunk reproducers are printed and, with
+//! `--repro-dir`, written as corpus files), 2 on usage errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Duration;
+
+use symbol_fuzz::{parse_seed, run_fuzz, FuzzOptions, KindFilter};
+
+const USAGE: &str = "usage: fuzz_run [options]
+  --seed S          base seed: decimal, 0x-hex, or any string (hashed)
+  --cases N         number of cases to run (default 500)
+  --max-steps N     sequential step limit per case (default 200000)
+  --budget-secs N   wall-clock budget; stop cleanly when exceeded
+  --kind K          prolog | intcode | both (default both)
+  --max-failures N  stop after N shrunk findings (default 5)
+  --no-vliw         skip the compaction + VLIW simulator stage
+  --repro-dir DIR   write shrunk reproducers as corpus files into DIR
+  --json            print a JSON report instead of text";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut opts = FuzzOptions {
+        cases: 500,
+        ..FuzzOptions::default()
+    };
+    let mut json = false;
+    let mut repro_dir: Option<PathBuf> = None;
+
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let value = |i: &mut usize| -> Result<String, String> {
+            *i += 1;
+            args.get(*i)
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        let result: Result<(), String> = (|| {
+            match flag {
+                "--seed" => opts.seed = parse_seed(&value(&mut i)?),
+                "--cases" => {
+                    opts.cases = value(&mut i)?
+                        .parse()
+                        .map_err(|_| "--cases needs an integer".to_string())?;
+                }
+                "--max-steps" => {
+                    opts.max_steps = value(&mut i)?
+                        .parse()
+                        .map_err(|_| "--max-steps needs an integer".to_string())?;
+                }
+                "--budget-secs" => {
+                    let secs: u64 = value(&mut i)?
+                        .parse()
+                        .map_err(|_| "--budget-secs needs an integer".to_string())?;
+                    opts.budget = Some(Duration::from_secs(secs));
+                }
+                "--kind" => {
+                    opts.kind = match value(&mut i)?.as_str() {
+                        "prolog" => KindFilter::Prolog,
+                        "intcode" => KindFilter::IntCode,
+                        "both" => KindFilter::Both,
+                        other => return Err(format!("unknown kind {other:?}")),
+                    };
+                }
+                "--max-failures" => {
+                    opts.max_failures = value(&mut i)?
+                        .parse()
+                        .map_err(|_| "--max-failures needs an integer".to_string())?;
+                }
+                "--no-vliw" => opts.check_vliw = false,
+                "--repro-dir" => repro_dir = Some(PathBuf::from(value(&mut i)?)),
+                "--json" => json = true,
+                "--help" | "-h" => {
+                    println!("{USAGE}");
+                    std::process::exit(0);
+                }
+                other => return Err(format!("unknown flag {other:?}")),
+            }
+            Ok(())
+        })();
+        if let Err(e) = result {
+            eprintln!("fuzz_run: {e}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+        i += 1;
+    }
+
+    let report = run_fuzz(&opts);
+
+    if let Some(dir) = &repro_dir {
+        if !report.failures.is_empty() {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("fuzz_run: cannot create {}: {e}", dir.display());
+                return ExitCode::from(2);
+            }
+            for f in &report.failures {
+                let path = dir.join(format!(
+                    "fuzz-{}-{}-0x{:x}-{}.case",
+                    f.case_kind, f.kind_tag, report.seed, f.index
+                ));
+                if let Err(e) = std::fs::write(&path, &f.reproducer) {
+                    eprintln!("fuzz_run: cannot write {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    }
+
+    if json {
+        println!("{}", report.to_json());
+    } else {
+        println!(
+            "fuzz_run: seed 0x{:x}: {}/{} cases ({} prolog, {} intcode) in {:.1}s{}",
+            report.seed,
+            report.executed,
+            report.requested,
+            report.prolog_cases,
+            report.intcode_cases,
+            report.elapsed.as_secs_f64(),
+            if report.budget_exhausted {
+                " [budget exhausted]"
+            } else {
+                ""
+            }
+        );
+        for f in &report.failures {
+            println!(
+                "\nFAILURE at case {} [{}]: {}\n  {}\nshrunk reproducer:\n{}",
+                f.index, f.kind_tag, f.case_kind, f.detail, f.reproducer
+            );
+        }
+        if report.clean() {
+            println!("fuzz_run: clean");
+        } else {
+            println!("fuzz_run: {} finding(s)", report.failures.len());
+        }
+    }
+
+    if report.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

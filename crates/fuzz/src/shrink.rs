@@ -1,0 +1,366 @@
+//! Greedy, deterministic shrinking of failing cases.
+//!
+//! The shrinker repeatedly tries candidate reductions in a fixed order
+//! and keeps the first candidate that still fails with the *same*
+//! [`FailureKind`]; a pass that accepts nothing ends the loop. Because
+//! the candidate order is a pure function of the case and the check is
+//! deterministic, shrinking the same case twice yields the same
+//! reproducer — which is what makes checked-in corpus files stable.
+//!
+//! Prolog candidates (coarse to fine): drop a clause, drop a body goal,
+//! replace a list cell by its tail, zero an integer literal. IntCode
+//! candidates: delete an op (remapping every branch target and code
+//! word across the hole), then single-operand simplifications.
+
+use symbol_prolog::{program_to_source, Clause, Program, Term};
+
+use crate::gen_intcode::IntFrag;
+use crate::gen_prolog::PrologCase;
+use crate::oracle::{Case, FailureKind};
+
+/// Shrinks `case` while `check` keeps reporting the same `key` kind.
+/// `max_evals` bounds the total number of candidate evaluations, so a
+/// pathological case cannot stall the fuzz loop.
+pub fn shrink_case(
+    case: Case,
+    key: &FailureKind,
+    check: &mut dyn FnMut(&Case) -> Option<FailureKind>,
+    max_evals: usize,
+) -> Case {
+    let mut current = case;
+    let mut evals = 0usize;
+    'outer: loop {
+        for cand in candidates(&current) {
+            if evals >= max_evals {
+                return current;
+            }
+            evals += 1;
+            if check(&cand).as_ref() == Some(key) {
+                current = cand;
+                continue 'outer;
+            }
+        }
+        return current;
+    }
+}
+
+fn candidates(case: &Case) -> Vec<Case> {
+    match case {
+        Case::Prolog(p) => prolog_candidates(p).into_iter().map(Case::Prolog).collect(),
+        Case::IntCode(f) => intcode_candidates(f)
+            .into_iter()
+            .map(Case::IntCode)
+            .collect(),
+    }
+}
+
+// ---------------------------------------------------------------- Prolog
+
+fn clauses_of(program: &Program) -> Vec<Clause> {
+    program
+        .predicates()
+        .flat_map(|p| p.clauses.iter().cloned())
+        .collect()
+}
+
+fn rebuild(program: &Program, clauses: Vec<Clause>, expected: &PrologCase) -> Option<PrologCase> {
+    if clauses.is_empty() {
+        return None;
+    }
+    let next = Program::from_clauses(clauses, program.symbols().clone());
+    Some(PrologCase {
+        source: program_to_source(&next),
+        expected: expected.expected,
+    })
+}
+
+fn prolog_candidates(case: &PrologCase) -> Vec<PrologCase> {
+    // A case whose source no longer parses has nowhere to go.
+    let Ok(program) = symbol_prolog::parse_program(&case.source) else {
+        return Vec::new();
+    };
+    let clauses = clauses_of(&program);
+    let mut out = Vec::new();
+
+    // Drop whole clauses.
+    for i in 0..clauses.len() {
+        let mut c = clauses.clone();
+        c.remove(i);
+        out.extend(rebuild(&program, c, case));
+    }
+    // Drop single body goals.
+    for i in 0..clauses.len() {
+        for g in 0..clauses[i].body.len() {
+            let mut c = clauses.clone();
+            c[i].body.remove(g);
+            out.extend(rebuild(&program, c, case));
+        }
+    }
+    // Structural simplifications inside one clause at a time.
+    let dot = program.symbols().lookup(".");
+    for i in 0..clauses.len() {
+        let cons_cells = count_in_clause(&clauses[i], &mut |t| is_cons(t, dot));
+        for p in 0..cons_cells {
+            let mut c = clauses.clone();
+            let mut seen = 0usize;
+            edit_clause(&mut c[i], &mut |t| {
+                if is_cons(t, dot) {
+                    if seen == p {
+                        seen += 1;
+                        let Term::Struct(_, mut args) = std::mem::replace(t, Term::Int(0)) else {
+                            unreachable!("is_cons checked the shape");
+                        };
+                        *t = args.pop().expect("cons has two args");
+                        return true;
+                    }
+                    seen += 1;
+                }
+                false
+            });
+            out.extend(rebuild(&program, c, case));
+        }
+        let ints = count_in_clause(&clauses[i], &mut |t| matches!(t, Term::Int(v) if *v != 0));
+        for p in 0..ints {
+            let mut c = clauses.clone();
+            let mut seen = 0usize;
+            edit_clause(&mut c[i], &mut |t| {
+                if matches!(t, Term::Int(v) if *v != 0) {
+                    if seen == p {
+                        *t = Term::Int(0);
+                        return true;
+                    }
+                    seen += 1;
+                }
+                false
+            });
+            out.extend(rebuild(&program, c, case));
+        }
+    }
+    out
+}
+
+fn is_cons(t: &Term, dot: Option<symbol_prolog::Atom>) -> bool {
+    matches!(t, Term::Struct(f, args) if args.len() == 2 && Some(*f) == dot)
+}
+
+/// Counts the subterms of the clause matching `pred` (pre-order).
+fn count_in_clause(clause: &Clause, pred: &mut dyn FnMut(&Term) -> bool) -> usize {
+    let mut n = 0;
+    let mut visit = |t: &Term| {
+        let mut stack = vec![t];
+        while let Some(t) = stack.pop() {
+            if pred(t) {
+                n += 1;
+            }
+            if let Term::Struct(_, args) = t {
+                stack.extend(args.iter());
+            }
+        }
+    };
+    visit(&clause.head);
+    for g in &clause.body {
+        visit(g);
+    }
+    n
+}
+
+/// Applies `edit` to subterms of the clause in pre-order; `edit`
+/// returns `true` once it has made its single change, which stops the
+/// walk descending into the replaced term.
+fn edit_clause(clause: &mut Clause, edit: &mut dyn FnMut(&mut Term) -> bool) {
+    fn walk(t: &mut Term, edit: &mut dyn FnMut(&mut Term) -> bool, done: &mut bool) {
+        if *done {
+            return;
+        }
+        if edit(t) {
+            *done = true;
+            return;
+        }
+        if let Term::Struct(_, args) = t {
+            for a in args {
+                walk(a, edit, done);
+            }
+        }
+    }
+    let mut done = false;
+    walk(&mut clause.head, edit, &mut done);
+    for g in &mut clause.body {
+        walk(g, edit, &mut done);
+    }
+}
+
+// --------------------------------------------------------------- IntCode
+
+fn intcode_candidates(frag: &IntFrag) -> Vec<IntFrag> {
+    use symbol_intcode::{AluOp, Cond, Label, Op, Operand, Tag, Word};
+
+    let mut out = Vec::new();
+
+    // Delete one op, closing the hole in the identity label space:
+    // targets past the hole shift down by one; targets at the hole now
+    // name the op that followed. Targets are deliberately NOT clamped
+    // into range — repairing a dangling target would turn a Build
+    // finding into a different program; an out-of-range candidate is
+    // simply rejected by the kind check.
+    for k in 0..frag.ops.len() {
+        if frag.ops.len() <= 1 {
+            break;
+        }
+        let remap = |t: u32| -> u32 {
+            if (t as usize) > k {
+                t - 1
+            } else {
+                t
+            }
+        };
+        let mut ops = Vec::with_capacity(frag.ops.len() - 1);
+        for (i, op) in frag.ops.iter().enumerate() {
+            if i == k {
+                continue;
+            }
+            let mut op = op.clone();
+            if let Some(Label(t)) = op.target() {
+                op.set_target(Label(remap(t)));
+            }
+            if let Op::MvI { w, .. } = &mut op {
+                if w.tag == Tag::Cod {
+                    w.val = remap(w.val as u32) as i64;
+                }
+            }
+            ops.push(op);
+        }
+        out.push(IntFrag { ops });
+    }
+
+    // Single-operand simplifications, one mutated op per candidate.
+    for k in 0..frag.ops.len() {
+        let mut push = |op: Op| {
+            if op != frag.ops[k] {
+                let mut ops = frag.ops.clone();
+                ops[k] = op;
+                out.push(IntFrag { ops });
+            }
+        };
+        match &frag.ops[k] {
+            Op::Ld { d, base, off } if *off != 0 => push(Op::Ld {
+                d: *d,
+                base: *base,
+                off: 0,
+            }),
+            Op::St { s, base, off } if *off != 0 => push(Op::St {
+                s: *s,
+                base: *base,
+                off: 0,
+            }),
+            Op::MvI { d, w } if w.tag != Tag::Cod && *w != Word::int(0) => push(Op::MvI {
+                d: *d,
+                w: Word::int(0),
+            }),
+            Op::Alu { op, d, a, b } => {
+                if *op != AluOp::Add {
+                    push(Op::Alu {
+                        op: AluOp::Add,
+                        d: *d,
+                        a: *a,
+                        b: *b,
+                    });
+                }
+                if let Operand::Reg(_) = b {
+                    push(Op::Alu {
+                        op: *op,
+                        d: *d,
+                        a: *a,
+                        b: Operand::Imm(1),
+                    });
+                } else if *b != Operand::Imm(0) && *op == AluOp::Add {
+                    push(Op::Alu {
+                        op: *op,
+                        d: *d,
+                        a: *a,
+                        b: Operand::Imm(0),
+                    });
+                }
+            }
+            Op::AddA { d, a, b } if *b != Operand::Imm(0) => push(Op::AddA {
+                d: *d,
+                a: *a,
+                b: Operand::Imm(0),
+            }),
+            Op::Br { cond, a, b, t } => {
+                if *cond != Cond::Eq {
+                    push(Op::Br {
+                        cond: Cond::Eq,
+                        a: *a,
+                        b: *b,
+                        t: *t,
+                    });
+                }
+                if *b != Operand::Imm(0) {
+                    push(Op::Br {
+                        cond: *cond,
+                        a: *a,
+                        b: Operand::Imm(0),
+                        t: *t,
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symbol_intcode::{Label, Op, R};
+
+    fn has_jmp(c: &Case) -> Option<FailureKind> {
+        match c {
+            Case::IntCode(f) => f
+                .ops
+                .iter()
+                .any(|o| matches!(o, Op::Jmp { .. }))
+                .then_some(FailureKind::Panic),
+            _ => None,
+        }
+    }
+
+    #[test]
+    fn deletion_remaps_targets_across_the_hole() {
+        let frag = IntFrag {
+            ops: vec![
+                Op::Mv { d: R(32), s: R(33) },
+                Op::Jmp { t: Label(3) },
+                Op::Mv { d: R(34), s: R(35) },
+                Op::Halt { success: true },
+            ],
+        };
+        let cands = intcode_candidates(&frag);
+        // Deleting op 2 moves the halt to index 2; the jump must follow.
+        let deleted = &cands[2];
+        assert_eq!(deleted.ops.len(), 3);
+        assert_eq!(deleted.ops[1].target(), Some(Label(2)));
+        deleted.build().expect("remapped fragment stays valid");
+    }
+
+    #[test]
+    fn shrink_keeps_the_failure_and_is_deterministic() {
+        let frag = IntFrag {
+            ops: vec![
+                Op::Mv { d: R(32), s: R(33) },
+                Op::Mv { d: R(34), s: R(35) },
+                Op::Jmp { t: Label(3) },
+                Op::Halt { success: true },
+            ],
+        };
+        let key = FailureKind::Panic;
+        let a = shrink_case(Case::IntCode(frag.clone()), &key, &mut has_jmp, 10_000);
+        let b = shrink_case(Case::IntCode(frag), &key, &mut has_jmp, 10_000);
+        assert_eq!(a, b);
+        assert!(has_jmp(&a).is_some(), "shrunk case still fails");
+        let Case::IntCode(f) = &a else { unreachable!() };
+        // Minimal: the jump plus its (clamped) landing op.
+        assert!(f.ops.len() <= 2, "got {} ops", f.ops.len());
+    }
+}

@@ -1,0 +1,64 @@
+//! Replays every checked-in reproducer under `crates/fuzz/corpus/`.
+//!
+//! Each file declares what the oracle must conclude: `expect: pass`
+//! files are regression tests for fixed bugs (and for oracle soundness
+//! on tricky-but-correct cases); `expect: fail <tag>` files pin open
+//! findings to their exact classification, so a half-fix that shifts
+//! the failure mode is caught.
+
+use symbol_fuzz::oracle::{run_case, OracleConfig};
+use symbol_fuzz::{corpus, Expect};
+
+#[test]
+fn every_corpus_case_replays_as_declared() {
+    let dir = corpus::corpus_dir();
+    let cases = corpus::load_dir(&dir)
+        .unwrap_or_else(|e| panic!("corpus under {} is malformed: {e}", dir.display()));
+    assert!(
+        !cases.is_empty(),
+        "no corpus files found under {}",
+        dir.display()
+    );
+    let cfg = OracleConfig::default();
+    for c in &cases {
+        let got = run_case(&c.case, &cfg);
+        match (&c.expect, got) {
+            (Expect::Pass, Ok(())) => {}
+            (Expect::Pass, Err(f)) => panic!(
+                "{}: expected to pass, oracle found [{}] {}",
+                c.name,
+                f.kind.tag(),
+                f.detail
+            ),
+            (Expect::Fail(want), Ok(())) => panic!(
+                "{}: expected to fail with [{}], but the oracle accepted it \
+                 (bug fixed? flip the file to 'expect: pass')",
+                c.name,
+                want.tag()
+            ),
+            (Expect::Fail(want), Err(f)) => {
+                assert_eq!(
+                    *want,
+                    f.kind,
+                    "{}: failure kind drifted: expected [{}], got [{}] {}",
+                    c.name,
+                    want.tag(),
+                    f.kind.tag(),
+                    f.detail
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn corpus_files_round_trip_through_the_serializer() {
+    let cases = corpus::load_dir(&corpus::corpus_dir()).expect("corpus parses");
+    for c in &cases {
+        let rendered = corpus::render(&c.case, &c.expect, c.seed, c.failure.as_deref());
+        let back = corpus::parse(&c.name, &rendered)
+            .unwrap_or_else(|e| panic!("{}: re-parse failed: {e}", c.name));
+        assert_eq!(back.case, c.case, "{}", c.name);
+        assert_eq!(back.expect, c.expect, "{}", c.name);
+    }
+}

@@ -49,6 +49,6 @@ pub use decode::{DecodedEmulator, DecodedProgram, ExecProfile};
 pub use emu::{Emulator, ExecConfig, ExecError, ExecStats, Outcome, RunResult};
 pub use layout::Layout;
 pub use op::{AluOp, Cond, Label, Op, OpClass, Operand, R};
-pub use program::IciProgram;
+pub use program::{IciProgram, ProgramError};
 pub use translate::{translate, TranslateError};
 pub use word::{Tag, Word};

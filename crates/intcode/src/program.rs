@@ -6,6 +6,78 @@ use std::fmt;
 use crate::op::{Label, Op};
 use crate::word::Tag;
 
+/// A structural defect found while assembling an [`IciProgram`].
+///
+/// Construction via [`IciProgram::new`] panics on these (they are
+/// compiler bugs on the translate path), but generated inputs — fuzz
+/// fragments, corpus files — go through [`IciProgram::try_new`], where
+/// a malformed program must fail loudly with a diagnosis instead of
+/// panicking or executing garbage.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ProgramError {
+    /// A label is bound past the end of the op vector.
+    LabelPastEnd {
+        /// The label.
+        label: Label,
+        /// Where it was bound.
+        at: usize,
+    },
+    /// A label id is outside the declared `num_labels` space.
+    LabelOutOfRange {
+        /// The label.
+        label: Label,
+    },
+    /// A branch references a label that is never bound.
+    UnboundBranchTarget {
+        /// The unbound target.
+        label: Label,
+    },
+    /// A code-word immediate references a label that is never bound.
+    UnboundCodeWord {
+        /// The unbound label.
+        label: Label,
+    },
+    /// The entry label is unbound.
+    UnboundEntry {
+        /// The entry label.
+        label: Label,
+    },
+    /// The `groups` vector is not parallel to the ops.
+    GroupsLengthMismatch {
+        /// Number of ops.
+        ops: usize,
+        /// Number of group tags.
+        groups: usize,
+    },
+}
+
+impl fmt::Display for ProgramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProgramError::LabelPastEnd { label, at } => {
+                write!(f, "label {label} bound past the end (at {at})")
+            }
+            ProgramError::LabelOutOfRange { label } => {
+                write!(f, "label {label} is outside the declared label space")
+            }
+            ProgramError::UnboundBranchTarget { label } => {
+                write!(f, "branch target {label} is unbound")
+            }
+            ProgramError::UnboundCodeWord { label } => {
+                write!(f, "code word label {label} is unbound")
+            }
+            ProgramError::UnboundEntry { label } => {
+                write!(f, "entry label {label} is unbound")
+            }
+            ProgramError::GroupsLengthMismatch { ops, groups } => {
+                write!(f, "{groups} group tags for {ops} ops")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProgramError {}
+
 /// A complete IntCode program: a flat op vector plus the label map and
 /// the entry point.
 ///
@@ -35,40 +107,80 @@ impl IciProgram {
         num_labels: u32,
         entry: Label,
     ) -> Self {
+        match Self::try_new(ops, groups, label_at, num_labels, entry) {
+            Ok(p) => p,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Builds a program, returning a [`ProgramError`] instead of
+    /// panicking when validation fails.
+    ///
+    /// This is the entry point for *generated* programs — fuzz
+    /// fragments and corpus reproducers — where a malformed input is an
+    /// expected condition that must be diagnosed, not a compiler bug.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first structural defect found: labels bound past the
+    /// end or outside the declared label space, unbound branch targets,
+    /// unbound code-word labels, an unbound entry, or a `groups` vector
+    /// that is not parallel to the ops.
+    pub fn try_new(
+        ops: Vec<Op>,
+        groups: Vec<u32>,
+        label_at: HashMap<Label, usize>,
+        num_labels: u32,
+        entry: Label,
+    ) -> Result<Self, ProgramError> {
+        if groups.len() != ops.len() {
+            return Err(ProgramError::GroupsLengthMismatch {
+                ops: ops.len(),
+                groups: groups.len(),
+            });
+        }
         let mut label_addr = vec![usize::MAX; num_labels as usize];
         for (l, at) in &label_at {
-            assert!(*at <= ops.len(), "label {l} bound past the end");
+            if l.0 >= num_labels {
+                return Err(ProgramError::LabelOutOfRange { label: *l });
+            }
+            if *at > ops.len() {
+                return Err(ProgramError::LabelPastEnd { label: *l, at: *at });
+            }
             label_addr[l.0 as usize] = *at;
+        }
+        let bound =
+            |l: Label| (l.0 as usize) < label_addr.len() && label_addr[l.0 as usize] != usize::MAX;
+        if !bound(entry) {
+            return Err(ProgramError::UnboundEntry { label: entry });
         }
         // Every label referenced by a branch or a code word must be bound.
         let mut entries = vec![entry];
         for op in &ops {
             if let Some(t) = op.target() {
-                assert!(
-                    label_addr[t.0 as usize] != usize::MAX,
-                    "branch target {t} is unbound"
-                );
+                if !bound(t) {
+                    return Err(ProgramError::UnboundBranchTarget { label: t });
+                }
             }
             if let Op::MvI { w, .. } = op {
                 if w.tag == Tag::Cod {
                     let l = Label(w.val as u32);
-                    assert!(
-                        label_addr[l.0 as usize] != usize::MAX,
-                        "code word label {l} is unbound"
-                    );
+                    if !bound(l) {
+                        return Err(ProgramError::UnboundCodeWord { label: l });
+                    }
                     entries.push(l);
                 }
             }
         }
         entries.sort_unstable();
         entries.dedup();
-        IciProgram {
+        Ok(IciProgram {
             ops,
             groups,
             label_addr,
             entry,
             entries,
-        }
+        })
     }
 
     /// The ops in sequential layout order.
@@ -152,6 +264,93 @@ mod tests {
     fn unbound_branch_target_panics() {
         let ops = vec![Op::Jmp { t: Label(0) }];
         IciProgram::new(ops, vec![0], HashMap::new(), 1, Label(0));
+    }
+
+    #[test]
+    fn try_new_reports_each_defect() {
+        // Unbound branch target (entry bound, target not).
+        let mut labels = HashMap::new();
+        labels.insert(Label(0), 0);
+        let e = IciProgram::try_new(
+            vec![Op::Jmp { t: Label(1) }],
+            vec![0],
+            labels.clone(),
+            2,
+            Label(0),
+        )
+        .unwrap_err();
+        assert_eq!(e, ProgramError::UnboundBranchTarget { label: Label(1) });
+
+        // Label id outside the declared space.
+        let mut oob = HashMap::new();
+        oob.insert(Label(7), 0);
+        let e = IciProgram::try_new(vec![Op::Halt { success: true }], vec![0], oob, 1, Label(0))
+            .unwrap_err();
+        assert_eq!(e, ProgramError::LabelOutOfRange { label: Label(7) });
+
+        // Label bound past the end.
+        let mut past = HashMap::new();
+        past.insert(Label(0), 5);
+        let e = IciProgram::try_new(vec![Op::Halt { success: true }], vec![0], past, 1, Label(0))
+            .unwrap_err();
+        assert_eq!(
+            e,
+            ProgramError::LabelPastEnd {
+                label: Label(0),
+                at: 5
+            }
+        );
+
+        // Unbound entry.
+        let e = IciProgram::try_new(
+            vec![Op::Halt { success: true }],
+            vec![0],
+            HashMap::new(),
+            1,
+            Label(0),
+        )
+        .unwrap_err();
+        assert_eq!(e, ProgramError::UnboundEntry { label: Label(0) });
+
+        // Groups not parallel to ops.
+        let e = IciProgram::try_new(
+            vec![Op::Halt { success: true }],
+            vec![],
+            labels.clone(),
+            2,
+            Label(0),
+        )
+        .unwrap_err();
+        assert_eq!(e, ProgramError::GroupsLengthMismatch { ops: 1, groups: 0 });
+
+        // Unbound code word.
+        let e = IciProgram::try_new(
+            vec![Op::MvI {
+                d: R(40),
+                w: crate::word::Word::code(1),
+            }],
+            vec![0],
+            labels,
+            2,
+            Label(0),
+        )
+        .unwrap_err();
+        assert_eq!(e, ProgramError::UnboundCodeWord { label: Label(1) });
+    }
+
+    #[test]
+    fn try_new_accepts_a_well_formed_program() {
+        let mut labels = HashMap::new();
+        labels.insert(Label(0), 0);
+        let p = IciProgram::try_new(
+            vec![Op::Halt { success: true }],
+            vec![0],
+            labels,
+            1,
+            Label(0),
+        )
+        .expect("valid");
+        assert_eq!(p.len(), 1);
     }
 
     #[test]

@@ -25,11 +25,13 @@ pub mod lexer;
 pub mod normalize;
 pub mod ops;
 pub mod parser;
+pub mod pretty;
 pub mod program;
 pub mod symbols;
 
 pub use ast::{Clause, Term};
 pub use error::ParseError;
+pub use pretty::{program_to_source, term_to_source};
 pub use program::{PredId, Predicate, Program};
 pub use symbols::{Atom, SymbolTable};
 

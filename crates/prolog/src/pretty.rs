@@ -1,0 +1,260 @@
+//! Rendering programs back to parseable source text.
+//!
+//! The fuzzing subsystem shrinks failing cases *structurally* — it
+//! deletes clauses and goals from the parsed [`Program`] — and then
+//! needs the mutated program as ordinary source text again, both to
+//! re-run the whole pipeline (which starts from text) and to check the
+//! minimal reproducer into the corpus. This module is that inverse of
+//! the parser: for every program the front end can produce,
+//! [`program_to_source`] emits text that re-parses to a structurally
+//! identical program.
+//!
+//! Rendering rules:
+//!
+//! * variables print as `_V<i>` (always a valid variable token, stable
+//!   under re-parsing regardless of the original source names),
+//! * known infix operators print infix and **fully parenthesized**, so
+//!   no priority reasoning is needed: `(1 + (2 * 3))`,
+//! * negative integers parenthesize so prefix-minus folding re-reads
+//!   them as literals,
+//! * lists print in `[a,b|T]` syntax, `!` and `true`/`fail` print
+//!   bare, and
+//! * atoms that are not valid unquoted tokens (e.g. the normalizer's
+//!   `$ite_0` auxiliaries) print single-quoted with escapes.
+
+use crate::ast::Term;
+use crate::ops;
+use crate::program::Program;
+use crate::symbols::{wk, SymbolTable};
+use std::fmt::Write as _;
+
+/// Renders a whole program as parseable source text, one clause per
+/// line, predicates in first-definition order.
+pub fn program_to_source(program: &Program) -> String {
+    let mut out = String::new();
+    for pred in program.predicates() {
+        for clause in &pred.clauses {
+            write_term(&mut out, &clause.head, program.symbols());
+            if !clause.body.is_empty() {
+                out.push_str(" :- ");
+                for (i, goal) in clause.body.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    write_term(&mut out, goal, program.symbols());
+                }
+            }
+            out.push_str(".\n");
+        }
+    }
+    out
+}
+
+/// Renders one term as parseable source text.
+pub fn term_to_source(term: &Term, symbols: &SymbolTable) -> String {
+    let mut out = String::new();
+    write_term(&mut out, term, symbols);
+    out
+}
+
+/// Whether `name` lexes back as a single unquoted atom token: a
+/// lower-case alphanumeric word, a run of symbolic characters, or one
+/// of the solo atoms.
+fn is_plain_atom(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        None => false,
+        Some(c) if c.is_ascii_lowercase() => {
+            name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+        }
+        _ => {
+            matches!(name, "!" | ";" | "[]" | "{}")
+                || name.chars().all(|c| "+-*/\\^<>=~:.?@#&".contains(c))
+        }
+    }
+}
+
+fn write_atom(out: &mut String, name: &str) {
+    if is_plain_atom(name) {
+        out.push_str(name);
+    } else {
+        out.push('\'');
+        for c in name.chars() {
+            match c {
+                '\'' => out.push_str("\\'"),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                c => out.push(c),
+            }
+        }
+        out.push('\'');
+    }
+}
+
+fn write_term(out: &mut String, t: &Term, s: &SymbolTable) {
+    match t {
+        Term::Var(v) => {
+            let _ = write!(out, "_V{v}");
+        }
+        Term::Int(i) if *i < 0 => {
+            let _ = write!(out, "({i})");
+        }
+        Term::Int(i) => {
+            let _ = write!(out, "{i}");
+        }
+        Term::Atom(a) => write_atom(out, s.name(*a)),
+        Term::Struct(f, args) if *f == wk::DOT && args.len() == 2 => {
+            out.push('[');
+            write_term(out, &args[0], s);
+            let mut tail = &args[1];
+            loop {
+                match tail {
+                    Term::Atom(a) if *a == wk::NIL => break,
+                    Term::Struct(f, args) if *f == wk::DOT && args.len() == 2 => {
+                        out.push(',');
+                        write_term(out, &args[0], s);
+                        tail = &args[1];
+                    }
+                    other => {
+                        out.push('|');
+                        write_term(out, other, s);
+                        break;
+                    }
+                }
+            }
+            out.push(']');
+        }
+        Term::Struct(f, args) => {
+            let name = s.name(*f);
+            if args.len() == 2 && ops::infix(name).is_some() {
+                out.push('(');
+                write_term(out, &args[0], s);
+                out.push(' ');
+                out.push_str(name);
+                out.push(' ');
+                write_term(out, &args[1], s);
+                out.push(')');
+            } else if args.len() == 1 && ops::prefix(name).is_some() {
+                out.push('(');
+                out.push_str(name);
+                out.push(' ');
+                write_term(out, &args[0], s);
+                out.push(')');
+            } else {
+                write_atom(out, name);
+                out.push('(');
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_term(out, a, s);
+                }
+                out.push(')');
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_program;
+
+    /// Structural equality of two programs modulo variable names: same
+    /// predicates in the same order, clause for clause and term for
+    /// term (atom ids compared through their names).
+    fn same_shape(a: &Program, b: &Program) -> bool {
+        let pa: Vec<_> = a.predicates().collect();
+        let pb: Vec<_> = b.predicates().collect();
+        if pa.len() != pb.len() {
+            return false;
+        }
+        pa.iter().zip(&pb).all(|(x, y)| {
+            a.symbols().name(x.id.name) == b.symbols().name(y.id.name)
+                && x.id.arity == y.id.arity
+                && x.clauses.len() == y.clauses.len()
+                && x.clauses.iter().zip(&y.clauses).all(|(c, d)| {
+                    same_term(&c.head, a.symbols(), &d.head, b.symbols())
+                        && c.body.len() == d.body.len()
+                        && c.body
+                            .iter()
+                            .zip(&d.body)
+                            .all(|(t, u)| same_term(t, a.symbols(), u, b.symbols()))
+                })
+        })
+    }
+
+    fn same_term(t: &Term, ts: &SymbolTable, u: &Term, us: &SymbolTable) -> bool {
+        match (t, u) {
+            (Term::Var(a), Term::Var(b)) => a == b,
+            (Term::Int(a), Term::Int(b)) => a == b,
+            (Term::Atom(a), Term::Atom(b)) => ts.name(*a) == us.name(*b),
+            (Term::Struct(f, fa), Term::Struct(g, ga)) => {
+                ts.name(*f) == us.name(*g)
+                    && fa.len() == ga.len()
+                    && fa.iter().zip(ga).all(|(x, y)| same_term(x, ts, y, us))
+            }
+            _ => false,
+        }
+    }
+
+    fn round_trips(src: &str) {
+        let p1 = parse_program(src).expect("original parses");
+        let text = program_to_source(&p1);
+        let p2 = parse_program(&text).unwrap_or_else(|e| {
+            panic!("rendered text does not parse: {e}\n--- rendered ---\n{text}")
+        });
+        assert!(
+            same_shape(&p1, &p2),
+            "round trip changed the program\n--- rendered ---\n{text}"
+        );
+        // Rendering is a fixpoint: pretty(parse(pretty(p))) == pretty(p).
+        assert_eq!(text, program_to_source(&p2), "rendering is not stable");
+    }
+
+    #[test]
+    fn facts_and_rules_round_trip() {
+        round_trips(
+            "app([], L, L). app([X|T], L, [X|R]) :- app(T, L, R). main :- app([1,2],[3],[1,2,3]).",
+        );
+    }
+
+    #[test]
+    fn arithmetic_and_comparisons_round_trip() {
+        round_trips("main :- X is 1 + 2 * 3 - (-4), X =:= 11, X > 0, X =< 11.");
+    }
+
+    #[test]
+    fn cut_true_fail_round_trip() {
+        round_trips("max(X, Y, X) :- X >= Y, !. max(_, Y, Y). main :- max(3, 2, 3), true.");
+    }
+
+    #[test]
+    fn normalized_auxiliaries_round_trip() {
+        // `;` and `->` expand to `$or_k`/`$ite_k` auxiliaries whose
+        // names need quoting to re-parse.
+        round_trips("p(X) :- (X = 1 ; X = 2). q(X, R) :- (X > 0 -> R = pos ; R = neg). main :- p(2), q(3, pos).");
+    }
+
+    #[test]
+    fn partial_lists_and_nested_structs_round_trip() {
+        round_trips("f([H|T], s(g(H), [])) :- g(T). g([1,2|X]) :- X = []. main :- f([1,2,3], _).");
+    }
+
+    #[test]
+    fn negative_literals_round_trip() {
+        round_trips("main :- X is -3 + -4, X =:= -7.");
+    }
+
+    #[test]
+    fn quoting_rules() {
+        assert!(is_plain_atom("foo"));
+        assert!(is_plain_atom("fooBar_9"));
+        assert!(is_plain_atom("!"));
+        assert!(is_plain_atom("=.."));
+        assert!(!is_plain_atom("$or_0"));
+        assert!(!is_plain_atom("Foo"));
+        assert!(!is_plain_atom(""));
+        assert!(!is_plain_atom("has space"));
+    }
+}

@@ -4,7 +4,7 @@
 //! time, for one specific [`MachineConfig`]:
 //!
 //! * every long-instruction word's slots become dense per-class issue
-//!   records ([`DecodedSlot`]s) with register ids, immediates and the
+//!   records (`DecodedSlot`s) with register ids, immediates and the
 //!   (at most two) source registers of the latency check pre-extracted
 //!   — the per-cycle `Vec` allocations of the legacy issue loop
 //!   (`Op::uses()`, the write buffers) are gone,

@@ -1,0 +1,54 @@
+//! A small deterministic differential-fuzz batch inside the tier-1
+//! suite: every engine pair stays in agreement on freshly generated
+//! inputs, not just on the seven benchmarks.
+//!
+//! CI's `fuzz-smoke` job and the nightly deep-fuzz workflow run much
+//! larger batches through the `fuzz_run` binary; this test exists so
+//! plain `cargo test` exercises the oracle end to end with zero setup.
+
+use symbol_fuzz::{run_fuzz, FuzzOptions, KindFilter};
+
+#[test]
+fn a_deterministic_fuzz_batch_runs_clean() {
+    let opts = FuzzOptions {
+        // The same mnemonic seed CI uses, so a failure here reproduces
+        // with `fuzz_run --seed 0xSYMBOL5`.
+        seed: symbol_fuzz::parse_seed("0xSYMBOL5"),
+        cases: 60,
+        kind: KindFilter::Both,
+        ..FuzzOptions::default()
+    };
+    let report = run_fuzz(&opts);
+    assert_eq!(report.executed, 60);
+    assert!(
+        report.clean(),
+        "differential findings:\n{}",
+        report
+            .failures
+            .iter()
+            .map(|f| format!(
+                "case {} [{}]: {}\n{}",
+                f.index, f.kind_tag, f.detail, f.reproducer
+            ))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn fuzz_reports_are_reproducible() {
+    let opts = FuzzOptions {
+        seed: 11,
+        cases: 12,
+        kind: KindFilter::IntCode,
+        ..FuzzOptions::default()
+    };
+    let a = run_fuzz(&opts);
+    let b = run_fuzz(&opts);
+    assert_eq!(a.executed, b.executed);
+    assert_eq!(a.clean(), b.clean());
+    assert_eq!(
+        a.to_json().split("\"elapsed_secs\"").next(),
+        b.to_json().split("\"elapsed_secs\"").next()
+    );
+}
