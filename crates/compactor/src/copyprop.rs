@@ -16,7 +16,7 @@
 
 use std::collections::HashMap;
 
-use symbol_intcode::{ExecStats, IciProgram, Label, Op, Operand, R};
+use symbol_intcode::{ExecStats, IciProgram, Label, Op, Operand, ProgramError, R};
 
 use crate::cfg::Cfg;
 use crate::liveness::Liveness;
@@ -33,7 +33,30 @@ pub struct Optimized {
 }
 
 /// Runs copy propagation + dead-move elimination.
+///
+/// # Panics
+///
+/// Panics if the rewritten program fails validation — an internal bug
+/// of this pass. Error-propagating callers (the serving tier) use
+/// [`try_copy_propagate`] instead.
 pub fn copy_propagate(program: &IciProgram, stats: &ExecStats) -> Optimized {
+    match try_copy_propagate(program, stats) {
+        Ok(o) => o,
+        Err(e) => panic!("copy propagation produced a malformed program: {e}"),
+    }
+}
+
+/// [`copy_propagate`] returning the [`ProgramError`] instead of
+/// panicking when the rewritten program fails validation.
+///
+/// # Errors
+///
+/// The first structural defect [`IciProgram::try_new`] finds in the
+/// rewritten program.
+pub fn try_copy_propagate(
+    program: &IciProgram,
+    stats: &ExecStats,
+) -> Result<Optimized, ProgramError> {
     let cfg = Cfg::build(program, stats);
     let live = Liveness::compute(program, &cfg);
     let ops = program.ops();
@@ -154,15 +177,16 @@ pub fn copy_propagate(program: &IciProgram, stats: &ExecStats) -> Optimized {
     }
     let removed = ops.len() - new_ops.len();
     let num_labels = program.label_table().len() as u32;
-    let optimized = IciProgram::new(new_ops, new_groups, label_at, num_labels, program.entry());
-    Optimized {
+    let optimized =
+        IciProgram::try_new(new_ops, new_groups, label_at, num_labels, program.entry())?;
+    Ok(Optimized {
         program: optimized,
         stats: ExecStats {
             expect: new_expect,
             taken: new_taken,
         },
         removed,
-    }
+    })
 }
 
 fn substitute_uses(op: &mut Op, copy_of: &HashMap<R, R>) {

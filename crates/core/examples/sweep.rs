@@ -1,7 +1,7 @@
 //! Quick calibration sweep: per-benchmark cycles for the sequential
 //! model, the BAM model and 1–5 unit trace-scheduled VLIWs.
 
-use symbol_compactor::{compact, sequential_cycles, CompactMode, SeqDurations, TracePolicy};
+use symbol_compactor::{sequential_cycles, try_compact, CompactMode, SeqDurations, TracePolicy};
 use symbol_core::benchmarks;
 use symbol_core::pipeline::Compiled;
 use symbol_vliw::{MachineConfig, SimConfig, VliwSim};
@@ -17,7 +17,8 @@ fn main() {
         let seq = sequential_cycles(&c.ici, &run.stats, &SeqDurations::default());
 
         let sim = |mode, machine: MachineConfig| {
-            let comp = compact(&c.ici, &run.stats, &machine, mode, &TracePolicy::default());
+            let comp = try_compact(&c.ici, &run.stats, &machine, mode, &TracePolicy::default())
+                .expect("schedule verifies");
             let r = VliwSim::new(&comp.program, machine, &c.layout)
                 .run(&SimConfig::default())
                 .expect("sim");

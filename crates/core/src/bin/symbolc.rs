@@ -15,7 +15,7 @@
 use std::process::ExitCode;
 
 use symbol_analysis::{ClassMix, PredictStats};
-use symbol_compactor::{compact, sequential_cycles, CompactMode, SeqDurations, TracePolicy};
+use symbol_compactor::{sequential_cycles, try_compact, CompactMode, SeqDurations, TracePolicy};
 use symbol_core::pipeline::{Compiled, PipelineError};
 use symbol_vliw::{MachineConfig, SimConfig, SimOutcome, VliwSim};
 
@@ -62,9 +62,13 @@ fn main() -> ExitCode {
 fn dispatch(cmd: &str, compiled: &Compiled, units: usize) -> Result<ExitCode, PipelineError> {
     match cmd {
         "bam" => {
+            let front = compiled
+                .front
+                .as_ref()
+                .expect("compiled from source, front end is present");
             print!(
                 "{}",
-                symbol_bam::pretty::program(&compiled.bam, compiled.program.symbols())
+                symbol_bam::pretty::program(&front.bam, front.program.symbols())
             );
             Ok(ExitCode::SUCCESS)
         }
@@ -80,13 +84,13 @@ fn dispatch(cmd: &str, compiled: &Compiled, units: usize) -> Result<ExitCode, Pi
                     run.steps, seq
                 );
                 let machine = MachineConfig::units(units);
-                let compacted = compact(
+                let compacted = try_compact(
                     &compiled.ici,
                     &run.stats,
                     &machine,
                     CompactMode::TraceSchedule,
                     &TracePolicy::default(),
-                );
+                )?;
                 let sim = VliwSim::new(&compacted.program, machine, &compiled.layout)
                     .run(&SimConfig::default())?;
                 if sim.outcome != SimOutcome::Success {
@@ -109,13 +113,13 @@ fn dispatch(cmd: &str, compiled: &Compiled, units: usize) -> Result<ExitCode, Pi
         "schedule" => {
             let run = compiled.run_sequential()?;
             let machine = MachineConfig::units(units);
-            let compacted = compact(
+            let compacted = try_compact(
                 &compiled.ici,
                 &run.stats,
                 &machine,
                 CompactMode::TraceSchedule,
                 &TracePolicy::default(),
-            );
+            )?;
             print!("{}", compacted.program);
             eprintln!(
                 "{} regions, {} compensation blocks, growth {:.2}x",
@@ -156,13 +160,13 @@ fn dispatch(cmd: &str, compiled: &Compiled, units: usize) -> Result<ExitCode, Pi
                 ));
             }
             for (name, machine, mode) in configs {
-                let compacted = compact(
+                let compacted = try_compact(
                     &compiled.ici,
                     &run.stats,
                     &machine,
                     mode,
                     &TracePolicy::default(),
-                );
+                )?;
                 let sim = VliwSim::new(&compacted.program, machine, &compiled.layout)
                     .run(&SimConfig::default())?;
                 println!(

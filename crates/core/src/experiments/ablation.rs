@@ -12,7 +12,7 @@
 //! * the four-slot-per-unit "wide" reading of Figure 5,
 //! * the prototype's two-format issue restriction (§5.1).
 
-use symbol_compactor::{compact, sequential_cycles, CompactMode, SeqDurations, TracePolicy};
+use symbol_compactor::{sequential_cycles, try_compact, CompactMode, SeqDurations, TracePolicy};
 use symbol_vliw::{MachineConfig, SimConfig, SimOutcome, VliwSim};
 
 use crate::benchmarks;
@@ -173,15 +173,15 @@ pub fn run(subset: &[&str]) -> Result<Vec<AblationRow>, PipelineError> {
         let mut growth = 0.0;
         for (c, run, seq) in &prepared {
             let (compacted, baseline) = if v.copyprop {
-                let opt = symbol_compactor::copy_propagate(&c.ici, &run.stats);
+                let opt = symbol_compactor::try_copy_propagate(&c.ici, &run.stats)?;
                 let seq_opt = sequential_cycles(&opt.program, &opt.stats, &SeqDurations::default());
                 (
-                    compact(&opt.program, &opt.stats, &v.machine, v.mode, &v.policy),
+                    try_compact(&opt.program, &opt.stats, &v.machine, v.mode, &v.policy)?,
                     seq_opt,
                 )
             } else {
                 (
-                    compact(&c.ici, &run.stats, &v.machine, v.mode, &v.policy),
+                    try_compact(&c.ici, &run.stats, &v.machine, v.mode, &v.policy)?,
                     *seq,
                 )
             };

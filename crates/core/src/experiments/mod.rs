@@ -13,7 +13,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 use symbol_analysis::{ClassMix, PredictStats};
 use symbol_compactor::{
-    compact, equal_duration_cycles, sequential_cycles, CompactMode, SeqDurations, TracePolicy,
+    equal_duration_cycles, sequential_cycles, try_compact, CompactMode, SeqDurations, TracePolicy,
 };
 use symbol_intcode::Layout;
 use symbol_obs::Registry;
@@ -273,7 +273,7 @@ pub fn measure_cached_obs(
             ("machine", machine_label),
         ];
         let _span = obs.span("simulate", labels);
-        let compacted = compact(&compiled.ici, &run.stats, &machine, mode, &policy);
+        let compacted = try_compact(&compiled.ici, &run.stats, &machine, mode, &policy)?;
         // Default engine: pre-decode the schedule for this machine and
         // run the micro-op simulator (bit-identical to the legacy
         // `VliwSim`, asserted by the workspace differential suite).

@@ -14,7 +14,7 @@
 
 use std::fmt::Write as _;
 
-use symbol_compactor::{compact, CompactMode, TracePolicy};
+use symbol_compactor::{try_compact, CompactMode, TracePolicy};
 use symbol_intcode::decode::DecodedEmulator;
 use symbol_intcode::emu::{ExecConfig, Outcome};
 use symbol_intcode::OpClass;
@@ -181,13 +181,13 @@ fn profile_bench(
     };
 
     let machine = MachineConfig::units(3);
-    let compacted = compact(
+    let compacted = try_compact(
         &compiled.ici,
         &stats,
         &machine,
         CompactMode::TraceSchedule,
         &TracePolicy::default(),
-    );
+    )?;
     let decoded = DecodedVliw::new(&compacted.program, machine);
     let (sim, sim_profile) =
         DecodedVliwSim::new(&decoded, &compiled.layout).run_profiled(&SimConfig::default());

@@ -29,6 +29,14 @@ pub enum PipelineError {
     Exec(symbol_intcode::emu::ExecError),
     /// The VLIW simulator hit a machine-model violation or fault.
     Sim(symbol_vliw::SimError),
+    /// The compactor produced a schedule that failed static
+    /// verification. On the serving tier this must surface as an error
+    /// value — the legacy `compact` panic is unreachable from here.
+    Schedule(symbol_compactor::Violation),
+    /// A rebuilt program failed [`IciProgram::try_new`] validation.
+    Program(symbol_intcode::ProgramError),
+    /// A compiled artifact was truncated, corrupt, or inconsistent.
+    Artifact(symbol_intcode::WireError),
     /// The query failed or produced a wrong (self-checked) answer.
     WrongAnswer,
 }
@@ -42,6 +50,9 @@ impl fmt::Display for PipelineError {
             PipelineError::NoMain => write!(f, "program defines no main/0"),
             PipelineError::Exec(e) => write!(f, "execution: {e}"),
             PipelineError::Sim(e) => write!(f, "simulation: {e}"),
+            PipelineError::Schedule(v) => write!(f, "schedule verification: {v}"),
+            PipelineError::Program(e) => write!(f, "program validation: {e}"),
+            PipelineError::Artifact(e) => write!(f, "artifact: {e}"),
             PipelineError::WrongAnswer => {
                 write!(f, "query failed its self-check (wrong answer)")
             }
@@ -81,14 +92,44 @@ impl From<symbol_vliw::SimError> for PipelineError {
     }
 }
 
-/// A fully compiled benchmark: every intermediate representation kept
-/// for inspection and for the back-end experiments.
+impl From<symbol_compactor::Violation> for PipelineError {
+    fn from(v: symbol_compactor::Violation) -> Self {
+        PipelineError::Schedule(v)
+    }
+}
+
+impl From<symbol_intcode::ProgramError> for PipelineError {
+    fn from(e: symbol_intcode::ProgramError) -> Self {
+        PipelineError::Program(e)
+    }
+}
+
+impl From<symbol_intcode::WireError> for PipelineError {
+    fn from(e: symbol_intcode::WireError) -> Self {
+        PipelineError::Artifact(e)
+    }
+}
+
+/// The front-end representations of a compilation: only produced when
+/// the pipeline actually ran from source. A [`Compiled`] restored from
+/// a serialized artifact has none — the whole point of the artifact
+/// path is skipping the front end.
 #[derive(Debug)]
-pub struct Compiled {
+pub struct FrontEnd {
     /// The normalized source program.
     pub program: Program,
     /// BAM code.
     pub bam: BamProgram,
+}
+
+/// A fully compiled benchmark: the executable representations plus —
+/// when compiled from source — the front-end forms kept for
+/// inspection.
+#[derive(Debug)]
+pub struct Compiled {
+    /// Front-end representations (`None` on the artifact cold path,
+    /// see [`Compiled::from_artifact`]).
+    pub front: Option<FrontEnd>,
     /// Executable IntCode.
     pub ici: IciProgram,
     /// The IntCode pre-decoded into the flat micro-op form — the
@@ -160,8 +201,38 @@ impl Compiled {
             DecodedProgram::new(&ici)
         };
         Ok(Compiled {
-            program,
-            bam,
+            front: Some(FrontEnd { program, bam }),
+            ici,
+            decoded,
+            layout,
+        })
+    }
+
+    /// Assembles a [`Compiled`] from deserialized artifact parts,
+    /// skipping the whole front end (parse → compile → translate →
+    /// decode). This is the cold-start path of the `symbol-serve`
+    /// artifact cache: the caller deserializes the IntCode and its
+    /// pre-decoded form from disk, and this constructor only
+    /// cross-checks that the two are consistent.
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::Artifact`] when the decoded program is not
+    /// parallel to the IntCode (a corrupt or mismatched artifact).
+    pub fn from_artifact(
+        ici: IciProgram,
+        decoded: DecodedProgram,
+        layout: Layout,
+    ) -> Result<Self, PipelineError> {
+        if decoded.len() != ici.len() {
+            return Err(PipelineError::Artifact(
+                symbol_intcode::WireError::Corrupt {
+                    what: "decoded/intcode consistency",
+                },
+            ));
+        }
+        Ok(Compiled {
+            front: None,
             ici,
             decoded,
             layout,
@@ -273,13 +344,37 @@ mod tests {
     use super::*;
 
     #[test]
-    fn cache_profile_matches_a_direct_run() {
-        let c = Compiled::from_source("main :- X is 5 * 5, X = 25.").unwrap();
-        let cache = CompiledCache::new(&c).unwrap();
-        let direct = c.run_sequential().unwrap();
+    fn cache_profile_matches_a_direct_run() -> Result<(), PipelineError> {
+        let c = Compiled::from_source("main :- X is 5 * 5, X = 25.")?;
+        let cache = CompiledCache::new(&c)?;
+        let direct = c.run_sequential()?;
         assert_eq!(cache.run.steps, direct.steps);
         assert_eq!(cache.run.stats.expect, direct.stats.expect);
         assert_eq!(cache.run.stats.taken, direct.stats.taken);
+        Ok(())
+    }
+
+    #[test]
+    fn artifact_round_trip_reconstructs_a_runnable_compiled() -> Result<(), PipelineError> {
+        let c = Compiled::from_source("main :- X is 5 * 5, X = 25.")?;
+        let ici = IciProgram::from_wire_bytes(&c.ici.to_wire_bytes())?;
+        let decoded = DecodedProgram::from_wire_bytes(&c.decoded.to_wire_bytes())?;
+        let restored = Compiled::from_artifact(ici, decoded, c.layout)?;
+        assert!(restored.front.is_none(), "artifact path has no front end");
+        let a = c.run_sequential()?;
+        let b = restored.run_sequential()?;
+        assert_eq!(a.steps, b.steps);
+        assert_eq!(a.stats.expect, b.stats.expect);
+        assert_eq!(a.stats.taken, b.stats.taken);
+        Ok(())
+    }
+
+    #[test]
+    fn mismatched_artifact_parts_are_rejected() {
+        let c = Compiled::from_source("main :- X is 5 * 5, X = 25.").expect("compiles");
+        let other = Compiled::from_source("main :- 2 = 2.").expect("compiles");
+        let err = Compiled::from_artifact(other.ici, c.decoded.clone(), c.layout).unwrap_err();
+        assert!(matches!(err, PipelineError::Artifact(_)), "{err}");
     }
 
     #[test]

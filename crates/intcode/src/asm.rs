@@ -184,6 +184,19 @@ impl Asm {
     pub fn finish(self, entry: Label) -> IciProgram {
         IciProgram::new(self.ops, self.groups, self.label_at, self.next_label, entry)
     }
+
+    /// Finalizes into an [`IciProgram`] entered at `entry`, surfacing
+    /// validation failures as a [`ProgramError`](crate::program::ProgramError)
+    /// instead of panicking —
+    /// the form the serving tier's panic-free pipeline uses.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first structural defect [`IciProgram::try_new`]
+    /// finds.
+    pub fn try_finish(self, entry: Label) -> Result<IciProgram, crate::program::ProgramError> {
+        IciProgram::try_new(self.ops, self.groups, self.label_at, self.next_label, entry)
+    }
 }
 
 #[cfg(test)]

@@ -33,7 +33,7 @@ use crate::word::{Tag, Word};
 /// loop fetches a whole record by value and never chases references
 /// into the source [`Op`] vector.
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]
-enum MicroOp {
+pub(crate) enum MicroOp {
     /// `d = mem[base.val + off]`.
     Ld { d: u32, base: u32, off: i32 },
     /// `mem[base.val + off] = s`.
@@ -83,13 +83,13 @@ enum MicroOp {
 /// label table all keep their sequential-layout meaning.
 #[derive(Clone, Debug)]
 pub struct DecodedProgram {
-    micro: Vec<MicroOp>,
+    pub(crate) micro: Vec<MicroOp>,
     /// Dense label id → instruction index (`u32::MAX` = unbound).
-    label_pc: Vec<u32>,
+    pub(crate) label_pc: Vec<u32>,
     /// Entry instruction index.
-    entry_pc: usize,
+    pub(crate) entry_pc: usize,
     /// Register file size (highest register id used, plus one).
-    num_regs: usize,
+    pub(crate) num_regs: usize,
 }
 
 impl DecodedProgram {

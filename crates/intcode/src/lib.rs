@@ -42,6 +42,7 @@ pub mod layout;
 pub mod op;
 pub mod program;
 pub mod translate;
+pub mod wire;
 pub mod word;
 
 pub use asm::Asm;
@@ -51,4 +52,5 @@ pub use layout::Layout;
 pub use op::{AluOp, Cond, Label, Op, OpClass, Operand, R};
 pub use program::{IciProgram, ProgramError};
 pub use translate::{translate, TranslateError};
+pub use wire::WireError;
 pub use word::{Tag, Word};

@@ -43,6 +43,10 @@ pub enum TranslateError {
         /// The offending arity.
         arity: usize,
     },
+    /// The assembled program failed [`IciProgram::try_new`] validation.
+    /// A defect here is a translator bug, but the serving tier must see
+    /// it as an error value, never a panic.
+    Program(crate::program::ProgramError),
 }
 
 impl fmt::Display for TranslateError {
@@ -54,7 +58,14 @@ impl fmt::Display for TranslateError {
             TranslateError::ArityTooLarge { arity } => {
                 write!(f, "arity {arity} exceeds the argument register file")
             }
+            TranslateError::Program(e) => write!(f, "assembled program is malformed: {e}"),
         }
+    }
+}
+
+impl From<crate::program::ProgramError> for TranslateError {
+    fn from(e: crate::program::ProgramError) -> Self {
+        TranslateError::Program(e)
     }
 }
 
@@ -111,7 +122,14 @@ pub fn translate_with_events(
     tr.emit_fail_routine();
     tr.emit_unify_routine();
     tr.emit_struct_eq_routine();
-    let program = tr.asm.finish(entry_label);
+    let program = match tr.asm.try_finish(entry_label) {
+        Ok(p) => p,
+        Err(e) => {
+            let e = TranslateError::from(e);
+            emit_err(&e);
+            return Err(e);
+        }
+    };
     events.emit_with(symbol_obs::Level::Info, "intcode::translate", || {
         format!(
             "translated {} BAM predicates to {} intermediate code instructions",

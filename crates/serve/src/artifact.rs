@@ -1,0 +1,436 @@
+//! The on-disk compiled-artifact container.
+//!
+//! An artifact is a single file holding everything the serving tier
+//! needs to answer queries without re-running the front end: either an
+//! *emulator image* (the IntCode, its pre-decoded micro-op form and
+//! the memory layout it was generated for) or a *VLIW image* (the
+//! pre-decoded issue records of a scheduled program, machine
+//! configuration included).
+//!
+//! ## Container layout
+//!
+//! All integers are little-endian, written with the same zero-dep
+//! codec ([`symbol_intcode::wire`]) the payloads use:
+//!
+//! ```text
+//! offset  size  field
+//! 0       8     magic "SYMBART\0"
+//! 8       4     format version (u32) = FORMAT_VERSION
+//! 12      8     source hash   (FNV-1a 64 of the Prolog source text)
+//! 20      8     config hash   (FNV-1a 64 of the canonical config bytes)
+//! 28      1     payload kind  (0 = emulator image, 1 = VLIW image)
+//! 29      8     payload length in bytes (u64)
+//! 37      n     payload (length-prefixed sections, see below)
+//! 37+n    8     checksum: FNV-1a 64 over bytes [0, 37+n)
+//! ```
+//!
+//! The emulator payload is three length-prefixed sections — IntCode
+//! wire bytes, decoded-program wire bytes, then the five [`Layout`]
+//! sizes as `u64`s. The VLIW payload is one section of
+//! [`DecodedVliw`] wire bytes (which embed the machine config).
+//!
+//! Decoding never panics: every failure mode — wrong magic, unknown
+//! version, truncation, checksum mismatch, malformed payload — comes
+//! back as a [`WireError`], and the cache answers all of them the same
+//! way (drop the entry, recompile).
+
+use symbol_intcode::decode::DecodedProgram;
+use symbol_intcode::program::IciProgram;
+use symbol_intcode::wire::{fnv1a64, Reader, WireError, Writer};
+use symbol_intcode::Layout;
+use symbol_vliw::wire as vliw_wire;
+use symbol_vliw::{DecodedVliw, MachineConfig};
+
+/// First eight bytes of every artifact file.
+pub const MAGIC: [u8; 8] = *b"SYMBART\0";
+
+/// Container format version this build reads and writes. Bump on any
+/// layout change; old versions are rejected (and recompiled), never
+/// migrated.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// What an artifact holds, as stored in the kind byte.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PayloadKind {
+    /// IntCode + decoded program + layout: the sequential-emulation
+    /// image [`symbol_core::pipeline::Compiled::from_artifact`] accepts.
+    Emulator,
+    /// Pre-decoded VLIW issue records (machine config embedded).
+    Vliw,
+}
+
+impl PayloadKind {
+    fn to_byte(self) -> u8 {
+        match self {
+            PayloadKind::Emulator => 0,
+            PayloadKind::Vliw => 1,
+        }
+    }
+
+    fn from_byte(b: u8) -> Result<Self, WireError> {
+        match b {
+            0 => Ok(PayloadKind::Emulator),
+            1 => Ok(PayloadKind::Vliw),
+            v => Err(WireError::BadTag {
+                what: "payload kind",
+                value: u32::from(v),
+            }),
+        }
+    }
+
+    /// Short name used in file names and metric labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            PayloadKind::Emulator => "emu",
+            PayloadKind::Vliw => "vliw",
+        }
+    }
+}
+
+/// The cache key of an artifact: what was compiled and under which
+/// configuration. Two compilations agree on both hashes exactly when
+/// the artifact of one can serve the other.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct ArtifactKey {
+    /// FNV-1a 64 of the Prolog source text.
+    pub source_hash: u64,
+    /// FNV-1a 64 of the canonical encoding of everything else that
+    /// shapes the artifact (layout; plus machine config for VLIW).
+    pub config_hash: u64,
+}
+
+fn layout_bytes(w: &mut Writer, layout: &Layout) {
+    w.u64(layout.heap_size as u64);
+    w.u64(layout.env_size as u64);
+    w.u64(layout.cp_size as u64);
+    w.u64(layout.trail_size as u64);
+    w.u64(layout.pdl_size as u64);
+}
+
+fn layout_from(r: &mut Reader<'_>) -> Result<Layout, WireError> {
+    let field = |r: &mut Reader<'_>| -> Result<usize, WireError> {
+        usize::try_from(r.u64()?).map_err(|_| WireError::BadValue {
+            what: "layout size",
+        })
+    };
+    Ok(Layout {
+        heap_size: field(r)?,
+        env_size: field(r)?,
+        cp_size: field(r)?,
+        trail_size: field(r)?,
+        pdl_size: field(r)?,
+    })
+}
+
+impl ArtifactKey {
+    /// Key of the emulator image of `source` under `layout`.
+    pub fn emulator(source: &str, layout: &Layout) -> Self {
+        let mut w = Writer::new();
+        layout_bytes(&mut w, layout);
+        ArtifactKey {
+            source_hash: fnv1a64(source.as_bytes()),
+            config_hash: fnv1a64(&w.into_bytes()),
+        }
+    }
+
+    /// Key of the VLIW image of `source` scheduled for `machine` under
+    /// `layout`.
+    pub fn vliw(source: &str, layout: &Layout, machine: &MachineConfig) -> Self {
+        let mut w = Writer::new();
+        layout_bytes(&mut w, layout);
+        vliw_wire::put_machine(&mut w, machine);
+        ArtifactKey {
+            source_hash: fnv1a64(source.as_bytes()),
+            config_hash: fnv1a64(&w.into_bytes()),
+        }
+    }
+
+    /// Canonical file name of this key's artifact of the given kind.
+    pub fn file_name(&self, kind: PayloadKind) -> String {
+        format!(
+            "{:016x}-{:016x}-{}.art",
+            self.source_hash,
+            self.config_hash,
+            kind.name()
+        )
+    }
+}
+
+/// A decoded artifact payload (owned).
+#[derive(Debug)]
+pub enum Payload {
+    /// Emulator image.
+    Emulator {
+        /// Executable IntCode.
+        ici: IciProgram,
+        /// Its pre-decoded micro-op form.
+        decoded: DecodedProgram,
+        /// Memory layout the code was generated for.
+        layout: Layout,
+    },
+    /// VLIW image.
+    Vliw {
+        /// Pre-decoded issue records.
+        decoded: DecodedVliw,
+    },
+}
+
+impl Payload {
+    /// Which kind byte this payload serializes under.
+    pub fn kind(&self) -> PayloadKind {
+        match self {
+            Payload::Emulator { .. } => PayloadKind::Emulator,
+            Payload::Vliw { .. } => PayloadKind::Vliw,
+        }
+    }
+}
+
+/// A fully decoded artifact: its key plus the payload.
+#[derive(Debug)]
+pub struct Artifact {
+    /// The cache key stored in the header.
+    pub key: ArtifactKey,
+    /// The decoded payload.
+    pub payload: Payload,
+}
+
+fn put_section(w: &mut Writer, bytes: &[u8]) {
+    w.u64(bytes.len() as u64);
+    w.bytes(bytes);
+}
+
+fn get_section<'a>(r: &mut Reader<'a>) -> Result<&'a [u8], WireError> {
+    let len = r.u64()?;
+    let len = usize::try_from(len).map_err(|_| WireError::BadValue {
+        what: "section length",
+    })?;
+    r.take(len)
+}
+
+fn encode(key: &ArtifactKey, kind: PayloadKind, payload: &[u8]) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.bytes(&MAGIC);
+    w.u32(FORMAT_VERSION);
+    w.u64(key.source_hash);
+    w.u64(key.config_hash);
+    w.u8(kind.to_byte());
+    put_section(&mut w, payload);
+    let mut bytes = w.into_bytes();
+    let checksum = fnv1a64(&bytes);
+    let mut w = Writer::new();
+    w.u64(checksum);
+    bytes.extend_from_slice(&w.into_bytes());
+    bytes
+}
+
+/// Encodes an emulator image.
+pub fn encode_emulator(
+    key: &ArtifactKey,
+    ici: &IciProgram,
+    decoded: &DecodedProgram,
+    layout: &Layout,
+) -> Vec<u8> {
+    let mut w = Writer::new();
+    put_section(&mut w, &ici.to_wire_bytes());
+    put_section(&mut w, &decoded.to_wire_bytes());
+    layout_bytes(&mut w, layout);
+    encode(key, PayloadKind::Emulator, &w.into_bytes())
+}
+
+/// Encodes a VLIW image.
+pub fn encode_vliw(key: &ArtifactKey, decoded: &DecodedVliw) -> Vec<u8> {
+    encode(key, PayloadKind::Vliw, &decoded.to_wire_bytes())
+}
+
+/// Decodes an artifact file.
+///
+/// # Errors
+///
+/// [`WireError::BadMagic`] when the file does not start with [`MAGIC`];
+/// [`WireError::BadVersion`] for any other format version;
+/// [`WireError::Corrupt`] when the trailing checksum does not match
+/// (which also catches every short read or truncation past the
+/// header); any payload decoding error otherwise. Never panics.
+pub fn decode(bytes: &[u8]) -> Result<Artifact, WireError> {
+    // Magic and version first, so "not an artifact at all" and "from a
+    // different build" are distinguishable from bit rot.
+    let mut r = Reader::new(bytes);
+    let magic = r.take(MAGIC.len())?;
+    if magic != MAGIC {
+        return Err(WireError::BadMagic);
+    }
+    let version = r.u32()?;
+    if version != FORMAT_VERSION {
+        return Err(WireError::BadVersion {
+            found: version,
+            expected: FORMAT_VERSION,
+        });
+    }
+    // Integrity: the last 8 bytes checksum everything before them.
+    if bytes.len() < 8 {
+        return Err(WireError::Truncated {
+            need: 8,
+            have: bytes.len(),
+        });
+    }
+    let (body, tail) = bytes.split_at(bytes.len() - 8);
+    let mut tr = Reader::new(tail);
+    let stored = tr.u64()?;
+    if fnv1a64(body) != stored {
+        return Err(WireError::Corrupt {
+            what: "artifact checksum",
+        });
+    }
+    // Re-read the body now that it is known intact.
+    let mut r = Reader::new(body);
+    let _ = r.take(MAGIC.len())?;
+    let _ = r.u32()?;
+    let key = ArtifactKey {
+        source_hash: r.u64()?,
+        config_hash: r.u64()?,
+    };
+    let kind = PayloadKind::from_byte(r.u8()?)?;
+    let payload = get_section(&mut r)?;
+    r.finish()?;
+    let mut pr = Reader::new(payload);
+    let payload = match kind {
+        PayloadKind::Emulator => {
+            let ici = IciProgram::from_wire_bytes(get_section(&mut pr)?)?;
+            let decoded = DecodedProgram::from_wire_bytes(get_section(&mut pr)?)?;
+            let layout = layout_from(&mut pr)?;
+            if decoded.len() != ici.len() {
+                return Err(WireError::Corrupt {
+                    what: "decoded/intcode consistency",
+                });
+            }
+            Payload::Emulator {
+                ici,
+                decoded,
+                layout,
+            }
+        }
+        // The container's payload length already delimits the single
+        // blob; no inner section.
+        PayloadKind::Vliw => Payload::Vliw {
+            decoded: DecodedVliw::from_wire_bytes(pr.take(pr.remaining())?)?,
+        },
+    };
+    pr.finish()?;
+    Ok(Artifact { key, payload })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symbol_core::pipeline::Compiled;
+
+    const SRC: &str = "main :- X is 6 * 7, X = 42.";
+
+    fn emulator_bytes() -> (ArtifactKey, Vec<u8>) {
+        let c = Compiled::from_source(SRC).expect("compiles");
+        let key = ArtifactKey::emulator(SRC, &c.layout);
+        let bytes = encode_emulator(&key, &c.ici, &c.decoded, &c.layout);
+        (key, bytes)
+    }
+
+    #[test]
+    fn emulator_image_round_trips() {
+        let (key, bytes) = emulator_bytes();
+        let art = decode(&bytes).expect("decodes");
+        assert_eq!(art.key, key);
+        let Payload::Emulator {
+            ici,
+            decoded,
+            layout,
+        } = art.payload
+        else {
+            panic!("wrong payload kind");
+        };
+        // Re-encoding the decoded parts reproduces the file bit for bit.
+        assert_eq!(encode_emulator(&key, &ici, &decoded, &layout), bytes);
+    }
+
+    #[test]
+    fn vliw_image_round_trips() {
+        use symbol_compactor::{try_compact, CompactMode, TracePolicy};
+        let c = Compiled::from_source(SRC).expect("compiles");
+        let run = c.run_sequential().expect("runs");
+        let machine = MachineConfig::units(3);
+        let compacted = try_compact(
+            &c.ici,
+            &run.stats,
+            &machine,
+            CompactMode::TraceSchedule,
+            &TracePolicy::default(),
+        )
+        .expect("schedules");
+        let decoded = DecodedVliw::new(&compacted.program, machine);
+        let key = ArtifactKey::vliw(SRC, &c.layout, &machine);
+        let bytes = encode_vliw(&key, &decoded);
+        let art = decode(&bytes).expect("decodes");
+        assert_eq!(art.key, key);
+        let Payload::Vliw { decoded: d2 } = art.payload else {
+            panic!("wrong payload kind");
+        };
+        assert_eq!(encode_vliw(&key, &d2), bytes);
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let (_, mut bytes) = emulator_bytes();
+        bytes[0] ^= 0xff;
+        assert!(matches!(decode(&bytes), Err(WireError::BadMagic)));
+    }
+
+    #[test]
+    fn flipped_version_byte_is_rejected() {
+        let (_, mut bytes) = emulator_bytes();
+        bytes[8] ^= 0x01; // low byte of the u32 version field
+        assert!(matches!(
+            decode(&bytes),
+            Err(WireError::BadVersion {
+                found: _,
+                expected: FORMAT_VERSION
+            })
+        ));
+    }
+
+    #[test]
+    fn every_truncation_is_an_error_not_a_panic() {
+        let (_, bytes) = emulator_bytes();
+        for len in 0..bytes.len() {
+            assert!(decode(&bytes[..len]).is_err(), "truncated to {len} bytes");
+        }
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_detected() {
+        let (_, bytes) = emulator_bytes();
+        // The checksum (or magic/version check) catches any single-bit
+        // corruption anywhere in the file.
+        for i in 0..bytes.len() {
+            let mut b = bytes.clone();
+            b[i] ^= 0x01;
+            assert!(decode(&b).is_err(), "flip at byte {i} went unnoticed");
+        }
+    }
+
+    #[test]
+    fn keys_separate_source_and_config() {
+        let layout = Layout::default();
+        let a = ArtifactKey::emulator("main :- 1 = 1.", &layout);
+        let b = ArtifactKey::emulator("main :- 2 = 2.", &layout);
+        assert_ne!(a.source_hash, b.source_hash);
+        assert_eq!(a.config_hash, b.config_hash);
+        let small = Layout {
+            heap_size: 1 << 10,
+            ..layout
+        };
+        let c = ArtifactKey::emulator("main :- 1 = 1.", &small);
+        assert_eq!(a.source_hash, c.source_hash);
+        assert_ne!(a.config_hash, c.config_hash);
+        let m3 = ArtifactKey::vliw("main :- 1 = 1.", &layout, &MachineConfig::units(3));
+        let m5 = ArtifactKey::vliw("main :- 1 = 1.", &layout, &MachineConfig::units(5));
+        assert_ne!(m3.config_hash, m5.config_hash);
+    }
+}

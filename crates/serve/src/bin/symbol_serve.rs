@@ -1,0 +1,177 @@
+//! `symbol-serve` — artifact-cache and query-server driver.
+//!
+//! ```text
+//! symbol-serve --cache-dir DIR [options]
+//!
+//!   --cache-dir DIR      artifact cache directory (required)
+//!   --benches a,b,c      benchmark subset (default: all)
+//!   --queries N          queries per benchmark (default 16)
+//!   --workers N          worker threads (default 4)
+//!   --metrics PATH       write a metrics.json snapshot here
+//!   --expect-all-hits    fail unless every load was a cache hit
+//!                        (zero misses, zero corrupt entries, zero
+//!                        compiles) — the CI warm-restart check
+//! ```
+//!
+//! Each selected benchmark is loaded through the cache (deserialized
+//! on a warm start, compiled-and-stored on a cold one) and then served
+//! `--queries` independent queries by a worker pool sharing the one
+//! immutable image. Every query is self-checking; any failure makes
+//! the process exit nonzero.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use symbol_core::benchmarks;
+use symbol_intcode::Layout;
+use symbol_obs::Registry;
+use symbol_serve::cache::ArtifactCache;
+use symbol_serve::server::{QueryServer, ServerConfig};
+
+struct Args {
+    cache_dir: String,
+    benches: Option<Vec<String>>,
+    queries: u64,
+    workers: usize,
+    metrics: Option<String>,
+    expect_all_hits: bool,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: symbol-serve --cache-dir DIR [--benches a,b,c] [--queries N] \
+         [--workers N] [--metrics PATH] [--expect-all-hits]"
+    );
+    ExitCode::FAILURE
+}
+
+fn parse_args() -> Option<Args> {
+    let mut args = Args {
+        cache_dir: String::new(),
+        benches: None,
+        queries: 16,
+        workers: 4,
+        metrics: None,
+        expect_all_hits: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--cache-dir" => args.cache_dir = it.next()?,
+            "--benches" => {
+                args.benches = Some(it.next()?.split(',').map(str::to_string).collect());
+            }
+            "--queries" => args.queries = it.next()?.parse().ok()?,
+            "--workers" => args.workers = it.next()?.parse().ok()?,
+            "--metrics" => args.metrics = Some(it.next()?),
+            "--expect-all-hits" => args.expect_all_hits = true,
+            _ => return None,
+        }
+    }
+    if args.cache_dir.is_empty() {
+        return None;
+    }
+    Some(args)
+}
+
+fn main() -> ExitCode {
+    let Some(args) = parse_args() else {
+        return usage();
+    };
+    let obs = Registry::new();
+    let cache = match ArtifactCache::new(&args.cache_dir, obs.clone()) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("symbol-serve: cannot open cache {}: {e}", args.cache_dir);
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let selected: Vec<&benchmarks::Benchmark> = match &args.benches {
+        None => benchmarks::ALL.iter().collect(),
+        Some(names) => {
+            let mut v = Vec::new();
+            for name in names {
+                match benchmarks::by_name(name) {
+                    Some(b) => v.push(b),
+                    None => {
+                        eprintln!("symbol-serve: unknown benchmark {name}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            v
+        }
+    };
+
+    let mut failed = false;
+    for b in &selected {
+        let compiled = match cache.load_compiled(b.source, Layout::default()) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("symbol-serve: {}: {e}", b.name);
+                failed = true;
+                continue;
+            }
+        };
+        let path = if compiled.front.is_none() {
+            "warm (deserialized)"
+        } else {
+            "cold (compiled)"
+        };
+        let server = QueryServer::start(
+            Arc::new(compiled),
+            &ServerConfig {
+                workers: args.workers,
+                ..ServerConfig::default()
+            },
+            &obs,
+        );
+        for id in 0..args.queries {
+            server.submit(id);
+        }
+        let results = server.finish();
+        let errors = results.iter().filter(|r| r.outcome.is_err()).count();
+        println!(
+            "{:<12} {path:<20} {} queries, {errors} errors",
+            b.name,
+            results.len()
+        );
+        if errors > 0 || results.len() as u64 != args.queries {
+            failed = true;
+        }
+    }
+
+    if let Some(path) = &args.metrics {
+        let json = obs.snapshot().to_json();
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("symbol-serve: cannot write {path}: {e}");
+            failed = true;
+        }
+    }
+
+    if args.expect_all_hits {
+        let get = |name: &str| obs.counter(name, &[("kind", "emu")]).get();
+        let hits = get("serve.cache.hit");
+        let misses = get("serve.cache.miss");
+        let corrupt = get("serve.cache.corrupt");
+        let compiles = obs
+            .snapshot()
+            .histograms
+            .iter()
+            .filter(|h| h.name == "span.serve.compile.ns")
+            .map(|h| h.count)
+            .sum::<u64>();
+        println!("cache: {hits} hits, {misses} misses, {corrupt} corrupt, {compiles} compiles");
+        if misses > 0 || corrupt > 0 || compiles > 0 || hits < selected.len() as u64 {
+            eprintln!("symbol-serve: expected a fully warm cache");
+            failed = true;
+        }
+    }
+
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,315 @@
+//! The on-disk artifact cache.
+//!
+//! One directory, one file per [`ArtifactKey`] and payload kind, named
+//! `{source_hash}-{config_hash}-{kind}.art`. The cache is safe under
+//! concurrent writers: every store writes to a process-unique
+//! temporary name in the same directory and publishes it with an
+//! atomic `rename`, so a reader sees either the old complete file or
+//! the new complete file, never a partial write. Corrupt entries —
+//! bad magic, wrong version, truncation, checksum or key mismatch —
+//! are counted, removed (best effort) and treated as misses: the
+//! serving tier recompiles and the next store repairs the cache. No
+//! artifact content can make [`ArtifactCache`] panic.
+//!
+//! Observability (all under the shared [`Registry`]):
+//!
+//! * `serve.cache.hit` / `serve.cache.miss` / `serve.cache.corrupt`
+//!   counters, labelled with the payload `kind`,
+//! * `serve.cache.store` / `serve.cache.store_failed` counters,
+//! * `serve.deserialize` and `serve.compile` spans (their duration
+//!   histograms expose deserialize-vs-compile latency directly).
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use symbol_core::pipeline::Compiled;
+use symbol_core::PipelineError;
+use symbol_intcode::Layout;
+use symbol_obs::Registry;
+
+use crate::artifact::{self, Artifact, ArtifactKey, Payload, PayloadKind};
+
+/// A directory of compiled artifacts plus the observability handle all
+/// cache traffic is reported through.
+#[derive(Debug)]
+pub struct ArtifactCache {
+    dir: PathBuf,
+    obs: Registry,
+    seq: AtomicU64,
+}
+
+impl ArtifactCache {
+    /// Opens (creating if needed) the cache directory.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error creating the directory.
+    pub fn new(dir: impl Into<PathBuf>, obs: Registry) -> std::io::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(ArtifactCache {
+            dir,
+            obs,
+            seq: AtomicU64::new(0),
+        })
+    }
+
+    /// The directory this cache lives in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Path the artifact of `key`/`kind` is published under.
+    pub fn path_for(&self, key: &ArtifactKey, kind: PayloadKind) -> PathBuf {
+        self.dir.join(key.file_name(kind))
+    }
+
+    fn counter(&self, name: &str, kind: PayloadKind) -> symbol_obs::Counter {
+        self.obs.counter(name, &[("kind", kind.name())])
+    }
+
+    /// Loads and fully validates the artifact of `key`/`kind`.
+    ///
+    /// Returns `None` — never an error, never a panic — when the entry
+    /// is absent or fails any validation (magic, version, checksum,
+    /// payload structure, or a stored key that does not match the
+    /// requested one). Invalid entries are counted under
+    /// `serve.cache.corrupt` and removed best-effort so the next store
+    /// replaces them.
+    pub fn load(&self, key: &ArtifactKey, kind: PayloadKind) -> Option<Artifact> {
+        let path = self.path_for(key, kind);
+        let bytes = match std::fs::read(&path) {
+            Ok(b) => b,
+            Err(_) => {
+                self.counter("serve.cache.miss", kind).inc();
+                return None;
+            }
+        };
+        let _span = self.obs.span("serve.deserialize", &[("kind", kind.name())]);
+        let decoded = artifact::decode(&bytes).ok().filter(|a| {
+            // A well-formed artifact under the wrong name serves the
+            // wrong program: key and kind must match the request.
+            a.key == *key && a.payload.kind() == kind
+        });
+        match decoded {
+            Some(a) => {
+                self.counter("serve.cache.hit", kind).inc();
+                Some(a)
+            }
+            None => {
+                self.counter("serve.cache.corrupt", kind).inc();
+                let _ = std::fs::remove_file(&path);
+                None
+            }
+        }
+    }
+
+    /// Publishes `bytes` as the artifact of `key`/`kind` via
+    /// write-to-temp + atomic rename. Concurrent stores of the same
+    /// key race benignly: whichever rename lands last wins, and every
+    /// published file is complete.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error writing or renaming (also counted under
+    /// `serve.cache.store_failed`).
+    pub fn store(&self, key: &ArtifactKey, kind: PayloadKind, bytes: &[u8]) -> std::io::Result<()> {
+        let tmp = self.dir.join(format!(
+            ".tmp-{}-{}",
+            std::process::id(),
+            self.seq.fetch_add(1, Ordering::Relaxed)
+        ));
+        let publish = || -> std::io::Result<()> {
+            std::fs::write(&tmp, bytes)?;
+            std::fs::rename(&tmp, self.path_for(key, kind))
+        };
+        match publish() {
+            Ok(()) => {
+                self.counter("serve.cache.store", kind).inc();
+                Ok(())
+            }
+            Err(e) => {
+                self.counter("serve.cache.store_failed", kind).inc();
+                let _ = std::fs::remove_file(&tmp);
+                Err(e)
+            }
+        }
+    }
+
+    /// The warm/cold entry point of the serving tier: returns the
+    /// [`Compiled`] image of `source` under `layout`, deserializing it
+    /// from the cache when a valid artifact exists and compiling from
+    /// source (then storing the artifact, best effort) otherwise.
+    ///
+    /// The two paths are distinguishable in the metrics: a warm hit
+    /// runs under a `serve.deserialize` span and bumps
+    /// `serve.cache.hit`; a cold start runs under `serve.compile` and
+    /// bumps `serve.cache.miss` (or `serve.cache.corrupt`).
+    ///
+    /// # Errors
+    ///
+    /// Compilation errors from [`Compiled::from_source_with_layout`]
+    /// on the cold path. A corrupt cache entry is never an error.
+    pub fn load_compiled(&self, source: &str, layout: Layout) -> Result<Compiled, PipelineError> {
+        let key = ArtifactKey::emulator(source, &layout);
+        if let Some(art) = self.load(&key, PayloadKind::Emulator) {
+            if let Payload::Emulator {
+                ici,
+                decoded,
+                layout,
+            } = art.payload
+            {
+                // `decode` already cross-checked the parts, so this
+                // cannot fail; route it anyway rather than unwrap.
+                if let Ok(c) = Compiled::from_artifact(ici, decoded, layout) {
+                    return Ok(c);
+                }
+                self.counter("serve.cache.corrupt", PayloadKind::Emulator)
+                    .inc();
+            }
+        }
+        let compiled = {
+            let _span = self.obs.span("serve.compile", &[("kind", "emu")]);
+            Compiled::from_source_with_layout(source, layout)?
+        };
+        let bytes =
+            artifact::encode_emulator(&key, &compiled.ici, &compiled.decoded, &compiled.layout);
+        let _ = self.store(&key, PayloadKind::Emulator, &bytes);
+        Ok(compiled)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+    /// A unique scratch directory, removed on drop.
+    pub(crate) struct TempDir(pub PathBuf);
+
+    impl TempDir {
+        pub(crate) fn new(tag: &str) -> Self {
+            let dir = std::env::temp_dir().join(format!(
+                "symbol-serve-{tag}-{}-{}",
+                std::process::id(),
+                DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+            ));
+            std::fs::create_dir_all(&dir).expect("create scratch dir");
+            TempDir(dir)
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    const SRC: &str = "main :- X is 3 + 4, X = 7.";
+
+    fn counter(obs: &Registry, name: &str) -> u64 {
+        obs.counter(name, &[("kind", "emu")]).get()
+    }
+
+    #[test]
+    fn cold_then_warm() {
+        let t = TempDir::new("coldwarm");
+        let obs = Registry::new();
+        let cache = ArtifactCache::new(&t.0, obs.clone()).expect("open cache");
+        let a = cache.load_compiled(SRC, Layout::default()).expect("cold");
+        assert!(a.front.is_some(), "cold path compiled from source");
+        assert_eq!(counter(&obs, "serve.cache.miss"), 1);
+        assert_eq!(counter(&obs, "serve.cache.store"), 1);
+        let b = cache.load_compiled(SRC, Layout::default()).expect("warm");
+        assert!(b.front.is_none(), "warm path skipped the front end");
+        assert_eq!(counter(&obs, "serve.cache.hit"), 1);
+        let ra = a.run_sequential().expect("runs");
+        let rb = b.run_sequential().expect("runs");
+        assert_eq!(ra.steps, rb.steps);
+        assert_eq!(ra.stats.expect, rb.stats.expect);
+    }
+
+    #[test]
+    fn truncated_entry_recompiles_cleanly() {
+        let t = TempDir::new("trunc");
+        let obs = Registry::new();
+        let cache = ArtifactCache::new(&t.0, obs.clone()).expect("open cache");
+        cache.load_compiled(SRC, Layout::default()).expect("seed");
+        let path = cache.path_for(
+            &ArtifactKey::emulator(SRC, &Layout::default()),
+            PayloadKind::Emulator,
+        );
+        let bytes = std::fs::read(&path).expect("read back");
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).expect("truncate");
+        let c = cache
+            .load_compiled(SRC, Layout::default())
+            .expect("recompile");
+        assert!(c.front.is_some(), "corrupt entry fell back to compiling");
+        assert_eq!(counter(&obs, "serve.cache.corrupt"), 1);
+        // The fallback re-stored a good artifact.
+        let d = cache.load_compiled(SRC, Layout::default()).expect("warm");
+        assert!(d.front.is_none());
+    }
+
+    #[test]
+    fn wrong_key_under_right_name_is_corrupt() {
+        let t = TempDir::new("wrongkey");
+        let obs = Registry::new();
+        let cache = ArtifactCache::new(&t.0, obs.clone()).expect("open cache");
+        let other = "main :- 9 = 9.";
+        cache.load_compiled(other, Layout::default()).expect("seed");
+        // Republish the other program's artifact under SRC's file name.
+        let from = cache.path_for(
+            &ArtifactKey::emulator(other, &Layout::default()),
+            PayloadKind::Emulator,
+        );
+        let to = cache.path_for(
+            &ArtifactKey::emulator(SRC, &Layout::default()),
+            PayloadKind::Emulator,
+        );
+        std::fs::copy(&from, &to).expect("misfile");
+        let c = cache
+            .load_compiled(SRC, Layout::default())
+            .expect("recompile");
+        assert!(
+            c.front.is_some(),
+            "key mismatch must not serve the wrong program"
+        );
+        assert_eq!(counter(&obs, "serve.cache.corrupt"), 1);
+    }
+
+    #[test]
+    fn concurrent_writers_never_publish_a_partial_file() {
+        let t = TempDir::new("race");
+        let obs = Registry::new();
+        let cache = Arc::new(ArtifactCache::new(&t.0, obs).expect("open cache"));
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let cache = Arc::clone(&cache);
+                std::thread::spawn(move || {
+                    for _ in 0..4 {
+                        let c = cache
+                            .load_compiled(SRC, Layout::default())
+                            .expect("load or compile");
+                        c.run_sequential().expect("runs");
+                    }
+                })
+            })
+            .collect();
+        for th in threads {
+            th.join().expect("no worker panicked");
+        }
+        // Whatever the interleaving, the published file is complete.
+        let warm = cache.load_compiled(SRC, Layout::default()).expect("warm");
+        assert!(warm.front.is_none(), "final cache entry is valid");
+        let leftovers: Vec<_> = std::fs::read_dir(&t.0)
+            .expect("list dir")
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().starts_with(".tmp-"))
+            .collect();
+        assert!(leftovers.is_empty(), "no temp files left behind");
+    }
+}

@@ -1,0 +1,293 @@
+//! The long-running query server.
+//!
+//! One immutable [`Compiled`] image is shared (via `Arc`) by a bounded
+//! pool of `std::thread` workers that answer independent queries
+//! against it. Requests flow through a bounded queue — submitters
+//! block when it is full, giving natural backpressure — and workers
+//! drain them in small batches, paying the lock once per batch rather
+//! than once per request.
+//!
+//! The server is panic-free by construction: each query runs under
+//! `catch_unwind`, so even a defect that would panic the emulator is
+//! converted into a failed [`QueryResult`] (and counted) instead of
+//! killing the worker.
+//!
+//! Observability, all on the registry handed to [`QueryServer::start`]:
+//!
+//! * `serve.queries.ok` / `serve.queries.failed` /
+//!   `serve.queries.panicked` counters,
+//! * `serve.queue.depth` gauge (sampled at each batch grab),
+//! * `serve.batch` histogram of batch sizes,
+//! * a `serve.query` span per query (latency histogram + trace event).
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use symbol_core::pipeline::Compiled;
+use symbol_obs::Registry;
+
+/// Tuning knobs of a [`QueryServer`].
+#[derive(Clone, Copy, Debug)]
+pub struct ServerConfig {
+    /// Worker threads (clamped to at least 1).
+    pub workers: usize,
+    /// Maximum queued requests before [`QueryServer::submit`] blocks
+    /// (clamped to at least 1).
+    pub queue_capacity: usize,
+    /// Maximum requests a worker takes per lock acquisition (clamped
+    /// to at least 1).
+    pub max_batch: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 4,
+            queue_capacity: 64,
+            max_batch: 8,
+        }
+    }
+}
+
+/// The answer to one query.
+#[derive(Clone, Debug)]
+pub struct QueryResult {
+    /// The id passed to [`QueryServer::submit`].
+    pub id: u64,
+    /// Emulator steps on success; a rendered error otherwise. A
+    /// worker panic surfaces here as an error string, never as a dead
+    /// thread.
+    pub outcome: Result<u64, String>,
+}
+
+struct Queue {
+    pending: VecDeque<u64>,
+    closed: bool,
+}
+
+struct Shared {
+    queue: Mutex<Queue>,
+    /// Signalled when requests arrive or the queue closes.
+    work: Condvar,
+    /// Signalled when a batch is drained (space for submitters).
+    space: Condvar,
+    results: Mutex<Vec<QueryResult>>,
+    capacity: usize,
+    max_batch: usize,
+}
+
+/// A running worker pool answering queries against one shared
+/// [`Compiled`] image. Dropping the server without calling
+/// [`QueryServer::finish`] also shuts it down cleanly (results are
+/// discarded).
+pub struct QueryServer {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+fn run_one(compiled: &Compiled, id: u64, obs: &Registry) -> QueryResult {
+    let _span = obs.span("serve.query", &[]);
+    let outcome = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        compiled.run_sequential()
+    })) {
+        Ok(Ok(run)) => {
+            obs.counter("serve.queries.ok", &[]).inc();
+            Ok(run.steps)
+        }
+        Ok(Err(e)) => {
+            obs.counter("serve.queries.failed", &[]).inc();
+            Err(e.to_string())
+        }
+        Err(_) => {
+            obs.counter("serve.queries.panicked", &[]).inc();
+            Err("query panicked".to_string())
+        }
+    };
+    QueryResult { id, outcome }
+}
+
+fn worker_loop(shared: &Shared, compiled: &Compiled, obs: &Registry) {
+    let depth = obs.gauge("serve.queue.depth", &[]);
+    let batch_sizes = obs.histogram("serve.batch", &[]);
+    loop {
+        let batch: Vec<u64> = {
+            let mut q = shared.queue.lock().expect("queue lock");
+            loop {
+                if !q.pending.is_empty() {
+                    break;
+                }
+                if q.closed {
+                    return;
+                }
+                q = shared.work.wait(q).expect("queue lock");
+            }
+            let n = q.pending.len().min(shared.max_batch);
+            let batch = q.pending.drain(..n).collect();
+            depth.set(q.pending.len() as i64);
+            shared.space.notify_all();
+            batch
+        };
+        batch_sizes.record(batch.len() as u64);
+        let answered: Vec<QueryResult> = batch
+            .into_iter()
+            .map(|id| run_one(compiled, id, obs))
+            .collect();
+        shared
+            .results
+            .lock()
+            .expect("results lock")
+            .extend(answered);
+    }
+}
+
+impl QueryServer {
+    /// Starts `cfg.workers` threads serving queries against
+    /// `compiled`. The registry may be shared with the artifact cache
+    /// so one `metrics.json` covers both tiers.
+    pub fn start(compiled: Arc<Compiled>, cfg: &ServerConfig, obs: &Registry) -> Self {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(Queue {
+                pending: VecDeque::new(),
+                closed: false,
+            }),
+            work: Condvar::new(),
+            space: Condvar::new(),
+            results: Mutex::new(Vec::new()),
+            capacity: cfg.queue_capacity.max(1),
+            max_batch: cfg.max_batch.max(1),
+        });
+        let workers = (0..cfg.workers.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                let compiled = Arc::clone(&compiled);
+                let obs = obs.clone();
+                std::thread::spawn(move || worker_loop(&shared, &compiled, &obs))
+            })
+            .collect();
+        QueryServer { shared, workers }
+    }
+
+    /// Enqueues one query, blocking while the queue is full.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after [`QueryServer::finish`] consumed the
+    /// server (the borrow checker prevents this) or if a lock is
+    /// poisoned, which only happens after a panic *outside* the
+    /// `catch_unwind`-protected query path — an internal bug.
+    pub fn submit(&self, id: u64) {
+        let mut q = self.shared.queue.lock().expect("queue lock");
+        while q.pending.len() >= self.shared.capacity {
+            q = self.shared.space.wait(q).expect("queue lock");
+        }
+        q.pending.push_back(id);
+        self.shared.work.notify_one();
+    }
+
+    /// Closes the queue, waits for every in-flight query, joins the
+    /// workers and returns all results sorted by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread itself panicked — impossible through
+    /// the query path, which is `catch_unwind`-protected.
+    pub fn finish(mut self) -> Vec<QueryResult> {
+        self.close();
+        for th in self.workers.drain(..) {
+            th.join().expect("worker thread exited cleanly");
+        }
+        let mut results = std::mem::take(&mut *self.shared.results.lock().expect("results lock"));
+        results.sort_by_key(|r| r.id);
+        results
+    }
+
+    fn close(&self) {
+        let mut q = self.shared.queue.lock().expect("queue lock");
+        q.closed = true;
+        self.shared.work.notify_all();
+    }
+}
+
+impl Drop for QueryServer {
+    fn drop(&mut self) {
+        self.close();
+        for th in self.workers.drain(..) {
+            let _ = th.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn compiled() -> Arc<Compiled> {
+        Arc::new(Compiled::from_source("main :- X is 2 + 2, X = 4.").expect("compiles"))
+    }
+
+    #[test]
+    fn serves_many_queries_against_one_image() {
+        let obs = Registry::new();
+        let server = QueryServer::start(
+            compiled(),
+            &ServerConfig {
+                workers: 4,
+                queue_capacity: 8,
+                max_batch: 4,
+            },
+            &obs,
+        );
+        for id in 0..100 {
+            server.submit(id);
+        }
+        let results = server.finish();
+        assert_eq!(results.len(), 100);
+        let steps = results[0].outcome.clone().expect("query succeeds");
+        for r in &results {
+            assert_eq!(r.outcome.clone().expect("query succeeds"), steps);
+        }
+        assert_eq!(
+            results.iter().map(|r| r.id).collect::<Vec<_>>(),
+            (0..100).collect::<Vec<_>>()
+        );
+        assert_eq!(obs.counter("serve.queries.ok", &[]).get(), 100);
+        assert_eq!(obs.counter("serve.queries.failed", &[]).get(), 0);
+        assert_eq!(obs.counter("serve.queries.panicked", &[]).get(), 0);
+        assert!(obs.histogram("serve.batch", &[]).count() > 0);
+    }
+
+    #[test]
+    fn failing_queries_come_back_as_errors_not_panics() {
+        let obs = Registry::new();
+        let failing =
+            Arc::new(Compiled::from_source("main :- 1 = 2.").expect("compiles (query fails)"));
+        let server = QueryServer::start(failing, &ServerConfig::default(), &obs);
+        for id in 0..10 {
+            server.submit(id);
+        }
+        let results = server.finish();
+        assert_eq!(results.len(), 10);
+        for r in &results {
+            assert!(r.outcome.is_err());
+        }
+        assert_eq!(obs.counter("serve.queries.failed", &[]).get(), 10);
+    }
+
+    #[test]
+    fn zero_worker_config_is_clamped() {
+        let server = QueryServer::start(
+            compiled(),
+            &ServerConfig {
+                workers: 0,
+                queue_capacity: 0,
+                max_batch: 0,
+            },
+            &Registry::disabled(),
+        );
+        server.submit(1);
+        let results = server.finish();
+        assert_eq!(results.len(), 1);
+        assert!(results[0].outcome.is_ok());
+    }
+}

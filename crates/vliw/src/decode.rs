@@ -31,7 +31,7 @@ use crate::sim::{check_word_resources, SimConfig, SimError, SimOutcome, SimResul
 
 /// Sentinel for "no register" in a [`DecodedSlot`]'s use list and for
 /// "no address" in a resolved target.
-const NONE: u32 = u32::MAX;
+pub(crate) const NONE: u32 = u32::MAX;
 
 /// The operation payload of one decoded slot: operands resolved to
 /// plain indices, the register/immediate alternative monomorphized
@@ -40,7 +40,7 @@ const NONE: u32 = u32::MAX;
 /// such a branch reports [`SimError::UnmappedLabel`] with the kept
 /// label id, exactly like the legacy lazy resolution).
 #[derive(Copy, Clone, Debug)]
-enum SlotMicro {
+pub(crate) enum SlotMicro {
     Ld {
         d: u32,
         base: u32,
@@ -135,45 +135,45 @@ enum SlotMicro {
 
 /// One pre-decoded issue record.
 #[derive(Copy, Clone, Debug)]
-struct DecodedSlot {
+pub(crate) struct DecodedSlot {
     /// Source registers read by the op (`NONE`-padded), extracted once
     /// so the per-cycle latency check never allocates.
-    uses: [u32; 2],
+    pub(crate) uses: [u32; 2],
     /// Whether faults of this op are dismissed (compactor speculation).
-    speculative: bool,
+    pub(crate) speculative: bool,
     /// The operation.
-    op: SlotMicro,
+    pub(crate) op: SlotMicro,
 }
 
 /// One pre-decoded instruction word: a dense slice into the flat slot
 /// vector plus everything about the word that is static per machine.
 #[derive(Clone, Debug)]
-struct DecodedWord {
+pub(crate) struct DecodedWord {
     /// First slot index in [`DecodedVliw::slots`].
-    first: u32,
+    pub(crate) first: u32,
     /// Number of slots.
-    len: u32,
+    pub(crate) len: u32,
     /// Pre-summed executed-op counts per class (memory, ALU, move,
     /// control).
-    class_counts: [u16; OpClass::COUNT],
+    pub(crate) class_counts: [u16; OpClass::COUNT],
     /// Pre-evaluated static resource verdict: the error the legacy
     /// simulator would raise on every issue of this word, or `None`
     /// when the word fits the machine.
-    fault: Option<SimError>,
+    pub(crate) fault: Option<SimError>,
 }
 
 /// A [`VliwProgram`] lowered to the flat issue-record form for one
 /// specific machine configuration.
 #[derive(Clone, Debug)]
 pub struct DecodedVliw {
-    words: Vec<DecodedWord>,
-    slots: Vec<DecodedSlot>,
+    pub(crate) words: Vec<DecodedWord>,
+    pub(crate) slots: Vec<DecodedSlot>,
     /// Dense label id → instruction index (`NONE` = unbound), for the
     /// indirect jumps that must still resolve at run time.
-    label_pc: Vec<u32>,
-    machine: MachineConfig,
-    entry_pc: usize,
-    num_regs: usize,
+    pub(crate) label_pc: Vec<u32>,
+    pub(crate) machine: MachineConfig,
+    pub(crate) entry_pc: usize,
+    pub(crate) num_regs: usize,
 }
 
 impl DecodedVliw {

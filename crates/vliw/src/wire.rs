@@ -1,0 +1,863 @@
+//! Zero-dependency binary serialization for [`DecodedVliw`] issue
+//! records — the VLIW half of the compiled-artifact format.
+//!
+//! Builds on the byte cursors and scalar codecs of
+//! [`symbol_intcode::wire`]; everything this module adds is the
+//! issue-record layer: decoded slots (with their pre-extracted use
+//! lists), instruction words (with their pre-evaluated static resource
+//! verdicts), the label→pc table and the [`MachineConfig`] the program
+//! was decoded for.
+//!
+//! The same rules apply as on the sequential side: every read is
+//! bounds-checked, every decoded structure is re-validated against the
+//! invariants the issue loop's unchecked indexing relies on (register
+//! ids below the register-file size, slot ranges inside the slot
+//! vector, word lengths within the machine's issue width), and
+//! `encode(decode(bytes)) == bytes` for every accepted input.
+
+use symbol_intcode::wire::{
+    fnv1a64, get_alu, get_cond, get_tag, get_word, put_alu, put_cond, put_tag, put_word, Reader,
+    WireError, Writer, MAX_REGS,
+};
+use symbol_intcode::{Label, OpClass};
+
+use crate::decode::{DecodedSlot, DecodedVliw, DecodedWord, SlotMicro, NONE};
+use crate::machine::MachineConfig;
+use crate::sim::SimError;
+
+/// Upper bound accepted for a deserialized machine's `units`,
+/// `issue_width` and `mem_ports`. The paper's widest configuration is
+/// 256-wide; anything near this limit is a corrupt artifact and must
+/// not size per-cycle profiling buffers.
+pub const MAX_MACHINE_DIM: usize = 1 << 12;
+
+/// Encodes a machine configuration. Also the byte string `symbol-serve`
+/// hashes into its artifact cache key, so two configurations collide
+/// exactly when every field is equal.
+pub fn put_machine(w: &mut Writer, m: &MachineConfig) {
+    w.u64(m.units as u64);
+    w.u64(m.issue_width as u64);
+    w.u64(m.mem_ports as u64);
+    w.bool(m.multiway_branch);
+    w.u32(m.mem_latency);
+    w.u32(m.taken_branch_penalty);
+    w.u32(m.alu_latency);
+    w.bool(m.split_formats);
+}
+
+/// Decodes a machine configuration, bounding every dimension by
+/// [`MAX_MACHINE_DIM`].
+///
+/// # Errors
+///
+/// [`WireError`] on truncation or an out-of-range dimension.
+pub fn get_machine(r: &mut Reader<'_>) -> Result<MachineConfig, WireError> {
+    let dim = |v: u64, what: &'static str| -> Result<usize, WireError> {
+        match usize::try_from(v) {
+            Ok(v) if v <= MAX_MACHINE_DIM => Ok(v),
+            _ => Err(WireError::BadValue { what }),
+        }
+    };
+    let units = dim(r.u64()?, "machine units")?;
+    let issue_width = dim(r.u64()?, "machine issue width")?;
+    let mem_ports = dim(r.u64()?, "machine memory ports")?;
+    let multiway_branch = r.bool()?;
+    let mem_latency = r.u32()?;
+    let taken_branch_penalty = r.u32()?;
+    let alu_latency = r.u32()?;
+    let split_formats = r.bool()?;
+    if units == 0 {
+        return Err(WireError::BadValue {
+            what: "machine units",
+        });
+    }
+    Ok(MachineConfig {
+        units,
+        issue_width,
+        mem_ports,
+        multiway_branch,
+        mem_latency,
+        taken_branch_penalty,
+        alu_latency,
+        split_formats,
+    })
+}
+
+fn put_class(w: &mut Writer, c: OpClass) {
+    w.u8(match c {
+        OpClass::Memory => 0,
+        OpClass::Alu => 1,
+        OpClass::Move => 2,
+        OpClass::Control => 3,
+    });
+}
+
+fn get_class(r: &mut Reader<'_>) -> Result<OpClass, WireError> {
+    Ok(match r.u8()? {
+        0 => OpClass::Memory,
+        1 => OpClass::Alu,
+        2 => OpClass::Move,
+        3 => OpClass::Control,
+        v => {
+            return Err(WireError::BadTag {
+                what: "OpClass",
+                value: v as u32,
+            })
+        }
+    })
+}
+
+fn put_sim_error(w: &mut Writer, e: &SimError) {
+    match *e {
+        SimError::SlotOverflow { at, class } => {
+            w.u8(0);
+            w.u64(at as u64);
+            put_class(w, class);
+        }
+        SimError::WidthOverflow { at } => {
+            w.u8(1);
+            w.u64(at as u64);
+        }
+        SimError::DoubleWrite { at, reg } => {
+            w.u8(2);
+            w.u64(at as u64);
+            w.u32(reg);
+        }
+        SimError::LatencyViolation { at, reg } => {
+            w.u8(3);
+            w.u64(at as u64);
+            w.u32(reg);
+        }
+        SimError::FormatConflict { at, unit } => {
+            w.u8(4);
+            w.u64(at as u64);
+            w.u64(unit as u64);
+        }
+        SimError::UnitConflict { at, unit } => {
+            w.u8(5);
+            w.u64(at as u64);
+            w.u64(unit as u64);
+        }
+        SimError::BadAddress { at, addr } => {
+            w.u8(6);
+            w.u64(at as u64);
+            w.i64(addr);
+        }
+        SimError::DivideByZero { at } => {
+            w.u8(7);
+            w.u64(at as u64);
+        }
+        SimError::BadCodeWord { at } => {
+            w.u8(8);
+            w.u64(at as u64);
+        }
+        SimError::UnmappedLabel { at, label } => {
+            w.u8(9);
+            w.u64(at as u64);
+            w.u32(label.0);
+        }
+        SimError::CycleLimit { limit } => {
+            w.u8(10);
+            w.u64(limit);
+        }
+        SimError::RanOffEnd => w.u8(11),
+    }
+}
+
+fn get_usize(r: &mut Reader<'_>, what: &'static str) -> Result<usize, WireError> {
+    usize::try_from(r.u64()?).map_err(|_| WireError::BadValue { what })
+}
+
+fn get_sim_error(r: &mut Reader<'_>) -> Result<SimError, WireError> {
+    Ok(match r.u8()? {
+        0 => SimError::SlotOverflow {
+            at: get_usize(r, "fault index")?,
+            class: get_class(r)?,
+        },
+        1 => SimError::WidthOverflow {
+            at: get_usize(r, "fault index")?,
+        },
+        2 => SimError::DoubleWrite {
+            at: get_usize(r, "fault index")?,
+            reg: r.u32()?,
+        },
+        3 => SimError::LatencyViolation {
+            at: get_usize(r, "fault index")?,
+            reg: r.u32()?,
+        },
+        4 => SimError::FormatConflict {
+            at: get_usize(r, "fault index")?,
+            unit: get_usize(r, "fault unit")?,
+        },
+        5 => SimError::UnitConflict {
+            at: get_usize(r, "fault index")?,
+            unit: get_usize(r, "fault unit")?,
+        },
+        6 => SimError::BadAddress {
+            at: get_usize(r, "fault index")?,
+            addr: r.i64()?,
+        },
+        7 => SimError::DivideByZero {
+            at: get_usize(r, "fault index")?,
+        },
+        8 => SimError::BadCodeWord {
+            at: get_usize(r, "fault index")?,
+        },
+        9 => SimError::UnmappedLabel {
+            at: get_usize(r, "fault index")?,
+            label: Label(r.u32()?),
+        },
+        10 => SimError::CycleLimit { limit: r.u64()? },
+        11 => SimError::RanOffEnd,
+        v => {
+            return Err(WireError::BadTag {
+                what: "SimError",
+                value: v as u32,
+            })
+        }
+    })
+}
+
+fn put_slot_micro(w: &mut Writer, m: SlotMicro) {
+    match m {
+        SlotMicro::Ld { d, base, off } => {
+            w.u8(0);
+            w.u32(d);
+            w.u32(base);
+            w.i32(off);
+        }
+        SlotMicro::St { s, base, off } => {
+            w.u8(1);
+            w.u32(s);
+            w.u32(base);
+            w.i32(off);
+        }
+        SlotMicro::Mv { d, s } => {
+            w.u8(2);
+            w.u32(d);
+            w.u32(s);
+        }
+        SlotMicro::MvI { d, w: word } => {
+            w.u8(3);
+            w.u32(d);
+            put_word(w, word);
+        }
+        SlotMicro::AluRR { op, d, a, b } => {
+            w.u8(4);
+            put_alu(w, op);
+            w.u32(d);
+            w.u32(a);
+            w.u32(b);
+        }
+        SlotMicro::AluRI { op, d, a, imm } => {
+            w.u8(5);
+            put_alu(w, op);
+            w.u32(d);
+            w.u32(a);
+            w.i64(imm);
+        }
+        SlotMicro::AddARR { d, a, b } => {
+            w.u8(6);
+            w.u32(d);
+            w.u32(a);
+            w.u32(b);
+        }
+        SlotMicro::AddARI { d, a, imm } => {
+            w.u8(7);
+            w.u32(d);
+            w.u32(a);
+            w.i64(imm);
+        }
+        SlotMicro::MkTag { d, s, tag } => {
+            w.u8(8);
+            w.u32(d);
+            w.u32(s);
+            put_tag(w, tag);
+        }
+        SlotMicro::BrRR { cond, a, b, t, l } => {
+            w.u8(9);
+            put_cond(w, cond);
+            w.u32(a);
+            w.u32(b);
+            w.u32(t);
+            w.u32(l);
+        }
+        SlotMicro::BrRI { cond, a, imm, t, l } => {
+            w.u8(10);
+            put_cond(w, cond);
+            w.u32(a);
+            w.i64(imm);
+            w.u32(t);
+            w.u32(l);
+        }
+        SlotMicro::BrTag { a, tag, eq, t, l } => {
+            w.u8(11);
+            w.u32(a);
+            put_tag(w, tag);
+            w.bool(eq);
+            w.u32(t);
+            w.u32(l);
+        }
+        SlotMicro::BrWord {
+            a,
+            w: word,
+            eq,
+            t,
+            l,
+        } => {
+            w.u8(12);
+            w.u32(a);
+            put_word(w, word);
+            w.bool(eq);
+            w.u32(t);
+            w.u32(l);
+        }
+        SlotMicro::BrWEq { a, b, eq, t, l } => {
+            w.u8(13);
+            w.u32(a);
+            w.u32(b);
+            w.bool(eq);
+            w.u32(t);
+            w.u32(l);
+        }
+        SlotMicro::Jmp { t, l } => {
+            w.u8(14);
+            w.u32(t);
+            w.u32(l);
+        }
+        SlotMicro::JmpR { r } => {
+            w.u8(15);
+            w.u32(r);
+        }
+        SlotMicro::Halt { success } => {
+            w.u8(16);
+            w.bool(success);
+        }
+    }
+}
+
+fn get_slot_micro(r: &mut Reader<'_>) -> Result<SlotMicro, WireError> {
+    Ok(match r.u8()? {
+        0 => SlotMicro::Ld {
+            d: r.u32()?,
+            base: r.u32()?,
+            off: r.i32()?,
+        },
+        1 => SlotMicro::St {
+            s: r.u32()?,
+            base: r.u32()?,
+            off: r.i32()?,
+        },
+        2 => SlotMicro::Mv {
+            d: r.u32()?,
+            s: r.u32()?,
+        },
+        3 => SlotMicro::MvI {
+            d: r.u32()?,
+            w: get_word(r)?,
+        },
+        4 => SlotMicro::AluRR {
+            op: get_alu(r)?,
+            d: r.u32()?,
+            a: r.u32()?,
+            b: r.u32()?,
+        },
+        5 => SlotMicro::AluRI {
+            op: get_alu(r)?,
+            d: r.u32()?,
+            a: r.u32()?,
+            imm: r.i64()?,
+        },
+        6 => SlotMicro::AddARR {
+            d: r.u32()?,
+            a: r.u32()?,
+            b: r.u32()?,
+        },
+        7 => SlotMicro::AddARI {
+            d: r.u32()?,
+            a: r.u32()?,
+            imm: r.i64()?,
+        },
+        8 => SlotMicro::MkTag {
+            d: r.u32()?,
+            s: r.u32()?,
+            tag: get_tag(r)?,
+        },
+        9 => SlotMicro::BrRR {
+            cond: get_cond(r)?,
+            a: r.u32()?,
+            b: r.u32()?,
+            t: r.u32()?,
+            l: r.u32()?,
+        },
+        10 => SlotMicro::BrRI {
+            cond: get_cond(r)?,
+            a: r.u32()?,
+            imm: r.i64()?,
+            t: r.u32()?,
+            l: r.u32()?,
+        },
+        11 => SlotMicro::BrTag {
+            a: r.u32()?,
+            tag: get_tag(r)?,
+            eq: r.bool()?,
+            t: r.u32()?,
+            l: r.u32()?,
+        },
+        12 => SlotMicro::BrWord {
+            a: r.u32()?,
+            w: get_word(r)?,
+            eq: r.bool()?,
+            t: r.u32()?,
+            l: r.u32()?,
+        },
+        13 => SlotMicro::BrWEq {
+            a: r.u32()?,
+            b: r.u32()?,
+            eq: r.bool()?,
+            t: r.u32()?,
+            l: r.u32()?,
+        },
+        14 => SlotMicro::Jmp {
+            t: r.u32()?,
+            l: r.u32()?,
+        },
+        15 => SlotMicro::JmpR { r: r.u32()? },
+        16 => SlotMicro::Halt { success: r.bool()? },
+        v => {
+            return Err(WireError::BadTag {
+                what: "SlotMicro",
+                value: v as u32,
+            })
+        }
+    })
+}
+
+/// Registers an issue record indexes in the register file (besides its
+/// pre-extracted use list) — the def plus every read operand.
+fn slot_regs(m: SlotMicro) -> [u32; 3] {
+    const NO: u32 = 0;
+    match m {
+        SlotMicro::Ld { d, base, .. } => [d, base, NO],
+        SlotMicro::St { s, base, .. } => [s, base, NO],
+        SlotMicro::Mv { d, s } => [d, s, NO],
+        SlotMicro::MvI { d, .. } => [d, NO, NO],
+        SlotMicro::AluRR { d, a, b, .. } => [d, a, b],
+        SlotMicro::AluRI { d, a, .. } => [d, a, NO],
+        SlotMicro::AddARR { d, a, b } => [d, a, b],
+        SlotMicro::AddARI { d, a, .. } => [d, a, NO],
+        SlotMicro::MkTag { d, s, .. } => [d, s, NO],
+        SlotMicro::BrRR { a, b, .. } => [a, b, NO],
+        SlotMicro::BrRI { a, .. } => [a, NO, NO],
+        SlotMicro::BrTag { a, .. } => [a, NO, NO],
+        SlotMicro::BrWord { a, .. } => [a, NO, NO],
+        SlotMicro::BrWEq { a, b, .. } => [a, b, NO],
+        SlotMicro::Jmp { .. } | SlotMicro::Halt { .. } => [NO, NO, NO],
+        SlotMicro::JmpR { r } => [r, NO, NO],
+    }
+}
+
+/// The op class an issue record occupies, mirroring
+/// [`symbol_intcode::Op::class`] — used to recompute the per-word class
+/// counts on decode instead of trusting serialized ones.
+fn slot_class(m: SlotMicro) -> OpClass {
+    match m {
+        SlotMicro::Ld { .. } | SlotMicro::St { .. } => OpClass::Memory,
+        SlotMicro::Mv { .. } | SlotMicro::MvI { .. } => OpClass::Move,
+        SlotMicro::AluRR { .. }
+        | SlotMicro::AluRI { .. }
+        | SlotMicro::AddARR { .. }
+        | SlotMicro::AddARI { .. }
+        | SlotMicro::MkTag { .. } => OpClass::Alu,
+        SlotMicro::BrRR { .. }
+        | SlotMicro::BrRI { .. }
+        | SlotMicro::BrTag { .. }
+        | SlotMicro::BrWord { .. }
+        | SlotMicro::BrWEq { .. }
+        | SlotMicro::Jmp { .. }
+        | SlotMicro::JmpR { .. }
+        | SlotMicro::Halt { .. } => OpClass::Control,
+    }
+}
+
+impl DecodedVliw {
+    /// Encodes the issue records (machine configuration, flat slot
+    /// vector, instruction words with their static resource verdicts,
+    /// label→pc table, entry pc and register-file size) into `w`.
+    ///
+    /// Per-word class counts are *not* written — they are derived data,
+    /// recomputed from the slots on decode.
+    pub fn encode_into(&self, w: &mut Writer) {
+        put_machine(w, &self.machine);
+        w.count(self.slots.len());
+        for s in &self.slots {
+            w.u32(s.uses[0]);
+            w.u32(s.uses[1]);
+            w.bool(s.speculative);
+            put_slot_micro(w, s.op);
+        }
+        w.count(self.words.len());
+        for word in &self.words {
+            w.u32(word.first);
+            w.u32(word.len);
+            match &word.fault {
+                None => w.u8(0),
+                Some(e) => {
+                    w.u8(1);
+                    put_sim_error(w, e);
+                }
+            }
+        }
+        w.count(self.label_pc.len());
+        for &pc in &self.label_pc {
+            w.u32(pc);
+        }
+        w.u64(self.entry_pc as u64);
+        w.u64(self.num_regs as u64);
+    }
+
+    /// The issue records as a standalone byte vector.
+    pub fn to_wire_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        self.encode_into(&mut w);
+        w.into_bytes()
+    }
+
+    /// Decodes issue records from `r`, re-validating every invariant
+    /// the issue loop relies on:
+    ///
+    /// * all register ids (operands and pre-extracted use lists) below
+    ///   the register-file size, itself positive and bounded,
+    /// * every word's slot range inside the slot vector and its length
+    ///   within the machine's issue width unless the word carries a
+    ///   pre-evaluated fault (an overfull word that faults on issue is
+    ///   legitimate; one that would be *executed* is not),
+    /// * entry pc, branch targets and bound labels within (or one past)
+    ///   the program.
+    ///
+    /// # Errors
+    ///
+    /// Any [`WireError`] describing the first defect found.
+    pub fn decode_from(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let machine = get_machine(r)?;
+        let num_slots = r.count(10, "slot count")?;
+        let mut slots = Vec::with_capacity(num_slots);
+        for _ in 0..num_slots {
+            let uses = [r.u32()?, r.u32()?];
+            let speculative = r.bool()?;
+            let op = get_slot_micro(r)?;
+            slots.push(DecodedSlot {
+                uses,
+                speculative,
+                op,
+            });
+        }
+        let num_words = r.count(9, "word count")?;
+        let mut words = Vec::with_capacity(num_words);
+        for _ in 0..num_words {
+            let first = r.u32()?;
+            let len = r.u32()?;
+            let fault = match r.u8()? {
+                0 => None,
+                1 => Some(get_sim_error(r)?),
+                v => {
+                    return Err(WireError::BadTag {
+                        what: "word fault option",
+                        value: v as u32,
+                    })
+                }
+            };
+            let (Some(end), true) = (first.checked_add(len), (first as usize) <= num_slots) else {
+                return Err(WireError::BadValue { what: "slot range" });
+            };
+            if end as usize > num_slots {
+                return Err(WireError::BadValue { what: "slot range" });
+            }
+            // A word wider than the machine must carry its precomputed
+            // fault: the issue loop sizes profiling buffers by the
+            // issue width and only consults the fault after accounting.
+            if len as usize > machine.issue_width && fault.is_none() {
+                return Err(WireError::BadValue {
+                    what: "word length",
+                });
+            }
+            let mut class_counts = [0u16; OpClass::COUNT];
+            for s in &slots[first as usize..end as usize] {
+                let c = &mut class_counts[slot_class(s.op).index()];
+                *c = c.checked_add(1).ok_or(WireError::BadValue {
+                    what: "class count",
+                })?;
+            }
+            words.push(DecodedWord {
+                first,
+                len,
+                class_counts,
+                fault,
+            });
+        }
+        let num_labels = r.count(4, "label count")?;
+        let mut label_pc = Vec::with_capacity(num_labels);
+        for _ in 0..num_labels {
+            label_pc.push(r.u32()?);
+        }
+        let entry_pc = get_usize(r, "entry pc")?;
+        let num_regs = get_usize(r, "register-file size")?;
+
+        if num_regs == 0 || num_regs > MAX_REGS {
+            return Err(WireError::BadValue {
+                what: "register-file size",
+            });
+        }
+        if entry_pc > num_words {
+            return Err(WireError::BadValue { what: "entry pc" });
+        }
+        let in_prog = |t: u32| (t as usize) <= num_words;
+        for s in &slots {
+            for reg in slot_regs(s.op) {
+                if reg as usize >= num_regs {
+                    return Err(WireError::BadValue {
+                        what: "register id",
+                    });
+                }
+            }
+            for u in s.uses {
+                if u != NONE && u as usize >= num_regs {
+                    return Err(WireError::BadValue {
+                        what: "use-list register id",
+                    });
+                }
+            }
+            let target_ok = match s.op {
+                SlotMicro::BrRR { t, .. }
+                | SlotMicro::BrRI { t, .. }
+                | SlotMicro::BrTag { t, .. }
+                | SlotMicro::BrWord { t, .. }
+                | SlotMicro::BrWEq { t, .. }
+                | SlotMicro::Jmp { t, .. } => t == NONE || in_prog(t),
+                _ => true,
+            };
+            if !target_ok {
+                return Err(WireError::BadValue {
+                    what: "branch target",
+                });
+            }
+        }
+        for &pc in &label_pc {
+            if pc != NONE && !in_prog(pc) {
+                return Err(WireError::BadValue {
+                    what: "label target",
+                });
+            }
+        }
+        Ok(DecodedVliw {
+            words,
+            slots,
+            label_pc,
+            machine,
+            entry_pc,
+            num_regs,
+        })
+    }
+
+    /// Decodes a standalone byte vector (the inverse of
+    /// [`DecodedVliw::to_wire_bytes`]), requiring full consumption.
+    ///
+    /// # Errors
+    ///
+    /// See [`DecodedVliw::decode_from`].
+    pub fn from_wire_bytes(bytes: &[u8]) -> Result<Self, WireError> {
+        let mut r = Reader::new(bytes);
+        let p = Self::decode_from(&mut r)?;
+        r.finish()?;
+        Ok(p)
+    }
+
+    /// Stable content hash of the encoded issue records (FNV-1a 64).
+    pub fn wire_hash(&self) -> u64 {
+        fnv1a64(&self.to_wire_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{SlotOp, VliwInstr, VliwProgram};
+    use crate::sim::SimConfig;
+    use std::collections::HashMap;
+    use symbol_intcode::{Layout, Op, Operand, Word, R};
+
+    fn sample_program() -> VliwProgram {
+        let word = |ops: Vec<Op>| VliwInstr {
+            slots: ops
+                .into_iter()
+                .enumerate()
+                .map(|(u, op)| SlotOp {
+                    unit: u,
+                    op,
+                    speculative: false,
+                })
+                .collect(),
+        };
+        let instrs = vec![
+            word(vec![
+                Op::MvI {
+                    d: R(40),
+                    w: Word::int(0),
+                },
+                Op::MvI {
+                    d: R(41),
+                    w: Word::int(10),
+                },
+            ]),
+            word(vec![Op::Alu {
+                op: symbol_intcode::AluOp::Add,
+                d: R(40),
+                a: R(40),
+                b: Operand::Imm(1),
+            }]),
+            word(vec![Op::Br {
+                cond: symbol_intcode::Cond::Lt,
+                a: R(40),
+                b: Operand::Reg(R(41)),
+                t: symbol_intcode::Label(1),
+            }]),
+            word(vec![Op::Halt { success: true }]),
+        ];
+        let mut labels = HashMap::new();
+        labels.insert(symbol_intcode::Label(0), 0);
+        labels.insert(symbol_intcode::Label(1), 1);
+        VliwProgram::new(instrs, labels, 2, symbol_intcode::Label(0))
+    }
+
+    fn tiny_layout() -> Layout {
+        Layout {
+            heap_size: 64,
+            env_size: 64,
+            cp_size: 64,
+            trail_size: 64,
+            pdl_size: 64,
+        }
+    }
+
+    #[test]
+    fn round_trip_is_byte_exact_and_runs_identically() {
+        let machine = MachineConfig::units(4);
+        let d = DecodedVliw::new(&sample_program(), machine);
+        let bytes = d.to_wire_bytes();
+        let d2 = DecodedVliw::from_wire_bytes(&bytes).expect("decodes");
+        assert_eq!(bytes, d2.to_wire_bytes(), "re-encode must be byte-exact");
+        assert_eq!(d.wire_hash(), d2.wire_hash());
+
+        let layout = tiny_layout();
+        let cfg = SimConfig::default();
+        let r1 = crate::decode::DecodedVliwSim::new(&d, &layout).run(&cfg);
+        let r2 = crate::decode::DecodedVliwSim::new(&d2, &layout).run(&cfg);
+        match (r1, r2) {
+            (Ok(a), Ok(b)) => {
+                assert_eq!(a.outcome, b.outcome);
+                assert_eq!(a.cycles, b.cycles);
+                assert_eq!(a.instructions, b.instructions);
+                assert_eq!(a.ops, b.ops);
+                assert_eq!(a.taken_branches, b.taken_branches);
+                assert_eq!(a.class_ops, b.class_ops);
+            }
+            (a, b) => assert_eq!(a.err(), b.err()),
+        }
+    }
+
+    #[test]
+    fn faulty_word_round_trips() {
+        // Two loads against one memory port: the word carries a
+        // precomputed SlotOverflow fault, which must survive the trip.
+        let instrs = vec![VliwInstr {
+            slots: vec![
+                SlotOp {
+                    unit: 0,
+                    op: Op::Ld {
+                        d: R(40),
+                        base: R(50),
+                        off: 0,
+                    },
+                    speculative: false,
+                },
+                SlotOp {
+                    unit: 1,
+                    op: Op::Ld {
+                        d: R(41),
+                        base: R(50),
+                        off: 1,
+                    },
+                    speculative: true,
+                },
+            ],
+        }];
+        let mut labels = HashMap::new();
+        labels.insert(symbol_intcode::Label(0), 0);
+        let p = VliwProgram::new(instrs, labels, 1, symbol_intcode::Label(0));
+        let d = DecodedVliw::new(&p, MachineConfig::units(4));
+        let bytes = d.to_wire_bytes();
+        let d2 = DecodedVliw::from_wire_bytes(&bytes).expect("decodes");
+        assert_eq!(bytes, d2.to_wire_bytes());
+        let err = crate::decode::DecodedVliwSim::new(&d2, &tiny_layout())
+            .run(&SimConfig::default())
+            .unwrap_err();
+        assert!(matches!(err, SimError::SlotOverflow { at: 0, .. }), "{err}");
+    }
+
+    #[test]
+    fn truncation_at_every_prefix_is_an_error_not_a_panic() {
+        let bytes = DecodedVliw::new(&sample_program(), MachineConfig::units(2)).to_wire_bytes();
+        for cut in 0..bytes.len() {
+            assert!(
+                DecodedVliw::from_wire_bytes(&bytes[..cut]).is_err(),
+                "prefix of {cut} bytes decoded successfully"
+            );
+        }
+    }
+
+    #[test]
+    fn single_byte_corruption_never_panics() {
+        // Flip every byte through every value class; each mutation must
+        // either decode to a valid program or fail cleanly.
+        let bytes = DecodedVliw::new(&sample_program(), MachineConfig::units(2)).to_wire_bytes();
+        for i in 0..bytes.len() {
+            for delta in [1u8, 0x80, 0xff] {
+                let mut m = bytes.clone();
+                m[i] = m[i].wrapping_add(delta);
+                let _ = DecodedVliw::from_wire_bytes(&m);
+            }
+        }
+    }
+
+    #[test]
+    fn overfull_word_without_fault_is_rejected() {
+        let d = DecodedVliw::new(&sample_program(), MachineConfig::units(4));
+        let mut w = Writer::new();
+        // Re-encode with a machine too narrow for the 2-op first word;
+        // the stored faults (computed for the 4-unit machine) are None,
+        // so decode must refuse the artifact.
+        let narrow = MachineConfig {
+            issue_width: 1,
+            ..MachineConfig::units(4)
+        };
+        let fake = DecodedVliw {
+            machine: narrow,
+            ..d
+        };
+        fake.encode_into(&mut w);
+        let err = DecodedVliw::from_wire_bytes(&w.into_bytes()).unwrap_err();
+        assert!(
+            matches!(err, WireError::BadValue { what } if what == "word length"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn machine_config_hash_distinguishes_configs() {
+        let mut a = Writer::new();
+        put_machine(&mut a, &MachineConfig::units(2));
+        let mut b = Writer::new();
+        put_machine(&mut b, &MachineConfig::units(4));
+        assert_ne!(fnv1a64(&a.into_bytes()), fnv1a64(&b.into_bytes()));
+    }
+}

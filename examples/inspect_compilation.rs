@@ -6,7 +6,7 @@
 //! cargo run --release -p symbol-core --example inspect_compilation
 //! ```
 
-use symbol_compactor::{compact, CompactMode, TracePolicy};
+use symbol_compactor::{try_compact, CompactMode, TracePolicy};
 use symbol_core::pipeline::Compiled;
 use symbol_vliw::MachineConfig;
 
@@ -18,11 +18,12 @@ const PROGRAM: &str = "
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let compiled = Compiled::from_source(PROGRAM)?;
+    let front = compiled.front.as_ref().expect("compiled from source");
 
     println!("================ BAM code ================\n");
     print!(
         "{}",
-        symbol_bam::pretty::program(&compiled.bam, compiled.program.symbols())
+        symbol_bam::pretty::program(&front.bam, front.program.symbols())
     );
 
     println!("=============== IntCode (first 60 ops) ===============\n");
@@ -32,13 +33,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let run = compiled.run_sequential()?;
     let machine = MachineConfig::units(3);
-    let compacted = compact(
+    let compacted = try_compact(
         &compiled.ici,
         &run.stats,
         &machine,
         CompactMode::TraceSchedule,
         &TracePolicy::default(),
-    );
+    )?;
 
     println!("\n=============== VLIW schedule (first 40 words) ===============\n");
     for line in compacted.program.to_string().lines().take(40) {

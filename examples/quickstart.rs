@@ -5,7 +5,7 @@
 //! cargo run --release -p symbol-core --example quickstart
 //! ```
 
-use symbol_compactor::{compact, sequential_cycles, CompactMode, SeqDurations, TracePolicy};
+use symbol_compactor::{sequential_cycles, try_compact, CompactMode, SeqDurations, TracePolicy};
 use symbol_core::pipeline::Compiled;
 use symbol_vliw::{MachineConfig, SimConfig, VliwSim};
 
@@ -23,10 +23,11 @@ const PROGRAM: &str = "
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Prolog -> BAM -> IntCode.
     let compiled = Compiled::from_source(PROGRAM)?;
+    let front = compiled.front.as_ref().expect("compiled from source");
     println!(
         "compiled: {} predicates, {} BAM instructions, {} IntCode ops",
-        compiled.program.predicates().count(),
-        compiled.bam.num_instructions(),
+        front.program.predicates().count(),
+        front.bam.num_instructions(),
         compiled.ici.len()
     );
 
@@ -37,13 +38,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 3. Trace-schedule for a 3-unit shared-memory VLIW and re-run.
     let machine = MachineConfig::units(3);
-    let compacted = compact(
+    let compacted = try_compact(
         &compiled.ici,
         &run.stats,
         &machine,
         CompactMode::TraceSchedule,
         &TracePolicy::default(),
-    );
+    )?;
     let result =
         VliwSim::new(&compacted.program, machine, &compiled.layout).run(&SimConfig::default())?;
     println!(

@@ -51,3 +51,110 @@ fn repeated_parallel_runs_agree_with_each_other() {
     let second = measure_cached(b.name, &cache, 8).expect("measures");
     assert_eq!(first, second);
 }
+
+/// serialize → deserialize → run must be bit-identical to
+/// compile → run, for every benchmark in the suite — the correctness
+/// contract of the `symbol-serve` artifact path.
+#[test]
+fn artifact_round_trip_runs_are_bit_identical_for_every_benchmark() {
+    use symbol_intcode::decode::DecodedProgram;
+    use symbol_intcode::program::IciProgram;
+    for b in benchmarks::ALL {
+        let compiled = Compiled::from_source(b.source).expect("compiles");
+        let ici_bytes = compiled.ici.to_wire_bytes();
+        let dec_bytes = compiled.decoded.to_wire_bytes();
+        let ici = IciProgram::from_wire_bytes(&ici_bytes)
+            .unwrap_or_else(|e| panic!("{}: intcode decode: {e}", b.name));
+        let decoded = DecodedProgram::from_wire_bytes(&dec_bytes)
+            .unwrap_or_else(|e| panic!("{}: decoded decode: {e}", b.name));
+        // Byte-exact: re-encoding the deserialized forms reproduces
+        // the original encodings bit for bit.
+        assert_eq!(ici.to_wire_bytes(), ici_bytes, "{}: intcode bytes", b.name);
+        assert_eq!(
+            decoded.to_wire_bytes(),
+            dec_bytes,
+            "{}: decoded bytes",
+            b.name
+        );
+        let restored = Compiled::from_artifact(ici, decoded, compiled.layout)
+            .unwrap_or_else(|e| panic!("{}: from_artifact: {e}", b.name));
+        let direct = compiled.run_sequential().expect("direct run");
+        let served = restored.run_sequential().expect("artifact run");
+        assert_eq!(direct.steps, served.steps, "{}: steps", b.name);
+        assert_eq!(direct.outcome, served.outcome, "{}: outcome", b.name);
+        assert_eq!(
+            direct.stats.expect, served.stats.expect,
+            "{}: expect profile",
+            b.name
+        );
+        assert_eq!(
+            direct.stats.taken, served.stats.taken,
+            "{}: taken profile",
+            b.name
+        );
+    }
+}
+
+/// Corrupt on-disk artifacts — truncations, a flipped version byte, an
+/// artifact filed under the wrong key — must never panic or serve
+/// wrong code: the cache recompiles from source every time.
+#[test]
+fn corrupt_artifacts_recompile_cleanly() {
+    use symbol_intcode::Layout;
+    use symbol_serve::artifact::{ArtifactKey, PayloadKind};
+    use symbol_serve::cache::ArtifactCache;
+
+    let b = benchmarks::by_name("nreverse").expect("known benchmark");
+    let dir = std::env::temp_dir().join(format!("symbol-determinism-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let obs = symbol_obs::Registry::new();
+    let cache = ArtifactCache::new(&dir, obs.clone()).expect("open cache");
+    let layout = Layout::default();
+    let key = ArtifactKey::emulator(b.source, &layout);
+    let path = cache.path_for(&key, PayloadKind::Emulator);
+
+    // Seed a good artifact and keep its bytes and reference run.
+    let cold = cache.load_compiled(b.source, layout).expect("cold compile");
+    let reference = cold.run_sequential().expect("runs");
+    let good = std::fs::read(&path).expect("artifact exists");
+
+    let corruptions: Vec<(&str, Vec<u8>)> = vec![
+        ("empty file", Vec::new()),
+        ("half the file", good[..good.len() / 2].to_vec()),
+        ("missing checksum", good[..good.len() - 8].to_vec()),
+        ("flipped version byte", {
+            let mut v = good.clone();
+            v[8] ^= 0x01;
+            v
+        }),
+        ("flipped source-hash byte (wrong key)", {
+            let mut v = good.clone();
+            v[12] ^= 0x01;
+            v
+        }),
+        ("flipped payload byte", {
+            let mut v = good.clone();
+            let mid = v.len() / 2;
+            v[mid] ^= 0x80;
+            v
+        }),
+    ];
+    for (what, bytes) in corruptions {
+        std::fs::write(&path, &bytes).expect("plant corruption");
+        let c = cache
+            .load_compiled(b.source, layout)
+            .unwrap_or_else(|e| panic!("{what}: recompile failed: {e}"));
+        assert!(c.front.is_some(), "{what}: must recompile, not deserialize");
+        let run = c.run_sequential().expect("recompiled program runs");
+        assert_eq!(run.steps, reference.steps, "{what}: divergent run");
+        // The recompile healed the cache: the next load is warm again.
+        let warm = cache.load_compiled(b.source, layout).expect("warm");
+        assert!(warm.front.is_none(), "{what}: cache not healed");
+    }
+    assert_eq!(
+        obs.counter("serve.cache.corrupt", &[("kind", "emu")]).get(),
+        6,
+        "every planted corruption was detected"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
