@@ -23,4 +23,4 @@ pub mod obs_report;
 pub mod pipeline;
 
 pub use benchmarks::{Benchmark, ALL};
-pub use pipeline::{Compiled, CompiledCache, PipelineError};
+pub use pipeline::{Compiled, CompiledCache, FusedTier, PipelineError};

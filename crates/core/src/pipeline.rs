@@ -6,8 +6,9 @@ use std::error::Error;
 use std::fmt;
 
 use symbol_bam::BamProgram;
-use symbol_intcode::decode::{DecodedEmulator, DecodedProgram};
-use symbol_intcode::emu::{Emulator, ExecConfig, Outcome, RunResult};
+use symbol_intcode::decode::{DecodedEmulator, DecodedProgram, ExecProfile};
+use symbol_intcode::emu::{Emulator, ExecConfig, ExecStats, Outcome, RunResult};
+use symbol_intcode::fuse::{self, FuseConfig, FusionReport};
 use symbol_intcode::layout::Layout;
 use symbol_intcode::program::IciProgram;
 use symbol_intcode::translate::{self, TranslateError};
@@ -39,6 +40,9 @@ pub enum PipelineError {
     Artifact(symbol_intcode::WireError),
     /// The query failed or produced a wrong (self-checked) answer.
     WrongAnswer,
+    /// [`Compiled::run_sequential_fused`] was called before a fused
+    /// tier was built or attached.
+    NoFusedTier,
 }
 
 impl fmt::Display for PipelineError {
@@ -55,6 +59,9 @@ impl fmt::Display for PipelineError {
             PipelineError::Artifact(e) => write!(f, "artifact: {e}"),
             PipelineError::WrongAnswer => {
                 write!(f, "query failed its self-check (wrong answer)")
+            }
+            PipelineError::NoFusedTier => {
+                write!(f, "fused tier not built (profile the program first)")
             }
         }
     }
@@ -122,6 +129,19 @@ pub struct FrontEnd {
     pub bam: BamProgram,
 }
 
+/// The profile-guided second execution tier: the fused program, what
+/// the fusion pass did, and the hash of the profile it specialized
+/// against (the invalidation token of the serve-layer cache key).
+#[derive(Debug)]
+pub struct FusedTier {
+    /// The re-decoded program with fused superinstructions installed.
+    pub program: DecodedProgram,
+    /// Static and dynamic accounting of the fusion pass.
+    pub report: FusionReport,
+    /// `fuse::profile_hash` of the profile this tier was built from.
+    pub profile_hash: u64,
+}
+
 /// A fully compiled benchmark: the executable representations plus —
 /// when compiled from source — the front-end forms kept for
 /// inspection.
@@ -137,6 +157,10 @@ pub struct Compiled {
     pub decoded: DecodedProgram,
     /// Memory layout the code was generated for.
     pub layout: Layout,
+    /// The fused second tier, once a profiling run has built (or the
+    /// artifact cache has attached) it. `None` until then — cold runs
+    /// execute `decoded`, warm runs execute this.
+    pub fused: Option<FusedTier>,
 }
 
 impl Compiled {
@@ -205,6 +229,7 @@ impl Compiled {
             ici,
             decoded,
             layout,
+            fused: None,
         })
     }
 
@@ -236,6 +261,7 @@ impl Compiled {
             ici,
             decoded,
             layout,
+            fused: None,
         })
     }
 
@@ -292,6 +318,147 @@ impl Compiled {
             return Err(PipelineError::WrongAnswer);
         }
         Ok(result)
+    }
+
+    /// The cold profiling run of the tiering loop: executes the
+    /// decoded program under the profiled monomorphization and returns
+    /// the execution statistics, branch-predictor profile, and step
+    /// count. Deterministic — two profiling runs of the same program
+    /// produce identical profiles (and so an identical
+    /// `fuse::profile_hash`), which is what lets the serve layer
+    /// recover the fused artifact's cache key on a warm path.
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::WrongAnswer`] if the query fails;
+    /// [`PipelineError::Exec`] on machine errors.
+    pub fn profile(&self) -> Result<(ExecStats, ExecProfile, u64), PipelineError> {
+        let (res, stats, steps, profile) = DecodedEmulator::new(&self.decoded, &self.layout)
+            .run_with_profile(&ExecConfig::default());
+        if res? != Outcome::Success {
+            return Err(PipelineError::WrongAnswer);
+        }
+        Ok((stats, profile, steps))
+    }
+
+    /// Builds and installs the fused tier from an already-collected
+    /// profile (the serve layer's path: it profiles once, derives the
+    /// cache key, and only then decides whether to fuse or attach).
+    pub fn attach_fused_from_profile(
+        &mut self,
+        stats: &ExecStats,
+        profile: &ExecProfile,
+    ) -> &FusedTier {
+        let (program, report) = fuse::fuse(&self.decoded, stats, profile, &FuseConfig::default());
+        let profile_hash = fuse::profile_hash(stats, profile);
+        self.fused.insert(FusedTier {
+            program,
+            report,
+            profile_hash,
+        })
+    }
+
+    /// The full cold half of the tiering loop: one profiling run, then
+    /// fusion. After this, [`Compiled::run_sequential_fused`] (and the
+    /// fast path [`Compiled::run_sequential_fast`]) execute the
+    /// specialized program.
+    ///
+    /// # Errors
+    ///
+    /// See [`Compiled::profile`].
+    pub fn build_fused_tier(&mut self) -> Result<&FusedTier, PipelineError> {
+        let (stats, profile, _steps) = self.profile()?;
+        Ok(self.attach_fused_from_profile(&stats, &profile))
+    }
+
+    /// [`Compiled::build_fused_tier`] with the profiling run and the
+    /// fusion pass observed through `obs`: `profile` and `fuse` spans
+    /// labelled with `bench`, plus `fuse.pairs`, `fuse.ops_fused`,
+    /// `fuse.dispatches_saved` counters and a per-mille
+    /// `fuse.coverage_permille` gauge.
+    ///
+    /// # Errors
+    ///
+    /// See [`Compiled::profile`].
+    pub fn build_fused_tier_obs(
+        &mut self,
+        obs: &Registry,
+        bench: &str,
+    ) -> Result<&FusedTier, PipelineError> {
+        let labels: &[(&str, &str)] = &[("bench", bench)];
+        let (stats, profile, _steps) = {
+            let _span = obs.span("profile", labels);
+            self.profile()?
+        };
+        let tier = {
+            let _span = obs.span("fuse", labels);
+            self.attach_fused_from_profile(&stats, &profile)
+        };
+        obs.counter("fuse.pairs", labels).add(tier.report.pairs);
+        obs.counter("fuse.ops_fused", labels)
+            .add(tier.report.ops_fused);
+        obs.counter("fuse.dispatches_saved", labels)
+            .add(tier.report.dispatches_saved);
+        obs.gauge("fuse.coverage_permille", labels)
+            .set((tier.report.coverage() * 1000.0) as i64);
+        Ok(tier)
+    }
+
+    /// Installs a fused tier restored from a serialized artifact,
+    /// cross-checking that it is parallel to this program's IntCode
+    /// (same invariant [`Compiled::from_artifact`] enforces for the
+    /// unfused decoded form).
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::Artifact`] on a length mismatch — a fused
+    /// artifact for some other program.
+    pub fn attach_fused_tier(&mut self, tier: FusedTier) -> Result<(), PipelineError> {
+        if tier.program.len() != self.ici.len() {
+            return Err(PipelineError::Artifact(
+                symbol_intcode::WireError::Corrupt {
+                    what: "fused/intcode consistency",
+                },
+            ));
+        }
+        self.fused = Some(tier);
+        Ok(())
+    }
+
+    /// Runs the sequential emulation on the fused second-tier program.
+    /// Bit-identical to [`Compiled::run_sequential`] — same outcome,
+    /// step count and `ExecStats` — just fewer dispatches.
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::NoFusedTier`] before
+    /// [`Compiled::build_fused_tier`] /
+    /// [`Compiled::attach_fused_tier`]; otherwise see
+    /// [`Compiled::run_sequential`].
+    pub fn run_sequential_fused(&self) -> Result<RunResult, PipelineError> {
+        let tier = self.fused.as_ref().ok_or(PipelineError::NoFusedTier)?;
+        let result =
+            DecodedEmulator::new(&tier.program, &self.layout).run(&ExecConfig::default())?;
+        if result.outcome != Outcome::Success {
+            return Err(PipelineError::WrongAnswer);
+        }
+        Ok(result)
+    }
+
+    /// The tiered entry point: the fused program when a tier is
+    /// installed (warm), the plain decoded program otherwise (cold).
+    /// Both produce bit-identical results, so callers can upgrade a
+    /// running image without behavioral change.
+    ///
+    /// # Errors
+    ///
+    /// See [`Compiled::run_sequential`].
+    pub fn run_sequential_fast(&self) -> Result<RunResult, PipelineError> {
+        if self.fused.is_some() {
+            self.run_sequential_fused()
+        } else {
+            self.run_sequential()
+        }
     }
 }
 
@@ -386,6 +553,81 @@ mod tests {
         assert_eq!(d.steps, l.steps);
         assert_eq!(d.stats.expect, l.stats.expect);
         assert_eq!(d.stats.taken, l.stats.taken);
+    }
+
+    #[test]
+    fn fused_tier_is_bit_identical_to_decoded_and_legacy() {
+        let src = "main :- count(50).
+                   count(0).
+                   count(N) :- N > 0, M is N - 1, count(M).";
+        let mut c = Compiled::from_source(src).unwrap();
+        let d = c.run_sequential().unwrap();
+        let l = c.run_sequential_legacy().unwrap();
+        let tier = c.build_fused_tier().unwrap();
+        assert!(tier.report.pairs > 0, "fusion found hot pairs");
+        assert!(tier.report.coverage() > 0.0);
+        let f = c.run_sequential_fused().unwrap();
+        assert_eq!(f.outcome, d.outcome);
+        assert_eq!(f.steps, d.steps);
+        assert_eq!(f.steps, l.steps);
+        assert_eq!(f.stats.expect, d.stats.expect);
+        assert_eq!(f.stats.taken, d.stats.taken);
+    }
+
+    #[test]
+    fn fast_path_picks_the_installed_tier() {
+        let mut c = Compiled::from_source("main :- X is 2 + 3, X = 5.").unwrap();
+        let cold = c.run_sequential_fast().unwrap();
+        assert!(
+            matches!(
+                c.run_sequential_fused().unwrap_err(),
+                PipelineError::NoFusedTier
+            ),
+            "no tier before profiling"
+        );
+        c.build_fused_tier().unwrap();
+        let warm = c.run_sequential_fast().unwrap();
+        assert_eq!(cold.steps, warm.steps);
+        assert_eq!(cold.stats.expect, warm.stats.expect);
+    }
+
+    #[test]
+    fn profile_and_profile_hash_are_deterministic() {
+        let c = Compiled::from_source("main :- X is 6 * 7, X = 42.").unwrap();
+        let (s1, p1, n1) = c.profile().unwrap();
+        let (s2, p2, n2) = c.profile().unwrap();
+        assert_eq!(n1, n2);
+        assert_eq!(s1.expect, s2.expect);
+        assert_eq!(p1.mispredict, p2.mispredict);
+        assert_eq!(fuse::profile_hash(&s1, &p1), fuse::profile_hash(&s2, &p2));
+    }
+
+    #[test]
+    fn mismatched_fused_tier_is_rejected() {
+        let mut other = Compiled::from_source("main :- 2 = 2.").unwrap();
+        other.build_fused_tier().unwrap();
+        let tier = other.fused.take().unwrap();
+        let mut c = Compiled::from_source("main :- X is 5 * 5, X = 25.").unwrap();
+        let err = c.attach_fused_tier(tier).unwrap_err();
+        assert!(matches!(err, PipelineError::Artifact(_)), "{err}");
+        assert!(c.fused.is_none());
+    }
+
+    #[test]
+    fn fused_tier_obs_counters_account_the_pass() {
+        let obs = Registry::new();
+        let mut c = Compiled::from_source("main :- X is 5 * 5, X = 25.").unwrap();
+        let report = c.build_fused_tier_obs(&obs, "t").unwrap().report.clone();
+        let labels: &[(&str, &str)] = &[("bench", "t")];
+        assert_eq!(obs.counter("fuse.pairs", labels).get(), report.pairs);
+        assert_eq!(
+            obs.counter("fuse.ops_fused", labels).get(),
+            report.ops_fused
+        );
+        assert_eq!(
+            obs.counter("fuse.dispatches_saved", labels).get(),
+            report.dispatches_saved
+        );
     }
 
     #[test]

@@ -4,7 +4,11 @@
 //!
 //! 1. legacy [`Emulator`] vs pre-decoded [`DecodedEmulator`] — must be
 //!    bit-identical on outcome *or error*, step count, and the Expect /
-//!    taken-branch statistics;
+//!    taken-branch statistics; the decoded run is the *profiled*
+//!    monomorphization, whose profile then drives stage 1½: the
+//!    profile-guided [`fuse`] pass rewrites the decoded program and the
+//!    fused engine must match legacy bit for bit too — every generated
+//!    program cross-checks superinstruction fusion from day one;
 //! 2. when the sequential run is clean, the program is compacted for a
 //!    small matrix of `(mode, machine)` configurations via
 //!    [`try_compact`] — an illegal schedule is a finding, and
@@ -22,6 +26,7 @@
 use symbol_compactor::{try_compact, verify_program, CompactMode, TracePolicy};
 use symbol_core::Compiled;
 use symbol_intcode::emu::ExecConfig;
+use symbol_intcode::fuse::{fuse, FuseConfig};
 use symbol_intcode::{DecodedEmulator, DecodedProgram, Emulator, IciProgram, Layout, Outcome};
 use symbol_vliw::{DecodedVliw, DecodedVliwSim, MachineConfig, SimConfig, SimOutcome, VliwSim};
 
@@ -79,6 +84,9 @@ pub enum FailureKind {
     Build,
     /// The two sequential engines disagree.
     SeqDivergence,
+    /// The profile-guided fused engine disagrees with the legacy
+    /// engine (a fusion-pass or fused-step-loop bug).
+    FusedDivergence,
     /// Clean run, wrong answer against the generator's prediction.
     Expectation,
     /// [`try_compact`] (or the explicit [`verify_program`] hook)
@@ -100,6 +108,7 @@ impl FailureKind {
             FailureKind::Pipeline => "pipeline".into(),
             FailureKind::Build => "build".into(),
             FailureKind::SeqDivergence => "seq-divergence".into(),
+            FailureKind::FusedDivergence => "fused-divergence".into(),
             FailureKind::Expectation => "expectation".into(),
             FailureKind::CompactViolation(i) => format!("compact-violation-{i}"),
             FailureKind::VliwDivergence(i) => format!("vliw-divergence-{i}"),
@@ -116,6 +125,7 @@ impl FailureKind {
             "pipeline" => Some(FailureKind::Pipeline),
             "build" => Some(FailureKind::Build),
             "seq-divergence" => Some(FailureKind::SeqDivergence),
+            "fused-divergence" => Some(FailureKind::FusedDivergence),
             "expectation" => Some(FailureKind::Expectation),
             "panic" => Some(FailureKind::Panic),
             _ => indexed("compact-violation-")
@@ -206,7 +216,8 @@ fn check_program(
     // Stage 1: the two sequential engines, compared bit for bit.
     let (lr, lstats, lsteps) = Emulator::new(ici, layout).run_with_stats(&exec_cfg);
     let decoded = DecodedProgram::new(ici);
-    let (dr, dstats, dsteps) = DecodedEmulator::new(&decoded, layout).run_with_stats(&exec_cfg);
+    let (dr, dstats, dsteps, dprof) =
+        DecodedEmulator::new(&decoded, layout).run_with_profile(&exec_cfg);
     if lr != dr
         || lsteps != dsteps
         || lstats.expect != dstats.expect
@@ -215,6 +226,22 @@ fn check_program(
         return Err(Failure {
             kind: FailureKind::SeqDivergence,
             detail: format!("legacy: {lr:?} in {lsteps} steps; decoded: {dr:?} in {dsteps} steps"),
+        });
+    }
+
+    // Stage 1½: the profile-guided fused engine, against the legacy
+    // baseline. Fusion must be behavior-preserving on *every* program
+    // the generator can produce, errors and step limits included.
+    let (fused, _report) = fuse(&decoded, &dstats, &dprof, &FuseConfig::default());
+    let (fr, fstats, fsteps) = DecodedEmulator::new(&fused, layout).run_with_stats(&exec_cfg);
+    if lr != fr
+        || lsteps != fsteps
+        || lstats.expect != fstats.expect
+        || lstats.taken != fstats.taken
+    {
+        return Err(Failure {
+            kind: FailureKind::FusedDivergence,
+            detail: format!("legacy: {lr:?} in {lsteps} steps; fused: {fr:?} in {fsteps} steps"),
         });
     }
 
@@ -310,6 +337,7 @@ mod tests {
             FailureKind::Pipeline,
             FailureKind::Build,
             FailureKind::SeqDivergence,
+            FailureKind::FusedDivergence,
             FailureKind::Expectation,
             FailureKind::CompactViolation(2),
             FailureKind::VliwDivergence(0),

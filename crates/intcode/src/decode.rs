@@ -74,6 +74,140 @@ pub(crate) enum MicroOp {
     JmpR { r: u32 },
     /// Stop the machine.
     Halt { success: bool },
+
+    // -----------------------------------------------------------------
+    // Fused superinstructions (the profile-guided second tier, built by
+    // [`crate::fuse::fuse`]). Each record executes TWO source ops in
+    // one dispatch; the head constituent runs at index `at` and the
+    // second at `at + 1`, and every piece of architectural bookkeeping
+    // — step-limit check, step count, Expect/taken statistics, trace
+    // entries, error `at` fields, predictor state — is accounted under
+    // the constituent's own index, so a fused program is bit-identical
+    // to the unfused one. Legality (the interior pc is never a branch
+    // target) is the fusion pass's responsibility; the wire decoder
+    // re-validates the structural part (a fused record never sits at
+    // the last index, so `at + 1` stays in bounds).
+    // -----------------------------------------------------------------
+    /// `AluRR` at `at` fused with `BrRR` at `at + 1`.
+    CmpBrRR {
+        op: AluOp,
+        cond: Cond,
+        d: u32,
+        a: u32,
+        b: u32,
+        ba: u32,
+        bb: u32,
+        t: u32,
+    },
+    /// `AluRI` at `at` fused with `BrRI` at `at + 1` (both immediates
+    /// narrowed to `i32` so the record stays within the 32-byte cap).
+    CmpBrRI {
+        op: AluOp,
+        cond: Cond,
+        d: u32,
+        a: u32,
+        imm: i32,
+        ba: u32,
+        bimm: i32,
+        t: u32,
+    },
+    /// `BrTag` at `at` fused with `Ld` at `at + 1`: the tag check
+    /// either branches away or falls through into the dereferencing
+    /// load (the paper's tag-check + deref chain).
+    TagDeref {
+        a: u32,
+        tag: Tag,
+        eq: bool,
+        t: u32,
+        d: u32,
+        base: u32,
+        off: i32,
+    },
+    /// `Mv` at `at` fused with `St` at `at + 1`.
+    MvSt {
+        d: u32,
+        s: u32,
+        s2: u32,
+        base: u32,
+        off: i32,
+    },
+    /// `Ld` at `at` fused with `Mv` at `at + 1`.
+    LdMv {
+        d: u32,
+        base: u32,
+        off: i32,
+        d2: u32,
+        s: u32,
+    },
+    /// `MvI` at `at` (an `Int` word whose value fits `i32`, folded into
+    /// the record as a plain immediate) fused with an `AluRR` at
+    /// `at + 1` that consumes the freshly written register.
+    MvIAlu {
+        d: u32,
+        imm: i32,
+        op: AluOp,
+        d2: u32,
+        a: u32,
+        b: u32,
+    },
+}
+
+impl MicroOp {
+    /// Whether this record is a fused superinstruction (executes two
+    /// constituent ops; requires `at + 1` to be a valid index).
+    pub(crate) fn is_fused(self) -> bool {
+        matches!(
+            self,
+            MicroOp::CmpBrRR { .. }
+                | MicroOp::CmpBrRI { .. }
+                | MicroOp::TagDeref { .. }
+                | MicroOp::MvSt { .. }
+                | MicroOp::LdMv { .. }
+                | MicroOp::MvIAlu { .. }
+        )
+    }
+}
+
+/// Marks every pc that control flow can enter other than by falling
+/// through from `pc - 1`: direct branch/jump targets, every bound
+/// label (reachable through `JmpR`), and the entry pc. The fusion pass
+/// refuses to bury one of these as the interior of a fused pair —
+/// fusing it would make the incoming edge skip the head constituent.
+pub(crate) fn compute_branch_targets(
+    micro: &[MicroOp],
+    label_pc: &[u32],
+    entry_pc: usize,
+) -> Vec<bool> {
+    let n = micro.len();
+    let mut bt = vec![false; n];
+    let mut mark = |t: u32| {
+        if let Some(slot) = bt.get_mut(t as usize) {
+            *slot = true;
+        }
+    };
+    for &m in micro {
+        match m {
+            MicroOp::BrRR { t, .. }
+            | MicroOp::BrRI { t, .. }
+            | MicroOp::BrTag { t, .. }
+            | MicroOp::BrWord { t, .. }
+            | MicroOp::BrWEq { t, .. }
+            | MicroOp::Jmp { t }
+            | MicroOp::CmpBrRR { t, .. }
+            | MicroOp::CmpBrRI { t, .. }
+            | MicroOp::TagDeref { t, .. } => mark(t),
+            _ => {}
+        }
+    }
+    for &pc in label_pc {
+        if pc != u32::MAX {
+            mark(pc);
+        }
+    }
+    if let Some(slot) = bt.get_mut(entry_pc) {
+        *slot = true;
+    }
+    bt
 }
 
 /// An [`IciProgram`] lowered to the flat micro-op form.
@@ -90,6 +224,11 @@ pub struct DecodedProgram {
     pub(crate) entry_pc: usize,
     /// Register file size (highest register id used, plus one).
     pub(crate) num_regs: usize,
+    /// Per-pc "control flow can enter here other than by fall-through"
+    /// bitmap (see [`compute_branch_targets`]), built at decode time
+    /// and consumed by the fusion pass's legality check. Derived, never
+    /// serialized: the wire codec recomputes it on decode.
+    pub(crate) branch_targets: Vec<bool>,
 }
 
 impl DecodedProgram {
@@ -201,11 +340,30 @@ impl DecodedProgram {
             .map(|r| r.0 as usize + 1)
             .max()
             .unwrap_or(1);
+        Self::from_parts(
+            micro,
+            label_pc,
+            program.label_addr(program.entry()),
+            num_regs,
+        )
+    }
+
+    /// Assembles a program from already-validated parts, recomputing
+    /// the derived branch-target bitmap. Shared by [`DecodedProgram::new`],
+    /// the wire decoder and the fusion pass.
+    pub(crate) fn from_parts(
+        micro: Vec<MicroOp>,
+        label_pc: Vec<u32>,
+        entry_pc: usize,
+        num_regs: usize,
+    ) -> Self {
+        let branch_targets = compute_branch_targets(&micro, &label_pc, entry_pc);
         DecodedProgram {
             micro,
             label_pc,
-            entry_pc: program.label_addr(program.entry()),
+            entry_pc,
             num_regs,
+            branch_targets,
         }
     }
 
@@ -217,6 +375,13 @@ impl DecodedProgram {
     /// Whether the program is empty.
     pub fn is_empty(&self) -> bool {
         self.micro.is_empty()
+    }
+
+    /// Whether control flow can reach `pc` other than by falling
+    /// through from `pc - 1` (branch/jump target, bound label, or the
+    /// entry point).
+    pub fn is_branch_target(&self, pc: usize) -> bool {
+        self.branch_targets.get(pc).copied().unwrap_or(false)
     }
 }
 
@@ -463,27 +628,56 @@ impl<'a> DecodedEmulator<'a> {
                     break Err($e);
                 }};
             }
-            macro_rules! branch {
-                ($cond:expr, $t:expr) => {{
-                    let taken_now = $cond;
+            // Predictor update for the branch constituent at index `$i`
+            // (`at` for plain branches, `at + 1` for a fused
+            // compare-and-branch whose branch is the second half).
+            macro_rules! predict {
+                ($taken:expr, $i:expr) => {
                     if PROFILE {
                         // 2-bit saturating counter: 00/01 predict not
                         // taken, 10/11 predict taken.
-                        let state = predictor[at];
-                        if (state >= 2) != taken_now {
-                            mispredict[at] += 1;
+                        let state = predictor[$i];
+                        if (state >= 2) != $taken {
+                            mispredict[$i] += 1;
                         }
-                        predictor[at] = if taken_now {
+                        predictor[$i] = if $taken {
                             (state + 1).min(3)
                         } else {
                             state.saturating_sub(1)
                         };
                     }
+                };
+            }
+            macro_rules! branch {
+                ($cond:expr, $t:expr, $i:expr) => {{
+                    let taken_now = $cond;
+                    predict!(taken_now, $i);
                     if taken_now {
-                        taken[at] += 1;
+                        taken[$i] += 1;
                         pc = $t as usize;
                     } else {
-                        pc = at + 1;
+                        pc = $i + 1;
+                    }
+                }};
+            }
+            // The second constituent of a fused pair: repeats, under
+            // index `at + 1`, exactly the bookkeeping the loop header
+            // did for the head — step-limit check first, then the step
+            // count, Expect count and trace entry — so a fused run is
+            // bit-identical to the unfused one even when the limit
+            // lands between the two halves.
+            macro_rules! second {
+                () => {{
+                    if *steps >= max_steps {
+                        fail!(ExecError::StepLimit { limit: max_steps });
+                    }
+                    *steps += 1;
+                    expect[at + 1] += 1;
+                    if TRACE {
+                        if trace.len() == *trace_cap {
+                            trace.pop_front();
+                        }
+                        trace.push_back(at + 1);
                     }
                 }};
             }
@@ -552,19 +746,19 @@ impl<'a> DecodedEmulator<'a> {
                     pc = at + 1;
                 }
                 MicroOp::BrRR { cond, a, b, t } => {
-                    branch!(cond.eval(regs[a as usize].val, regs[b as usize].val), t);
+                    branch!(cond.eval(regs[a as usize].val, regs[b as usize].val), t, at);
                 }
                 MicroOp::BrRI { cond, a, imm, t } => {
-                    branch!(cond.eval(regs[a as usize].val, imm), t);
+                    branch!(cond.eval(regs[a as usize].val, imm), t, at);
                 }
                 MicroOp::BrTag { a, tag, eq, t } => {
-                    branch!((regs[a as usize].tag == tag) == eq, t);
+                    branch!((regs[a as usize].tag == tag) == eq, t, at);
                 }
                 MicroOp::BrWord { a, w, eq, t } => {
-                    branch!((regs[a as usize] == w) == eq, t);
+                    branch!((regs[a as usize] == w) == eq, t, at);
                 }
                 MicroOp::BrWEq { a, b, eq, t } => {
-                    branch!((regs[a as usize] == regs[b as usize]) == eq, t);
+                    branch!((regs[a as usize] == regs[b as usize]) == eq, t, at);
                 }
                 MicroOp::Jmp { t } => {
                     pc = t as usize;
@@ -589,6 +783,121 @@ impl<'a> DecodedEmulator<'a> {
                     } else {
                         Outcome::Failure
                     });
+                }
+                MicroOp::CmpBrRR {
+                    op,
+                    cond,
+                    d,
+                    a,
+                    b,
+                    ba,
+                    bb,
+                    t,
+                } => {
+                    let av = regs[a as usize].val;
+                    let bv = regs[b as usize].val;
+                    match op.eval(av, bv) {
+                        Some(v) => regs[d as usize] = Word::int(v),
+                        None => fail!(ExecError::DivideByZero { at }),
+                    }
+                    second!();
+                    branch!(
+                        cond.eval(regs[ba as usize].val, regs[bb as usize].val),
+                        t,
+                        at + 1
+                    );
+                }
+                MicroOp::CmpBrRI {
+                    op,
+                    cond,
+                    d,
+                    a,
+                    imm,
+                    ba,
+                    bimm,
+                    t,
+                } => {
+                    let av = regs[a as usize].val;
+                    match op.eval(av, imm as i64) {
+                        Some(v) => regs[d as usize] = Word::int(v),
+                        None => fail!(ExecError::DivideByZero { at }),
+                    }
+                    second!();
+                    branch!(cond.eval(regs[ba as usize].val, bimm as i64), t, at + 1);
+                }
+                MicroOp::TagDeref {
+                    a,
+                    tag,
+                    eq,
+                    t,
+                    d,
+                    base,
+                    off,
+                } => {
+                    let taken_now = (regs[a as usize].tag == tag) == eq;
+                    predict!(taken_now, at);
+                    if taken_now {
+                        taken[at] += 1;
+                        pc = t as usize;
+                    } else {
+                        second!();
+                        let addr = regs[base as usize].val + off as i64;
+                        match load(mem, addr, at + 1) {
+                            Ok(w) => regs[d as usize] = w,
+                            Err(e) => fail!(e),
+                        }
+                        pc = at + 2;
+                    }
+                }
+                MicroOp::MvSt {
+                    d,
+                    s,
+                    s2,
+                    base,
+                    off,
+                } => {
+                    regs[d as usize] = regs[s as usize];
+                    second!();
+                    let addr = regs[base as usize].val + off as i64;
+                    let w = regs[s2 as usize];
+                    if let Err(e) = store(mem, addr, w, at + 1) {
+                        fail!(e);
+                    }
+                    pc = at + 2;
+                }
+                MicroOp::LdMv {
+                    d,
+                    base,
+                    off,
+                    d2,
+                    s,
+                } => {
+                    let addr = regs[base as usize].val + off as i64;
+                    match load(mem, addr, at) {
+                        Ok(w) => regs[d as usize] = w,
+                        Err(e) => fail!(e),
+                    }
+                    second!();
+                    regs[d2 as usize] = regs[s as usize];
+                    pc = at + 2;
+                }
+                MicroOp::MvIAlu {
+                    d,
+                    imm,
+                    op,
+                    d2,
+                    a,
+                    b,
+                } => {
+                    regs[d as usize] = Word::int(imm as i64);
+                    second!();
+                    let av = regs[a as usize].val;
+                    let bv = regs[b as usize].val;
+                    match op.eval(av, bv) {
+                        Some(v) => regs[d2 as usize] = Word::int(v),
+                        None => fail!(ExecError::DivideByZero { at: at + 1 }),
+                    }
+                    pc = at + 2;
                 }
             }
         };

@@ -451,6 +451,23 @@ mod tests {
     }
 
     #[test]
+    fn hot_pcs_ordering_is_deterministic_with_tied_counts() {
+        // Equal counts must tie-break on ascending pc, so a
+        // profile-guided re-decode sees the same ranking every run.
+        let stats = ExecStats {
+            expect: vec![5, 0, 7, 5, 7, 1, 5],
+            taken: vec![0; 7],
+        };
+        assert_eq!(
+            stats.hot_pcs(7),
+            vec![(2, 7), (4, 7), (0, 5), (3, 5), (6, 5), (5, 1)],
+            "count descending, pc ascending on ties, zero counts omitted"
+        );
+        assert_eq!(stats.hot_pcs(3), vec![(2, 7), (4, 7), (0, 5)]);
+        assert_eq!(stats.hot_pcs(0), vec![]);
+    }
+
+    #[test]
     fn halt_success() {
         let r = run_ops(|a| {
             let e = a.fresh_label();

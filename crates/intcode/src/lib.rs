@@ -14,7 +14,13 @@
 //! * the pre-decoded micro-op engine ([`decode::DecodedProgram`] +
 //!   [`decode::DecodedEmulator`]) — the default execution path of the
 //!   evaluation pipeline, bit-identical to the legacy interpreter but
-//!   substantially faster per step.
+//!   substantially faster per step, and
+//! * the profile-guided [`fuse()`] pass — the second tier: hot
+//!   straight-line pairs from a `run_with_profile` execution profile
+//!   are re-decoded into fused superinstructions
+//!   (compare-and-branch, tag-check-and-deref, move+store, ...) that
+//!   halve dispatch on the covered dynamic ops while staying
+//!   bit-identical to both unfused engines.
 //!
 //! ```
 //! use symbol_prolog::parse_program;
@@ -38,6 +44,7 @@
 pub mod asm;
 pub mod decode;
 pub mod emu;
+pub mod fuse;
 pub mod layout;
 pub mod op;
 pub mod program;
@@ -48,6 +55,7 @@ pub mod word;
 pub use asm::Asm;
 pub use decode::{DecodedEmulator, DecodedProgram, ExecProfile};
 pub use emu::{Emulator, ExecConfig, ExecError, ExecStats, Outcome, RunResult};
+pub use fuse::{fuse, profile_hash, FuseConfig, FusionReport};
 pub use layout::Layout;
 pub use op::{AluOp, Cond, Label, Op, OpClass, Operand, R};
 pub use program::{IciProgram, ProgramError};

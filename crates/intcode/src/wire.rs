@@ -834,6 +834,108 @@ fn put_micro(w: &mut Writer, m: MicroOp) {
             w.u8(16);
             w.bool(success);
         }
+        MicroOp::CmpBrRR {
+            op,
+            cond,
+            d,
+            a,
+            b,
+            ba,
+            bb,
+            t,
+        } => {
+            w.u8(17);
+            put_alu(w, op);
+            put_cond(w, cond);
+            w.u32(d);
+            w.u32(a);
+            w.u32(b);
+            w.u32(ba);
+            w.u32(bb);
+            w.u32(t);
+        }
+        MicroOp::CmpBrRI {
+            op,
+            cond,
+            d,
+            a,
+            imm,
+            ba,
+            bimm,
+            t,
+        } => {
+            w.u8(18);
+            put_alu(w, op);
+            put_cond(w, cond);
+            w.u32(d);
+            w.u32(a);
+            w.i32(imm);
+            w.u32(ba);
+            w.i32(bimm);
+            w.u32(t);
+        }
+        MicroOp::TagDeref {
+            a,
+            tag,
+            eq,
+            t,
+            d,
+            base,
+            off,
+        } => {
+            w.u8(19);
+            w.u32(a);
+            put_tag(w, tag);
+            w.bool(eq);
+            w.u32(t);
+            w.u32(d);
+            w.u32(base);
+            w.i32(off);
+        }
+        MicroOp::MvSt {
+            d,
+            s,
+            s2,
+            base,
+            off,
+        } => {
+            w.u8(20);
+            w.u32(d);
+            w.u32(s);
+            w.u32(s2);
+            w.u32(base);
+            w.i32(off);
+        }
+        MicroOp::LdMv {
+            d,
+            base,
+            off,
+            d2,
+            s,
+        } => {
+            w.u8(21);
+            w.u32(d);
+            w.u32(base);
+            w.i32(off);
+            w.u32(d2);
+            w.u32(s);
+        }
+        MicroOp::MvIAlu {
+            d,
+            imm,
+            op,
+            d2,
+            a,
+            b,
+        } => {
+            w.u8(22);
+            w.u32(d);
+            w.i32(imm);
+            put_alu(w, op);
+            w.u32(d2);
+            w.u32(a);
+            w.u32(b);
+        }
     }
 }
 
@@ -917,6 +1019,57 @@ fn get_micro(r: &mut Reader<'_>) -> Result<MicroOp, WireError> {
         14 => MicroOp::Jmp { t: r.u32()? },
         15 => MicroOp::JmpR { r: r.u32()? },
         16 => MicroOp::Halt { success: r.bool()? },
+        17 => MicroOp::CmpBrRR {
+            op: get_alu(r)?,
+            cond: get_cond(r)?,
+            d: r.u32()?,
+            a: r.u32()?,
+            b: r.u32()?,
+            ba: r.u32()?,
+            bb: r.u32()?,
+            t: r.u32()?,
+        },
+        18 => MicroOp::CmpBrRI {
+            op: get_alu(r)?,
+            cond: get_cond(r)?,
+            d: r.u32()?,
+            a: r.u32()?,
+            imm: r.i32()?,
+            ba: r.u32()?,
+            bimm: r.i32()?,
+            t: r.u32()?,
+        },
+        19 => MicroOp::TagDeref {
+            a: r.u32()?,
+            tag: get_tag(r)?,
+            eq: r.bool()?,
+            t: r.u32()?,
+            d: r.u32()?,
+            base: r.u32()?,
+            off: r.i32()?,
+        },
+        20 => MicroOp::MvSt {
+            d: r.u32()?,
+            s: r.u32()?,
+            s2: r.u32()?,
+            base: r.u32()?,
+            off: r.i32()?,
+        },
+        21 => MicroOp::LdMv {
+            d: r.u32()?,
+            base: r.u32()?,
+            off: r.i32()?,
+            d2: r.u32()?,
+            s: r.u32()?,
+        },
+        22 => MicroOp::MvIAlu {
+            d: r.u32()?,
+            imm: r.i32()?,
+            op: get_alu(r)?,
+            d2: r.u32()?,
+            a: r.u32()?,
+            b: r.u32()?,
+        },
         v => {
             return Err(WireError::BadTag {
                 what: "MicroOp",
@@ -929,25 +1082,33 @@ fn get_micro(r: &mut Reader<'_>) -> Result<MicroOp, WireError> {
 /// The registers a micro-op indexes (def and uses alike) — everything
 /// that must be below the register-file size for the step loop to be
 /// in-bounds by construction.
-fn micro_regs(m: MicroOp) -> [u32; 3] {
+fn micro_regs(m: MicroOp) -> [u32; 5] {
     const NO: u32 = 0;
     match m {
-        MicroOp::Ld { d, base, .. } => [d, base, NO],
-        MicroOp::St { s, base, .. } => [s, base, NO],
-        MicroOp::Mv { d, s } => [d, s, NO],
-        MicroOp::MvI { d, .. } => [d, NO, NO],
-        MicroOp::AluRR { d, a, b, .. } => [d, a, b],
-        MicroOp::AluRI { d, a, .. } => [d, a, NO],
-        MicroOp::AddARR { d, a, b } => [d, a, b],
-        MicroOp::AddARI { d, a, .. } => [d, a, NO],
-        MicroOp::MkTag { d, s, .. } => [d, s, NO],
-        MicroOp::BrRR { a, b, .. } => [a, b, NO],
-        MicroOp::BrRI { a, .. } => [a, NO, NO],
-        MicroOp::BrTag { a, .. } => [a, NO, NO],
-        MicroOp::BrWord { a, .. } => [a, NO, NO],
-        MicroOp::BrWEq { a, b, .. } => [a, b, NO],
-        MicroOp::Jmp { .. } | MicroOp::Halt { .. } => [NO, NO, NO],
-        MicroOp::JmpR { r } => [r, NO, NO],
+        MicroOp::Ld { d, base, .. } => [d, base, NO, NO, NO],
+        MicroOp::St { s, base, .. } => [s, base, NO, NO, NO],
+        MicroOp::Mv { d, s } => [d, s, NO, NO, NO],
+        MicroOp::MvI { d, .. } => [d, NO, NO, NO, NO],
+        MicroOp::AluRR { d, a, b, .. } => [d, a, b, NO, NO],
+        MicroOp::AluRI { d, a, .. } => [d, a, NO, NO, NO],
+        MicroOp::AddARR { d, a, b } => [d, a, b, NO, NO],
+        MicroOp::AddARI { d, a, .. } => [d, a, NO, NO, NO],
+        MicroOp::MkTag { d, s, .. } => [d, s, NO, NO, NO],
+        MicroOp::BrRR { a, b, .. } => [a, b, NO, NO, NO],
+        MicroOp::BrRI { a, .. } => [a, NO, NO, NO, NO],
+        MicroOp::BrTag { a, .. } => [a, NO, NO, NO, NO],
+        MicroOp::BrWord { a, .. } => [a, NO, NO, NO, NO],
+        MicroOp::BrWEq { a, b, .. } => [a, b, NO, NO, NO],
+        MicroOp::Jmp { .. } | MicroOp::Halt { .. } => [NO, NO, NO, NO, NO],
+        MicroOp::JmpR { r } => [r, NO, NO, NO, NO],
+        MicroOp::CmpBrRR {
+            d, a, b, ba, bb, ..
+        } => [d, a, b, ba, bb],
+        MicroOp::CmpBrRI { d, a, ba, .. } => [d, a, ba, NO, NO],
+        MicroOp::TagDeref { a, d, base, .. } => [a, d, base, NO, NO],
+        MicroOp::MvSt { d, s, s2, base, .. } => [d, s, s2, base, NO],
+        MicroOp::LdMv { d, base, d2, s, .. } => [d, base, d2, s, NO],
+        MicroOp::MvIAlu { d, d2, a, b, .. } => [d, d2, a, b, NO],
     }
 }
 
@@ -1016,7 +1177,7 @@ impl DecodedProgram {
             return Err(WireError::BadValue { what: "entry pc" });
         }
         let in_prog = |t: u32| (t as usize) <= n;
-        for &m in &micro {
+        for (i, &m) in micro.iter().enumerate() {
             for reg in micro_regs(m) {
                 if reg as usize >= num_regs {
                     return Err(WireError::BadValue {
@@ -1030,12 +1191,25 @@ impl DecodedProgram {
                 | MicroOp::BrTag { t, .. }
                 | MicroOp::BrWord { t, .. }
                 | MicroOp::BrWEq { t, .. }
-                | MicroOp::Jmp { t } => in_prog(t),
+                | MicroOp::Jmp { t }
+                | MicroOp::CmpBrRR { t, .. }
+                | MicroOp::CmpBrRI { t, .. }
+                | MicroOp::TagDeref { t, .. } => in_prog(t),
                 _ => true,
             };
             if !target_ok {
                 return Err(WireError::BadValue {
                     what: "branch target",
+                });
+            }
+            // A fused record accounts its second constituent at pc
+            // `i + 1`; at the last index that slot does not exist and
+            // the step loop would index its stats arrays out of
+            // bounds. The fusion pass can never produce this (it needs
+            // a real second op), so reject it as corrupt.
+            if m.is_fused() && i + 1 >= n {
+                return Err(WireError::BadValue {
+                    what: "fused op position",
                 });
             }
         }
@@ -1046,12 +1220,12 @@ impl DecodedProgram {
                 });
             }
         }
-        Ok(DecodedProgram {
-            micro,
-            label_pc,
-            entry_pc,
-            num_regs,
-        })
+        // `from_parts` recomputes the branch-target bitmap — it is
+        // derived state and deliberately not serialized, which keeps
+        // round trips byte-exact across fused and unfused programs.
+        Ok(DecodedProgram::from_parts(
+            micro, label_pc, entry_pc, num_regs,
+        ))
     }
 
     /// Decodes a standalone byte vector (the inverse of
@@ -1150,6 +1324,66 @@ mod tests {
         assert_eq!(n1, n2);
         assert_eq!(s1.expect, s2.expect);
         assert_eq!(s1.taken, s2.taken);
+    }
+
+    #[test]
+    fn fused_round_trip_is_byte_exact_and_runs_identically() {
+        use crate::decode::DecodedEmulator;
+        use crate::emu::ExecConfig;
+        use crate::fuse::{fuse, FuseConfig};
+        use crate::layout::Layout;
+
+        let layout = Layout {
+            heap_size: 64,
+            env_size: 64,
+            cp_size: 64,
+            trail_size: 64,
+            pdl_size: 64,
+        };
+        let cfg = ExecConfig::default();
+        let d = DecodedProgram::new(&sample_program());
+        let (_, stats, _, profile) = DecodedEmulator::new(&d, &layout).run_with_profile(&cfg);
+        let (fused, report) = fuse(&d, &stats, &profile, &FuseConfig::default());
+        assert!(report.pairs > 0, "sample loop must fuse");
+        let bytes = fused.to_wire_bytes();
+        let back = DecodedProgram::from_wire_bytes(&bytes).expect("decodes");
+        assert_eq!(bytes, back.to_wire_bytes(), "re-encode must be byte-exact");
+        let (r1, s1, n1) = DecodedEmulator::new(&fused, &layout).run_with_stats(&cfg);
+        let (r2, s2, n2) = DecodedEmulator::new(&back, &layout).run_with_stats(&cfg);
+        assert_eq!(r1, r2);
+        assert_eq!(n1, n2);
+        assert_eq!(s1.expect, s2.expect);
+        assert_eq!(s1.taken, s2.taken);
+    }
+
+    #[test]
+    fn fused_op_at_last_index_is_rejected() {
+        // A fused record accounts its interior at pc+1; a hand-crafted
+        // artifact placing one at the end must be rejected, not allowed
+        // to index the stats arrays out of bounds.
+        let mut w = Writer::new();
+        w.count(1);
+        put_micro(
+            &mut w,
+            MicroOp::CmpBrRI {
+                op: AluOp::Add,
+                cond: Cond::Lt,
+                d: 0,
+                a: 0,
+                imm: 1,
+                ba: 0,
+                bimm: 10,
+                t: 0,
+            },
+        );
+        w.count(0); // labels
+        w.u64(0); // entry pc
+        w.u64(1); // num_regs
+        let err = DecodedProgram::from_wire_bytes(&w.into_bytes()).unwrap_err();
+        assert!(
+            matches!(err, WireError::BadValue { what } if what == "fused op position"),
+            "{err}"
+        );
     }
 
     #[test]

@@ -1,11 +1,14 @@
 //! The on-disk compiled-artifact container.
 //!
 //! An artifact is a single file holding everything the serving tier
-//! needs to answer queries without re-running the front end: either an
+//! needs to answer queries without re-running the front end: an
 //! *emulator image* (the IntCode, its pre-decoded micro-op form and
-//! the memory layout it was generated for) or a *VLIW image* (the
+//! the memory layout it was generated for), a *VLIW image* (the
 //! pre-decoded issue records of a scheduled program, machine
-//! configuration included).
+//! configuration included), or a *fused image* (the profile-guided
+//! superinstruction tier: the fused [`DecodedProgram`] plus the hash
+//! of the execution profile it specialized against and the fusion
+//! report).
 //!
 //! ## Container layout
 //!
@@ -18,7 +21,7 @@
 //! 8       4     format version (u32) = FORMAT_VERSION
 //! 12      8     source hash   (FNV-1a 64 of the Prolog source text)
 //! 20      8     config hash   (FNV-1a 64 of the canonical config bytes)
-//! 28      1     payload kind  (0 = emulator image, 1 = VLIW image)
+//! 28      1     payload kind  (0 = emulator, 1 = VLIW, 2 = fused)
 //! 29      8     payload length in bytes (u64)
 //! 37      n     payload (length-prefixed sections, see below)
 //! 37+n    8     checksum: FNV-1a 64 over bytes [0, 37+n)
@@ -27,7 +30,12 @@
 //! The emulator payload is three length-prefixed sections — IntCode
 //! wire bytes, decoded-program wire bytes, then the five [`Layout`]
 //! sizes as `u64`s. The VLIW payload is one section of
-//! [`DecodedVliw`] wire bytes (which embed the machine config).
+//! [`DecodedVliw`] wire bytes (which embed the machine config). The
+//! fused payload is one section of fused decoded-program wire bytes,
+//! then the profile hash (`u64`) and the serialized
+//! [`FusionReport`]; its cache key folds the profile hash into the
+//! config hash, so a changed profile is a different artifact — stale
+//! specializations can never be served.
 //!
 //! Decoding never panics: every failure mode — wrong magic, unknown
 //! version, truncation, checksum mismatch, malformed payload — comes
@@ -35,6 +43,7 @@
 //! way (drop the entry, recompile).
 
 use symbol_intcode::decode::DecodedProgram;
+use symbol_intcode::fuse::FusionReport;
 use symbol_intcode::program::IciProgram;
 use symbol_intcode::wire::{fnv1a64, Reader, WireError, Writer};
 use symbol_intcode::Layout;
@@ -57,6 +66,9 @@ pub enum PayloadKind {
     Emulator,
     /// Pre-decoded VLIW issue records (machine config embedded).
     Vliw,
+    /// The profile-guided fused tier of an emulator image (the warm
+    /// path of the two-tier serving loop).
+    Fused,
 }
 
 impl PayloadKind {
@@ -64,6 +76,7 @@ impl PayloadKind {
         match self {
             PayloadKind::Emulator => 0,
             PayloadKind::Vliw => 1,
+            PayloadKind::Fused => 2,
         }
     }
 
@@ -71,6 +84,7 @@ impl PayloadKind {
         match b {
             0 => Ok(PayloadKind::Emulator),
             1 => Ok(PayloadKind::Vliw),
+            2 => Ok(PayloadKind::Fused),
             v => Err(WireError::BadTag {
                 what: "payload kind",
                 value: u32::from(v),
@@ -83,6 +97,7 @@ impl PayloadKind {
         match self {
             PayloadKind::Emulator => "emu",
             PayloadKind::Vliw => "vliw",
+            PayloadKind::Fused => "fused",
         }
     }
 }
@@ -145,6 +160,21 @@ impl ArtifactKey {
         }
     }
 
+    /// Key of the fused second-tier image of `source` under `layout`,
+    /// specialized against the profile hashed as `profile_hash`. The
+    /// profile hash is folded into the config hash: a new profile (new
+    /// source behavior, different layout, changed predictor) yields a
+    /// new key, which is exactly the invalidation the fused tier needs.
+    pub fn fused(source: &str, layout: &Layout, profile_hash: u64) -> Self {
+        let mut w = Writer::new();
+        layout_bytes(&mut w, layout);
+        w.u64(profile_hash);
+        ArtifactKey {
+            source_hash: fnv1a64(source.as_bytes()),
+            config_hash: fnv1a64(&w.into_bytes()),
+        }
+    }
+
     /// Canonical file name of this key's artifact of the given kind.
     pub fn file_name(&self, kind: PayloadKind) -> String {
         format!(
@@ -173,6 +203,15 @@ pub enum Payload {
         /// Pre-decoded issue records.
         decoded: DecodedVliw,
     },
+    /// Fused second-tier image.
+    Fused {
+        /// The fused decoded program.
+        fused: DecodedProgram,
+        /// Hash of the execution profile the fusion consumed.
+        profile_hash: u64,
+        /// What the fusion pass did (for metrics on attach).
+        report: FusionReport,
+    },
 }
 
 impl Payload {
@@ -181,6 +220,7 @@ impl Payload {
         match self {
             Payload::Emulator { .. } => PayloadKind::Emulator,
             Payload::Vliw { .. } => PayloadKind::Vliw,
+            Payload::Fused { .. } => PayloadKind::Fused,
         }
     }
 }
@@ -240,6 +280,20 @@ pub fn encode_emulator(
 /// Encodes a VLIW image.
 pub fn encode_vliw(key: &ArtifactKey, decoded: &DecodedVliw) -> Vec<u8> {
     encode(key, PayloadKind::Vliw, &decoded.to_wire_bytes())
+}
+
+/// Encodes a fused second-tier image.
+pub fn encode_fused(
+    key: &ArtifactKey,
+    fused: &DecodedProgram,
+    profile_hash: u64,
+    report: &FusionReport,
+) -> Vec<u8> {
+    let mut w = Writer::new();
+    put_section(&mut w, &fused.to_wire_bytes());
+    w.u64(profile_hash);
+    report.encode_into(&mut w);
+    encode(key, PayloadKind::Fused, &w.into_bytes())
 }
 
 /// Decodes an artifact file.
@@ -314,6 +368,16 @@ pub fn decode(bytes: &[u8]) -> Result<Artifact, WireError> {
         PayloadKind::Vliw => Payload::Vliw {
             decoded: DecodedVliw::from_wire_bytes(pr.take(pr.remaining())?)?,
         },
+        PayloadKind::Fused => {
+            let fused = DecodedProgram::from_wire_bytes(get_section(&mut pr)?)?;
+            let profile_hash = pr.u64()?;
+            let report = FusionReport::decode_from(&mut pr)?;
+            Payload::Fused {
+                fused,
+                profile_hash,
+                report,
+            }
+        }
     };
     pr.finish()?;
     Ok(Artifact { key, payload })
@@ -373,6 +437,40 @@ mod tests {
             panic!("wrong payload kind");
         };
         assert_eq!(encode_vliw(&key, &d2), bytes);
+    }
+
+    #[test]
+    fn fused_image_round_trips() {
+        let src = "main :- count(20). count(0). count(N) :- N > 0, M is N - 1, count(M).";
+        let mut c = Compiled::from_source(src).expect("compiles");
+        c.build_fused_tier().expect("profiles and fuses");
+        let tier = c.fused.as_ref().unwrap();
+        let key = ArtifactKey::fused(src, &c.layout, tier.profile_hash);
+        let bytes = encode_fused(&key, &tier.program, tier.profile_hash, &tier.report);
+        let art = decode(&bytes).expect("decodes");
+        assert_eq!(art.key, key);
+        let Payload::Fused {
+            fused,
+            profile_hash,
+            report,
+        } = art.payload
+        else {
+            panic!("wrong payload kind");
+        };
+        assert_eq!(profile_hash, tier.profile_hash);
+        assert_eq!(report, tier.report);
+        assert_eq!(encode_fused(&key, &fused, profile_hash, &report), bytes);
+    }
+
+    #[test]
+    fn fused_key_separates_profiles() {
+        let layout = Layout::default();
+        let a = ArtifactKey::fused("main :- 1 = 1.", &layout, 1);
+        let b = ArtifactKey::fused("main :- 1 = 1.", &layout, 2);
+        assert_eq!(a.source_hash, b.source_hash);
+        assert_ne!(a.config_hash, b.config_hash, "profile hash is in the key");
+        let emu = ArtifactKey::emulator("main :- 1 = 1.", &layout);
+        assert_ne!(a.config_hash, emu.config_hash);
     }
 
     #[test]

@@ -8,9 +8,15 @@
 //!   --queries N          queries per benchmark (default 16)
 //!   --workers N          worker threads (default 4)
 //!   --metrics PATH       write a metrics.json snapshot here
+//!   --fused              serve the profile-guided fused tier: each
+//!                        benchmark is profiled, its fused artifact
+//!                        loaded (or built and stored), and queries
+//!                        run on the fused program
 //!   --expect-all-hits    fail unless every load was a cache hit
 //!                        (zero misses, zero corrupt entries, zero
-//!                        compiles) — the CI warm-restart check
+//!                        compiles; with --fused, also a fused-tier
+//!                        hit per benchmark) — the CI warm-restart
+//!                        check
 //! ```
 //!
 //! Each selected benchmark is loaded through the cache (deserialized
@@ -34,13 +40,14 @@ struct Args {
     queries: u64,
     workers: usize,
     metrics: Option<String>,
+    fused: bool,
     expect_all_hits: bool,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: symbol-serve --cache-dir DIR [--benches a,b,c] [--queries N] \
-         [--workers N] [--metrics PATH] [--expect-all-hits]"
+         [--workers N] [--metrics PATH] [--fused] [--expect-all-hits]"
     );
     ExitCode::FAILURE
 }
@@ -52,6 +59,7 @@ fn parse_args() -> Option<Args> {
         queries: 16,
         workers: 4,
         metrics: None,
+        fused: false,
         expect_all_hits: false,
     };
     let mut it = std::env::args().skip(1);
@@ -64,6 +72,7 @@ fn parse_args() -> Option<Args> {
             "--queries" => args.queries = it.next()?.parse().ok()?,
             "--workers" => args.workers = it.next()?.parse().ok()?,
             "--metrics" => args.metrics = Some(it.next()?),
+            "--fused" => args.fused = true,
             "--expect-all-hits" => args.expect_all_hits = true,
             _ => return None,
         }
@@ -106,7 +115,12 @@ fn main() -> ExitCode {
 
     let mut failed = false;
     for b in &selected {
-        let compiled = match cache.load_compiled(b.source, Layout::default()) {
+        let loaded = if args.fused {
+            cache.load_compiled_fused(b.source, Layout::default())
+        } else {
+            cache.load_compiled(b.source, Layout::default())
+        };
+        let compiled = match loaded {
             Ok(c) => c,
             Err(e) => {
                 eprintln!("symbol-serve: {}: {e}", b.name);
@@ -114,10 +128,11 @@ fn main() -> ExitCode {
                 continue;
             }
         };
-        let path = if compiled.front.is_none() {
-            "warm (deserialized)"
-        } else {
-            "cold (compiled)"
+        let path = match (compiled.front.is_none(), compiled.fused.is_some()) {
+            (true, true) => "warm (fused)",
+            (true, false) => "warm (deserialized)",
+            (false, true) => "cold (compiled, fused)",
+            (false, false) => "cold (compiled)",
         };
         let server = QueryServer::start(
             Arc::new(compiled),
@@ -166,6 +181,17 @@ fn main() -> ExitCode {
         if misses > 0 || corrupt > 0 || compiles > 0 || hits < selected.len() as u64 {
             eprintln!("symbol-serve: expected a fully warm cache");
             failed = true;
+        }
+        if args.fused {
+            let fget = |name: &str| obs.counter(name, &[("kind", "fused")]).get();
+            let fhits = fget("serve.cache.hit");
+            let fmisses = fget("serve.cache.miss");
+            let fcorrupt = fget("serve.cache.corrupt");
+            println!("fused tier: {fhits} hits, {fmisses} misses, {fcorrupt} corrupt");
+            if fmisses > 0 || fcorrupt > 0 || fhits < selected.len() as u64 {
+                eprintln!("symbol-serve: expected a fully warm fused tier");
+                failed = true;
+            }
         }
     }
 

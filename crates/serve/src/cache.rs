@@ -177,6 +177,75 @@ impl ArtifactCache {
         let _ = self.store(&key, PayloadKind::Emulator, &bytes);
         Ok(compiled)
     }
+
+    /// The two-tier entry point: [`ArtifactCache::load_compiled`] for
+    /// the base emulator image, then the fused superinstruction tier on
+    /// top.
+    ///
+    /// The fused artifact's cache key includes the hash of the
+    /// execution profile it was specialized against, and profiling is
+    /// deterministic — so the warm path re-derives the key with one
+    /// profiling run (`serve.profile` span), loads the fused artifact,
+    /// and attaches it. When the artifact is absent (or stale: a stored
+    /// profile hash that disagrees with the recomputed one is counted
+    /// corrupt), the fusion pass runs (`serve.fuse` span) and the fresh
+    /// artifact is stored, repairing the cache for the next start.
+    ///
+    /// Tier traffic is visible per kind: the fused artifact's hits,
+    /// misses, corruptions and stores are all labelled `kind=fused`
+    /// under the same `serve.cache.*` counters the base image uses.
+    ///
+    /// # Errors
+    ///
+    /// Compilation errors on the cold path, and any failure of the
+    /// profiling run ([`PipelineError::WrongAnswer`] /
+    /// [`PipelineError::Exec`]) — a program whose profile cannot be
+    /// collected cannot be tiered.
+    pub fn load_compiled_fused(
+        &self,
+        source: &str,
+        layout: Layout,
+    ) -> Result<Compiled, PipelineError> {
+        let mut compiled = self.load_compiled(source, layout)?;
+        let (stats, profile, _steps) = {
+            let _span = self.obs.span("serve.profile", &[("kind", "fused")]);
+            compiled.profile()?
+        };
+        let profile_hash = symbol_intcode::fuse::profile_hash(&stats, &profile);
+        let key = ArtifactKey::fused(source, &layout, profile_hash);
+        if let Some(art) = self.load(&key, PayloadKind::Fused) {
+            if let Payload::Fused {
+                fused,
+                profile_hash: stored_hash,
+                report,
+            } = art.payload
+            {
+                let attached = stored_hash == profile_hash
+                    && compiled
+                        .attach_fused_tier(symbol_core::pipeline::FusedTier {
+                            program: fused,
+                            report,
+                            profile_hash: stored_hash,
+                        })
+                        .is_ok();
+                if attached {
+                    return Ok(compiled);
+                }
+                // A decodable artifact that does not match this
+                // program/profile must not be served.
+                self.counter("serve.cache.corrupt", PayloadKind::Fused)
+                    .inc();
+            }
+        }
+        {
+            let _span = self.obs.span("serve.fuse", &[("kind", "fused")]);
+            compiled.attach_fused_from_profile(&stats, &profile);
+        }
+        let tier = compiled.fused.as_ref().expect("tier just attached");
+        let bytes = artifact::encode_fused(&key, &tier.program, tier.profile_hash, &tier.report);
+        let _ = self.store(&key, PayloadKind::Fused, &bytes);
+        Ok(compiled)
+    }
 }
 
 #[cfg(test)]
@@ -230,6 +299,73 @@ mod tests {
         let rb = b.run_sequential().expect("runs");
         assert_eq!(ra.steps, rb.steps);
         assert_eq!(ra.stats.expect, rb.stats.expect);
+    }
+
+    const LOOP_SRC: &str = "main :- count(30). count(0). count(N) :- N > 0, M is N - 1, count(M).";
+
+    fn fused_counter(obs: &Registry, name: &str) -> u64 {
+        obs.counter(name, &[("kind", "fused")]).get()
+    }
+
+    #[test]
+    fn fused_cold_then_warm() {
+        let t = TempDir::new("fusedwarm");
+        let obs = Registry::new();
+        let cache = ArtifactCache::new(&t.0, obs.clone()).expect("open cache");
+        let a = cache
+            .load_compiled_fused(LOOP_SRC, Layout::default())
+            .expect("cold");
+        assert!(a.fused.is_some(), "cold path built the fused tier");
+        assert_eq!(fused_counter(&obs, "serve.cache.miss"), 1);
+        assert_eq!(fused_counter(&obs, "serve.cache.store"), 1);
+        let b = cache
+            .load_compiled_fused(LOOP_SRC, Layout::default())
+            .expect("warm");
+        assert!(b.fused.is_some(), "warm path attached the fused tier");
+        assert_eq!(fused_counter(&obs, "serve.cache.hit"), 1);
+        assert_eq!(
+            a.fused.as_ref().unwrap().profile_hash,
+            b.fused.as_ref().unwrap().profile_hash,
+            "deterministic profiling re-derives the same key"
+        );
+        // Bit-identical across tiers and paths.
+        let base = a.run_sequential().expect("decoded runs");
+        let fa = a.run_sequential_fused().expect("cold fused runs");
+        let fb = b.run_sequential_fused().expect("warm fused runs");
+        assert_eq!(base.steps, fa.steps);
+        assert_eq!(base.stats.expect, fa.stats.expect);
+        assert_eq!(fa.steps, fb.steps);
+        assert_eq!(fa.stats.expect, fb.stats.expect);
+        assert_eq!(fa.stats.taken, fb.stats.taken);
+    }
+
+    #[test]
+    fn corrupt_fused_entry_refuses_and_repairs() {
+        let t = TempDir::new("fusedcorrupt");
+        let obs = Registry::new();
+        let cache = ArtifactCache::new(&t.0, obs.clone()).expect("open cache");
+        let seeded = cache
+            .load_compiled_fused(LOOP_SRC, Layout::default())
+            .expect("seed");
+        let key = ArtifactKey::fused(
+            LOOP_SRC,
+            &Layout::default(),
+            seeded.fused.as_ref().unwrap().profile_hash,
+        );
+        let path = cache.path_for(&key, PayloadKind::Fused);
+        let bytes = std::fs::read(&path).expect("read back");
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).expect("truncate");
+        let c = cache
+            .load_compiled_fused(LOOP_SRC, Layout::default())
+            .expect("refuse");
+        assert!(c.fused.is_some(), "fell back to running the fusion pass");
+        assert_eq!(fused_counter(&obs, "serve.cache.corrupt"), 1);
+        // The fallback re-stored a good artifact.
+        let d = cache
+            .load_compiled_fused(LOOP_SRC, Layout::default())
+            .expect("warm");
+        assert!(d.fused.is_some());
+        assert_eq!(fused_counter(&obs, "serve.cache.hit"), 1);
     }
 
     #[test]

@@ -16,6 +16,8 @@
 //!
 //! * `serve.queries.ok` / `serve.queries.failed` /
 //!   `serve.queries.panicked` counters,
+//! * a `serve.tier` counter labelled `tier=fused` / `tier=decoded`
+//!   with which execution tier answered each successful query,
 //! * `serve.queue.depth` gauge (sampled at each batch grab),
 //! * `serve.batch` histogram of batch sizes,
 //! * a `serve.query` span per query (latency histogram + trace event).
@@ -88,11 +90,17 @@ pub struct QueryServer {
 
 fn run_one(compiled: &Compiled, id: u64, obs: &Registry) -> QueryResult {
     let _span = obs.span("serve.query", &[]);
+    let tier = if compiled.fused.is_some() {
+        "fused"
+    } else {
+        "decoded"
+    };
     let outcome = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        compiled.run_sequential()
+        compiled.run_sequential_fast()
     })) {
         Ok(Ok(run)) => {
             obs.counter("serve.queries.ok", &[]).inc();
+            obs.counter("serve.tier", &[("tier", tier)]).inc();
             Ok(run.steps)
         }
         Ok(Err(e)) => {
@@ -254,7 +262,36 @@ mod tests {
         assert_eq!(obs.counter("serve.queries.ok", &[]).get(), 100);
         assert_eq!(obs.counter("serve.queries.failed", &[]).get(), 0);
         assert_eq!(obs.counter("serve.queries.panicked", &[]).get(), 0);
+        assert_eq!(
+            obs.counter("serve.tier", &[("tier", "decoded")]).get(),
+            100,
+            "no fused tier installed: every query ran decoded"
+        );
         assert!(obs.histogram("serve.batch", &[]).count() > 0);
+    }
+
+    #[test]
+    fn fused_image_serves_queries_on_the_fused_tier() {
+        let obs = Registry::new();
+        let src = "main :- count(20). count(0). count(N) :- N > 0, M is N - 1, count(M).";
+        let mut c = Compiled::from_source(src).expect("compiles");
+        let decoded_steps = c.run_sequential().expect("decoded runs").steps;
+        c.build_fused_tier().expect("fuses");
+        let server = QueryServer::start(Arc::new(c), &ServerConfig::default(), &obs);
+        for id in 0..25 {
+            server.submit(id);
+        }
+        let results = server.finish();
+        assert_eq!(results.len(), 25);
+        for r in &results {
+            assert_eq!(
+                r.outcome.clone().expect("query succeeds"),
+                decoded_steps,
+                "fused tier is bit-identical to decoded"
+            );
+        }
+        assert_eq!(obs.counter("serve.tier", &[("tier", "fused")]).get(), 25);
+        assert_eq!(obs.counter("serve.tier", &[("tier", "decoded")]).get(), 0);
     }
 
     #[test]

@@ -8,12 +8,14 @@
 //! drivers), so any divergence here is a correctness bug, not a perf
 //! regression.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::thread;
 
 use symbol_compactor::{compact, CompactMode, TracePolicy};
 use symbol_core::benchmarks;
 use symbol_core::experiments::{measure_cached, measure_cached_obs};
 use symbol_core::pipeline::{Compiled, CompiledCache};
+use symbol_intcode::fuse::{fuse, FuseConfig};
 use symbol_intcode::{DecodedEmulator, Emulator, ExecConfig};
 use symbol_obs::Registry;
 use symbol_vliw::{DecodedVliw, DecodedVliwSim, MachineConfig, SimConfig, VliwSim};
@@ -58,6 +60,67 @@ fn emulator_decoded_matches_legacy_on_every_benchmark() {
             b.name
         );
     });
+}
+
+/// Three-way check for the profile-guided superinstruction tier: the
+/// fused program produced from each benchmark's own execution profile
+/// must be bit-identical to *both* scalar engines — outcome, step
+/// count, per-op Expect / taken statistics, and the per-constituent
+/// execution trace. Fusion is a pure dispatch optimisation; any
+/// architectural difference it introduces is a bug.
+#[test]
+fn emulator_fused_matches_decoded_and_legacy_on_every_benchmark() {
+    let total_pairs = AtomicU64::new(0);
+    for_each_benchmark(|b| {
+        let compiled = Compiled::from_source(b.source).expect("compiles");
+        let cfg = ExecConfig::default();
+        let legacy = Emulator::new(&compiled.ici, &compiled.layout)
+            .run(&cfg)
+            .expect("legacy run");
+        let (dres, dstats, dsteps, dprof) =
+            DecodedEmulator::new(&compiled.decoded, &compiled.layout).run_with_profile(&cfg);
+        let doutcome = dres.expect("decoded run");
+        let (fused, report) = fuse(&compiled.decoded, &dstats, &dprof, &FuseConfig::default());
+        total_pairs.fetch_add(report.pairs, Ordering::Relaxed);
+
+        let (fres, fstats, fsteps) =
+            DecodedEmulator::new(&fused, &compiled.layout).run_with_stats(&cfg);
+        let foutcome = fres.expect("fused run");
+        assert_eq!(foutcome, legacy.outcome, "{}: outcome vs legacy", b.name);
+        assert_eq!(foutcome, doutcome, "{}: outcome vs decoded", b.name);
+        assert_eq!(fsteps, legacy.steps, "{}: steps vs legacy", b.name);
+        assert_eq!(fsteps, dsteps, "{}: steps vs decoded", b.name);
+        assert_eq!(
+            fstats.expect, legacy.stats.expect,
+            "{}: per-op expect counts",
+            b.name
+        );
+        assert_eq!(
+            fstats.taken, legacy.stats.taken,
+            "{}: per-op taken counts",
+            b.name
+        );
+
+        // Per-constituent trace parity: a fused pair must leave the
+        // same footprint in the circular op trace as its two halves.
+        let mut traced_decoded = DecodedEmulator::new(&compiled.decoded, &compiled.layout);
+        traced_decoded.set_trace(64);
+        let _ = traced_decoded.run_with_stats(&cfg);
+        let mut traced_fused = DecodedEmulator::new(&fused, &compiled.layout);
+        traced_fused.set_trace(64);
+        let _ = traced_fused.run_with_stats(&cfg);
+        assert_eq!(
+            traced_fused.trace(),
+            traced_decoded.trace(),
+            "{}: execution trace",
+            b.name
+        );
+    });
+    assert!(
+        total_pairs.load(Ordering::Relaxed) > 0,
+        "the fusion pass found no hot pairs across the whole suite — \
+         the tier is not being exercised"
+    );
 }
 
 /// Observability must never change a result: the fully instrumented
