@@ -460,6 +460,26 @@ impl Compiled {
             self.run_sequential()
         }
     }
+
+    /// One serving-tier query: [`Compiled::run_sequential_fast`] under
+    /// a per-request trace span carrying the request id and the tier
+    /// that answered. The span is a [`Registry::event_span`] — trace
+    /// event only, no histogram — because request ids are unbounded
+    /// and would otherwise mint one histogram cell per request.
+    ///
+    /// # Errors
+    ///
+    /// See [`Compiled::run_sequential`].
+    pub fn run_query_obs(&self, obs: &Registry, req_id: u64) -> Result<RunResult, PipelineError> {
+        let req = req_id.to_string();
+        let tier = if self.fused.is_some() {
+            "fused"
+        } else {
+            "decoded"
+        };
+        let _span = obs.event_span("serve.query", &[("req", &req), ("tier", tier)]);
+        self.run_sequential_fast()
+    }
 }
 
 /// A compiled benchmark together with its sequential profiling run.

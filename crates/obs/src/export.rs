@@ -15,8 +15,13 @@ use crate::metrics::{bucket_bounds, HISTOGRAM_BUCKETS};
 
 /// Version stamp written into every `metrics.json`. Bump when the
 /// document structure changes (and update the checked-in schema
-/// snapshot).
-pub const SCHEMA_VERSION: u32 = 1;
+/// snapshot). Version 2 added per-histogram `quantiles` and the
+/// timeline line shape.
+pub const SCHEMA_VERSION: u32 = 2;
+
+/// Keys of every histogram entry in `metrics.json`, in output order
+/// (pinned by the schema snapshot).
+pub const HISTOGRAM_FIELDS: [&str; 6] = ["name", "labels", "count", "sum", "buckets", "quantiles"];
 
 /// A counter's snapshot.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -154,14 +159,20 @@ impl Snapshot {
                 );
             }
             buckets.push(']');
+            let q = crate::quantile::QuantileView::from_sample(h).unwrap_or_default();
             let _ = writeln!(
                 out,
                 "    {{\"name\": {}, \"labels\": {}, \"count\": {}, \"sum\": {}, \
-                 \"buckets\": {buckets}}}{sep}",
+                 \"buckets\": {buckets}, \"quantiles\": {{\"p50\": {:.1}, \"p90\": {:.1}, \
+                 \"p99\": {:.1}, \"max\": {}}}}}{sep}",
                 json::string(&h.name),
                 json::label_object(&h.labels),
                 h.count,
-                h.sum
+                h.sum,
+                q.p50,
+                q.p90,
+                q.p99,
+                q.max
             );
         }
         let _ = writeln!(out, "  ]");
@@ -210,7 +221,24 @@ impl Snapshot {
                 json::string(name)
             );
         }
-        let _ = writeln!(out, "  ]");
+        let _ = writeln!(out, "  ],");
+        let join = |fields: &[&str]| {
+            fields
+                .iter()
+                .map(|f| json::string(f))
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        let _ = writeln!(
+            out,
+            "  \"histogram_fields\": [{}],",
+            join(&HISTOGRAM_FIELDS)
+        );
+        let _ = writeln!(
+            out,
+            "  \"timeline_fields\": [{}]",
+            join(&crate::timeline::TIMELINE_FIELDS)
+        );
         let _ = writeln!(out, "}}");
         out
     }
@@ -232,7 +260,7 @@ mod tests {
     fn snapshot_json_is_stable_and_contains_values() {
         let s = sample_registry().snapshot();
         let j = s.to_json();
-        assert!(j.contains("\"schema_version\": 1"));
+        assert!(j.contains("\"schema_version\": 2"));
         assert!(j.contains("\"name\": \"steps\""));
         assert!(j.contains("\"value\": 42"));
         assert!(j.contains("\"bench\": \"qsort\""));
@@ -240,6 +268,23 @@ mod tests {
         // value 1000 lands in bucket [512, 1023]? no — 1000 < 1024, so
         // [512, 1023]; assert the bucket bounds are present.
         assert!(j.contains("\"lo\": 512, \"hi\": 1023, \"count\": 1"));
+        // The single-sample quantiles all sit inside that bucket.
+        assert!(j.contains("\"quantiles\": {\"p50\": "), "{j}");
+        assert!(j.contains("\"max\": 1023"));
+    }
+
+    #[test]
+    fn metrics_json_parses_and_schema_lists_field_shapes() {
+        let s = sample_registry().snapshot();
+        let doc = crate::json::parse(&s.to_json()).expect("metrics.json parses");
+        let hists = doc.get("histograms").unwrap().as_arr().unwrap();
+        let q = hists[0].get("quantiles").expect("quantiles present");
+        assert!(q.get("p99").and_then(|v| v.as_f64()).is_some());
+        let schema = crate::json::parse(&s.schema_json()).expect("schema parses");
+        let hf = schema.get("histogram_fields").unwrap().as_arr().unwrap();
+        assert!(hf.iter().any(|f| f.as_str() == Some("quantiles")));
+        let tf = schema.get("timeline_fields").unwrap().as_arr().unwrap();
+        assert!(tf.iter().any(|f| f.as_str() == Some("t_ns")));
     }
 
     #[test]

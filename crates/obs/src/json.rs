@@ -1,10 +1,14 @@
-//! A minimal JSON writer — just enough for the exporters, so the crate
-//! stays free of external dependencies.
+//! A minimal JSON writer and strict parser — just enough for the
+//! exporters and report tooling, so the crate stays free of external
+//! dependencies.
 //!
 //! Only object/array/string/integer shapes are produced; floats are
 //! written with a fixed precision by the callers that need them. The
 //! writer guarantees valid UTF-8 JSON output with correct string
-//! escaping.
+//! escaping. [`parse`] is the matching strict reader: it accepts
+//! exactly one JSON value (full escape handling including `\uXXXX`
+//! surrogate pairs), rejects trailing garbage, and is what the
+//! exporter-determinism tests round-trip the writer through.
 
 use std::fmt::Write as _;
 
@@ -51,6 +55,319 @@ pub fn label_object(labels: &[(String, String)]) -> String {
     out
 }
 
+/// One parsed JSON value. Objects preserve key order so callers can
+/// check canonical (sorted) rendering.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number with a fraction, exponent or sign.
+    Num(f64),
+    /// A bare non-negative integer, kept exact so 64-bit ids and hash
+    /// payloads survive parsing without f64 rounding.
+    Int(u64),
+    /// A string, fully unescaped.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object, keys in document order.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Member `key` of an object value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The number, if this is one.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            Value::Int(n) => Some(*n as f64),
+            _ => None,
+        }
+    }
+
+    /// The number as an unsigned integer (lossless for counts below
+    /// 2^53).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
+            Value::Int(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string, if this is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The array elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Arr(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The object members in document order, if this is an object.
+    pub fn as_obj(&self) -> Option<&Vec<(String, Value)>> {
+        match self {
+            Value::Obj(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+/// Parses exactly one JSON value from `s`, rejecting trailing
+/// non-whitespace.
+///
+/// # Errors
+///
+/// A human-readable message with the byte offset of the first
+/// problem.
+pub fn parse(s: &str) -> Result<Value, String> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing garbage at byte {}", p.pos));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Value) -> Result<Value, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(format!("expected a value at byte {}", self.pos)),
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, String> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            members.push((key, self.value()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(members));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u16, String> {
+        let end = self.pos + 4;
+        let slice = self
+            .bytes
+            .get(self.pos..end)
+            .ok_or_else(|| format!("truncated \\u escape at byte {}", self.pos))?;
+        let s = std::str::from_utf8(slice).map_err(|_| "non-ascii \\u escape".to_string())?;
+        let v = u16::from_str_radix(s, 16)
+            .map_err(|_| format!("invalid \\u escape at byte {}", self.pos))?;
+        self.pos = end;
+        Ok(v)
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            match self.peek() {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let hi = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // High surrogate: a low surrogate
+                                // escape must follow (astral plane).
+                                if self.peek() != Some(b'\\') {
+                                    return Err("lone high surrogate".to_string());
+                                }
+                                self.pos += 1;
+                                if self.peek() != Some(b'u') {
+                                    return Err("lone high surrogate".to_string());
+                                }
+                                self.pos += 1;
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err("invalid low surrogate".to_string());
+                                }
+                                let code =
+                                    0x10000 + ((hi as u32 - 0xD800) << 10) + (lo as u32 - 0xDC00);
+                                char::from_u32(code)
+                                    .ok_or_else(|| "invalid surrogate pair".to_string())?
+                            } else if (0xDC00..0xE000).contains(&hi) {
+                                return Err("lone low surrogate".to_string());
+                            } else {
+                                char::from_u32(hi as u32)
+                                    .ok_or_else(|| "invalid \\u escape".to_string())?
+                            };
+                            out.push(c);
+                            continue; // hex4 advanced past the escape
+                        }
+                        _ => return Err(format!("invalid escape at byte {start}")),
+                    }
+                    self.pos += 1;
+                }
+                Some(c) if c < 0x20 => {
+                    return Err(format!("unescaped control character at byte {start}"));
+                }
+                Some(_) => {
+                    // Multi-byte UTF-8 is passed through; find the char
+                    // boundary from the original str.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| "invalid utf-8".to_string())?;
+                    let c = rest.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii digits");
+        // Bare non-negative integers stay exact; anything signed,
+        // fractional or exponential goes through f64.
+        if let Ok(n) = text.parse::<u64>() {
+            return Ok(Value::Int(n));
+        }
+        text.parse::<f64>()
+            .map(Value::Num)
+            .map_err(|_| format!("invalid number at byte {start}"))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -62,6 +379,23 @@ mod tests {
         assert_eq!(string("a\nb\tc"), "\"a\\nb\\tc\"");
         assert_eq!(string("\u{1}"), "\"\\u0001\"");
         assert_eq!(string("plain"), "\"plain\"");
+    }
+
+    #[test]
+    fn bare_integers_parse_exactly() {
+        // u64::MAX has no exact f64 representation; the Int variant
+        // keeps hash payloads and ids bit-exact.
+        let v = parse("18446744073709551615").expect("parses");
+        assert_eq!(v.as_u64(), Some(u64::MAX));
+        assert_eq!(
+            parse("14327591388876404102").expect("parses").as_u64(),
+            Some(14327591388876404102)
+        );
+        // Fractions, exponents and signs still go through f64.
+        assert_eq!(parse("-2").expect("parses").as_f64(), Some(-2.0));
+        assert_eq!(parse("1.5").expect("parses").as_f64(), Some(1.5));
+        assert_eq!(parse("1e3").expect("parses").as_f64(), Some(1000.0));
+        assert_eq!(parse("2.0").expect("parses").as_u64(), Some(2));
     }
 
     #[test]

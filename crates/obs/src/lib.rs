@@ -42,8 +42,12 @@
 
 pub mod event;
 pub mod export;
+pub mod flight;
 pub mod json;
 pub mod metrics;
+pub mod prom;
+pub mod quantile;
+pub mod timeline;
 pub mod trace;
 
 use std::sync::{Arc, Mutex};
@@ -51,7 +55,11 @@ use std::time::{Duration, Instant};
 
 pub use event::{EventRecord, Events, Level};
 pub use export::{BucketSample, CounterSample, GaugeSample, HistogramSample, Snapshot};
+pub use flight::{FlightKind, FlightRecord, FlightRecorder};
 pub use metrics::{bucket_bounds, bucket_index, Counter, Gauge, Histogram};
+pub use prom::to_prometheus;
+pub use quantile::QuantileView;
+pub use timeline::{Timeline, TimelineRecorder};
 pub use trace::{chrome_trace_json, thread_id, Span, TraceEvent};
 
 use metrics::{CounterCell, GaugeCell, HistogramCell, MetricId};
@@ -178,6 +186,36 @@ impl Registry {
                 histogram,
             }),
         }
+    }
+
+    /// Opens an RAII span that records only a Chrome Trace event —
+    /// no `span.<name>.ns` histogram. Use this for labels with
+    /// unbounded cardinality (request ids): a regular [`Registry::span`]
+    /// would mint one histogram cell per distinct label set and the
+    /// registry would grow without bound.
+    pub fn event_span(&self, name: &str, labels: &[(&str, &str)]) -> Span {
+        if self.inner.is_none() {
+            return Span::noop();
+        }
+        Span {
+            state: Some(trace::SpanState {
+                registry: self.clone(),
+                name: name.to_string(),
+                labels: labels
+                    .iter()
+                    .map(|(k, v)| (k.to_string(), v.to_string()))
+                    .collect(),
+                start: Instant::now(),
+                histogram: Histogram::noop(),
+            }),
+        }
+    }
+
+    /// Nanoseconds elapsed since this registry was created (0 when
+    /// disabled) — the clock timeline ticks and flight-dump stamps
+    /// share so they can be correlated.
+    pub fn now_ns(&self) -> u64 {
+        self.elapsed_since_epoch(Instant::now()).as_nanos() as u64
     }
 
     /// The registry's event sink (the silent sink when disabled).
@@ -310,6 +348,30 @@ mod tests {
         assert_eq!(snap.histograms.len(), 1);
         assert_eq!(snap.histograms[0].name, "span.compile.ns");
         assert_eq!(snap.histograms[0].count, 1);
+    }
+
+    #[test]
+    fn event_spans_trace_without_minting_histograms() {
+        let r = Registry::new();
+        for req in 0..10u64 {
+            let id = req.to_string();
+            drop(r.event_span("serve.query", &[("req", &id)]));
+        }
+        assert_eq!(r.trace_events().len(), 10);
+        assert!(
+            r.snapshot().histograms.is_empty(),
+            "per-request spans must not create histogram cells"
+        );
+        drop(Registry::disabled().event_span("s", &[]));
+    }
+
+    #[test]
+    fn now_ns_is_monotone_and_zero_when_disabled() {
+        let r = Registry::new();
+        let a = r.now_ns();
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        assert!(r.now_ns() > a);
+        assert_eq!(Registry::disabled().now_ns(), 0);
     }
 
     #[test]

@@ -1,0 +1,174 @@
+//! Prometheus text-format exposition of a [`Snapshot`].
+//!
+//! Renders the standard `text/plain; version=0.0.4` exposition a
+//! Prometheus scraper (or a human with `curl`) expects: one `# TYPE`
+//! comment per metric family, counters and gauges as plain samples,
+//! histograms as cumulative `_bucket{le="..."}` series plus `_sum`
+//! and `_count`. Metric names are sanitized to the Prometheus charset
+//! (dots become underscores); label values are escaped per the spec.
+
+use std::fmt::Write as _;
+
+use crate::export::Snapshot;
+
+/// `metric.name` → `metric_name` (Prometheus allows `[a-zA-Z0-9_:]`,
+/// with a non-digit first character).
+fn sanitize(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if out.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    out
+}
+
+/// Label-value escaping per the exposition format: backslash, quote
+/// and newline.
+fn escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// `{k="v",...}` (empty string for no labels); `extra` appends one
+/// more pair (used for `le`).
+fn label_block(labels: &[(String, String)], extra: Option<(&str, &str)>) -> String {
+    let mut pairs: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{}=\"{}\"", sanitize(k), escape_label(v)))
+        .collect();
+    if let Some((k, v)) = extra {
+        pairs.push(format!("{k}=\"{v}\""));
+    }
+    if pairs.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", pairs.join(","))
+    }
+}
+
+/// Renders the snapshot in the Prometheus text exposition format.
+pub fn to_prometheus(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    let mut last_family = String::new();
+    let mut type_line = |out: &mut String, family: &str, kind: &str| {
+        if family != last_family {
+            let _ = writeln!(out, "# TYPE {family} {kind}");
+            last_family = family.to_string();
+        }
+    };
+    for c in &snap.counters {
+        let family = sanitize(&c.name);
+        type_line(&mut out, &family, "counter");
+        let _ = writeln!(out, "{family}{} {}", label_block(&c.labels, None), c.value);
+    }
+    for g in &snap.gauges {
+        let family = sanitize(&g.name);
+        type_line(&mut out, &family, "gauge");
+        let _ = writeln!(out, "{family}{} {}", label_block(&g.labels, None), g.value);
+    }
+    for h in &snap.histograms {
+        let family = sanitize(&h.name);
+        type_line(&mut out, &family, "histogram");
+        let mut cumulative = 0u64;
+        for b in &h.buckets {
+            cumulative += b.count;
+            let _ = writeln!(
+                out,
+                "{family}_bucket{} {cumulative}",
+                label_block(&h.labels, Some(("le", &b.hi.to_string())))
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{family}_bucket{} {}",
+            label_block(&h.labels, Some(("le", "+Inf"))),
+            h.count
+        );
+        let _ = writeln!(
+            out,
+            "{family}_sum{} {}",
+            label_block(&h.labels, None),
+            h.sum
+        );
+        let _ = writeln!(
+            out,
+            "{family}_count{} {}",
+            label_block(&h.labels, None),
+            h.count
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+
+    #[test]
+    fn exposition_covers_all_three_kinds() {
+        let r = Registry::new();
+        r.counter("serve.queries.ok", &[("tier", "fused")]).add(3);
+        r.gauge("serve.queue.depth", &[]).set(-2);
+        r.histogram("serve.execute.ns", &[("tier", "fused")])
+            .record(1000);
+        let text = to_prometheus(&r.snapshot());
+        assert!(text.contains("# TYPE serve_queries_ok counter"));
+        assert!(text.contains("serve_queries_ok{tier=\"fused\"} 3"));
+        assert!(text.contains("# TYPE serve_queue_depth gauge"));
+        assert!(text.contains("serve_queue_depth -2"));
+        assert!(text.contains("# TYPE serve_execute_ns histogram"));
+        assert!(text.contains("serve_execute_ns_bucket{tier=\"fused\",le=\"1023\"} 1"));
+        assert!(text.contains("serve_execute_ns_bucket{tier=\"fused\",le=\"+Inf\"} 1"));
+        assert!(text.contains("serve_execute_ns_sum{tier=\"fused\"} 1000"));
+        assert!(text.contains("serve_execute_ns_count{tier=\"fused\"} 1"));
+    }
+
+    #[test]
+    fn buckets_are_cumulative() {
+        let r = Registry::new();
+        let h = r.histogram("lat", &[]);
+        h.record(1); // bucket hi=1
+        h.record(1);
+        h.record(100); // bucket hi=127
+        let text = to_prometheus(&r.snapshot());
+        assert!(text.contains("lat_bucket{le=\"1\"} 2"));
+        assert!(text.contains("lat_bucket{le=\"127\"} 3"), "{text}");
+        assert!(text.contains("lat_bucket{le=\"+Inf\"} 3"));
+    }
+
+    #[test]
+    fn names_and_label_values_are_sanitized() {
+        let r = Registry::new();
+        r.counter("span.serve.query.ns", &[("src", "a\"b\\c\nd")])
+            .inc();
+        let text = to_prometheus(&r.snapshot());
+        assert!(text.contains("span_serve_query_ns{src=\"a\\\"b\\\\c\\nd\"} 1"));
+        assert_eq!(sanitize("2fast"), "_2fast");
+    }
+
+    #[test]
+    fn one_type_line_per_family() {
+        let r = Registry::new();
+        r.counter("m", &[("a", "1")]).inc();
+        r.counter("m", &[("a", "2")]).inc();
+        let text = to_prometheus(&r.snapshot());
+        assert_eq!(text.matches("# TYPE m counter").count(), 1);
+    }
+}

@@ -17,6 +17,14 @@
 //!                        compiles; with --fused, also a fused-tier
 //!                        hit per benchmark) — the CI warm-restart
 //!                        check
+//!   --stats              issue a live Stats query per benchmark from
+//!                        the running pool and print the per-stage
+//!                        quantiles; fails unless every p99 is present
+//!                        and finite
+//!   --flight-dir DIR     enable flight-recorder incident dumps into
+//!                        DIR (slow queries and panics)
+//!   --slow-us N          execute-time threshold (microseconds) that
+//!                        marks a query slow and triggers a dump
 //! ```
 //!
 //! Each selected benchmark is loaded through the cache (deserialized
@@ -24,13 +32,18 @@
 //! `--queries` independent queries by a worker pool sharing the one
 //! immutable image. Every query is self-checking; any failure makes
 //! the process exit nonzero.
+//!
+//! One flight-recorder ring is shared by the artifact cache and every
+//! per-benchmark server, so an incident dump shows the cache and
+//! query traffic interleaved.
 
+use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::Arc;
 
 use symbol_core::benchmarks;
 use symbol_intcode::Layout;
-use symbol_obs::Registry;
+use symbol_obs::{FlightRecorder, Registry};
 use symbol_serve::cache::ArtifactCache;
 use symbol_serve::server::{QueryServer, ServerConfig};
 
@@ -42,12 +55,16 @@ struct Args {
     metrics: Option<String>,
     fused: bool,
     expect_all_hits: bool,
+    stats: bool,
+    flight_dir: Option<PathBuf>,
+    slow_us: Option<u64>,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: symbol-serve --cache-dir DIR [--benches a,b,c] [--queries N] \
-         [--workers N] [--metrics PATH] [--fused] [--expect-all-hits]"
+         [--workers N] [--metrics PATH] [--fused] [--expect-all-hits] \
+         [--stats] [--flight-dir DIR] [--slow-us N]"
     );
     ExitCode::FAILURE
 }
@@ -61,6 +78,9 @@ fn parse_args() -> Option<Args> {
         metrics: None,
         fused: false,
         expect_all_hits: false,
+        stats: false,
+        flight_dir: None,
+        slow_us: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -74,6 +94,9 @@ fn parse_args() -> Option<Args> {
             "--metrics" => args.metrics = Some(it.next()?),
             "--fused" => args.fused = true,
             "--expect-all-hits" => args.expect_all_hits = true,
+            "--stats" => args.stats = true,
+            "--flight-dir" => args.flight_dir = Some(PathBuf::from(it.next()?)),
+            "--slow-us" => args.slow_us = Some(it.next()?.parse().ok()?),
             _ => return None,
         }
     }
@@ -88,8 +111,9 @@ fn main() -> ExitCode {
         return usage();
     };
     let obs = Registry::new();
+    let flight = Arc::new(FlightRecorder::new(4096));
     let cache = match ArtifactCache::new(&args.cache_dir, obs.clone()) {
-        Ok(c) => c,
+        Ok(c) => c.with_flight(Arc::clone(&flight)),
         Err(e) => {
             eprintln!("symbol-serve: cannot open cache {}: {e}", args.cache_dir);
             return ExitCode::FAILURE;
@@ -134,26 +158,74 @@ fn main() -> ExitCode {
             (false, true) => "cold (compiled, fused)",
             (false, false) => "cold (compiled)",
         };
-        let server = QueryServer::start(
+        let server = QueryServer::start_with_flight(
             Arc::new(compiled),
             &ServerConfig {
                 workers: args.workers,
+                flight_dir: args.flight_dir.clone(),
+                slow_query_ns: args.slow_us.map(|us| us * 1000),
                 ..ServerConfig::default()
             },
             &obs,
+            Arc::clone(&flight),
         );
         for id in 0..args.queries {
             server.submit(id);
         }
+        let stats_id = args.queries;
+        if args.stats {
+            server.submit_stats(stats_id);
+        }
         let results = server.finish();
+        let expected = args.queries + u64::from(args.stats);
         let errors = results.iter().filter(|r| r.outcome.is_err()).count();
         println!(
             "{:<12} {path:<20} {} queries, {errors} errors",
             b.name,
             results.len()
         );
-        if errors > 0 || results.len() as u64 != args.queries {
+        if errors > 0 || results.len() as u64 != expected {
             failed = true;
+        }
+        if args.stats {
+            let report = results
+                .iter()
+                .find(|r| r.id == stats_id)
+                .and_then(|r| r.outcome.as_ref().ok())
+                .and_then(|a| a.stats());
+            match report {
+                Some(report) => {
+                    let line = |label: &str, q: &Option<symbol_obs::QuantileView>| match q {
+                        Some(q) => format!(
+                            "{label} p50={:.1} p90={:.1} p99={:.1} max={}",
+                            q.p50, q.p90, q.p99, q.max
+                        ),
+                        None => format!("{label} (no samples)"),
+                    };
+                    let hot: Vec<String> = report
+                        .hot_pcs
+                        .iter()
+                        .map(|(pc, n)| format!("{pc}:{n}"))
+                        .collect();
+                    println!(
+                        "  stats {}: {} | {} | {} | hot_pcs [{}]",
+                        b.name,
+                        line("execute", &report.execute),
+                        line("queue_wait", &report.queue_wait),
+                        line("select", &report.select),
+                        hot.join(" ")
+                    );
+                    let p99_ok = report.execute.is_some_and(|q| q.is_finite() && q.count > 0);
+                    if !p99_ok {
+                        eprintln!("symbol-serve: {}: stats p99 missing or not finite", b.name);
+                        failed = true;
+                    }
+                }
+                None => {
+                    eprintln!("symbol-serve: {}: no stats answer", b.name);
+                    failed = true;
+                }
+            }
         }
     }
 

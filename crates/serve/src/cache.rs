@@ -17,15 +17,20 @@
 //!   counters, labelled with the payload `kind`,
 //! * `serve.cache.store` / `serve.cache.store_failed` counters,
 //! * `serve.deserialize` and `serve.compile` spans (their duration
-//!   histograms expose deserialize-vs-compile latency directly).
+//!   histograms expose deserialize-vs-compile latency directly),
+//! * when a flight recorder is attached
+//!   ([`ArtifactCache::with_flight`]), every hit/miss/corrupt also
+//!   leaves a flight record carrying the key's hashes, so incident
+//!   dumps show the cache traffic around a slow query.
 
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use symbol_core::pipeline::Compiled;
 use symbol_core::PipelineError;
 use symbol_intcode::Layout;
-use symbol_obs::Registry;
+use symbol_obs::{FlightKind, FlightRecorder, Registry};
 
 use crate::artifact::{self, Artifact, ArtifactKey, Payload, PayloadKind};
 
@@ -35,6 +40,7 @@ use crate::artifact::{self, Artifact, ArtifactKey, Payload, PayloadKind};
 pub struct ArtifactCache {
     dir: PathBuf,
     obs: Registry,
+    flight: Arc<FlightRecorder>,
     seq: AtomicU64,
 }
 
@@ -50,8 +56,19 @@ impl ArtifactCache {
         Ok(ArtifactCache {
             dir,
             obs,
+            flight: Arc::new(FlightRecorder::disabled()),
             seq: AtomicU64::new(0),
         })
+    }
+
+    /// Attaches a flight recorder (typically the query server's, so
+    /// one ring holds both cache and query events): hits, misses and
+    /// corruption each leave a record with the key's source and
+    /// config hashes as payload.
+    #[must_use]
+    pub fn with_flight(mut self, flight: Arc<FlightRecorder>) -> Self {
+        self.flight = flight;
+        self
     }
 
     /// The directory this cache lives in.
@@ -82,6 +99,8 @@ impl ArtifactCache {
             Ok(b) => b,
             Err(_) => {
                 self.counter("serve.cache.miss", kind).inc();
+                self.flight
+                    .record(FlightKind::CacheMiss, key.source_hash, key.config_hash);
                 return None;
             }
         };
@@ -94,10 +113,14 @@ impl ArtifactCache {
         match decoded {
             Some(a) => {
                 self.counter("serve.cache.hit", kind).inc();
+                self.flight
+                    .record(FlightKind::CacheHit, key.source_hash, key.config_hash);
                 Some(a)
             }
             None => {
                 self.counter("serve.cache.corrupt", kind).inc();
+                self.flight
+                    .record(FlightKind::CacheCorrupt, key.source_hash, key.config_hash);
                 let _ = std::fs::remove_file(&path);
                 None
             }
@@ -415,6 +438,24 @@ mod tests {
             "key mismatch must not serve the wrong program"
         );
         assert_eq!(counter(&obs, "serve.cache.corrupt"), 1);
+    }
+
+    #[test]
+    fn attached_flight_recorder_sees_cache_traffic() {
+        let t = TempDir::new("flight");
+        let flight = Arc::new(symbol_obs::FlightRecorder::new(64));
+        let cache = ArtifactCache::new(&t.0, Registry::new())
+            .expect("open cache")
+            .with_flight(Arc::clone(&flight));
+        cache.load_compiled(SRC, Layout::default()).expect("cold");
+        cache.load_compiled(SRC, Layout::default()).expect("warm");
+        let kinds: Vec<&str> = flight.snapshot().iter().map(|r| r.kind_name()).collect();
+        assert_eq!(kinds, ["cache_miss", "cache_hit"]);
+        let key = ArtifactKey::emulator(SRC, &Layout::default());
+        for r in flight.snapshot() {
+            assert_eq!(r.a, key.source_hash, "payload carries the key hashes");
+            assert_eq!(r.b, key.config_hash);
+        }
     }
 
     #[test]

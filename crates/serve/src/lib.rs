@@ -41,4 +41,4 @@ pub mod server;
 
 pub use artifact::{Artifact, ArtifactKey, Payload, PayloadKind, FORMAT_VERSION, MAGIC};
 pub use cache::ArtifactCache;
-pub use server::{QueryResult, QueryServer, ServerConfig};
+pub use server::{QueryAnswer, QueryResult, QueryServer, ServerConfig, StatsReport};

@@ -12,25 +12,52 @@
 //! converted into a failed [`QueryResult`] (and counted) instead of
 //! killing the worker.
 //!
-//! Observability, all on the registry handed to [`QueryServer::start`]:
+//! ## Request kinds
+//!
+//! Besides plain run queries ([`QueryServer::submit`]), the pool
+//! answers live [`QueryServer::submit_stats`] requests from the same
+//! queue: a stats request snapshots the shared registry, folds the
+//! per-stage latency histograms into p50/p90/p99 quantile views, and
+//! attaches the image's hottest program counters — so an operator can
+//! interrogate a running server without stopping it.
+//!
+//! ## Observability
+//!
+//! All on the registry handed to [`QueryServer::start`]:
 //!
 //! * `serve.queries.ok` / `serve.queries.failed` /
 //!   `serve.queries.panicked` counters,
 //! * a `serve.tier` counter labelled `tier=fused` / `tier=decoded`
 //!   with which execution tier answered each successful query,
-//! * `serve.queue.depth` gauge (sampled at each batch grab),
+//! * `serve.queue.depth` gauge, incremented on enqueue and
+//!   decremented on dequeue (exactly zero once the queue drains),
 //! * `serve.batch` histogram of batch sizes,
-//! * a `serve.query` span per query (latency histogram + trace event).
+//! * `serve.stage.ns` histograms labelled `stage=queue_wait` /
+//!   `select` / `execute` and by `tier` — the per-stage latency split
+//!   live stats queries report quantiles over,
+//! * a per-request `serve.query` trace span carrying the request id
+//!   (see [`Compiled::run_query_obs`]).
+//!
+//! And, independent of the registry, a lock-free
+//! [`FlightRecorder`] ring capturing the last
+//! `ServerConfig::flight_capacity` structured events (enqueue,
+//! dequeue, query start/end, stats, dumps). When a query exceeds
+//! `ServerConfig::slow_query_ns` or panics and
+//! `ServerConfig::flight_dir` is set, the ring is dumped to an
+//! ndjson file stamped with the offending request id.
 
 use std::collections::VecDeque;
-use std::sync::{Arc, Condvar, Mutex};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 use symbol_core::pipeline::Compiled;
-use symbol_obs::Registry;
+use symbol_obs::{FlightKind, FlightRecorder, Gauge, QuantileView, Registry, Snapshot};
 
 /// Tuning knobs of a [`QueryServer`].
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ServerConfig {
     /// Worker threads (clamped to at least 1).
     pub workers: usize,
@@ -40,6 +67,15 @@ pub struct ServerConfig {
     /// Maximum requests a worker takes per lock acquisition (clamped
     /// to at least 1).
     pub max_batch: usize,
+    /// Flight-recorder ring capacity in records (0 disables the
+    /// recorder entirely).
+    pub flight_capacity: usize,
+    /// Directory incident dumps are written to. `None` disables
+    /// dumping; the directory is created on first dump.
+    pub flight_dir: Option<PathBuf>,
+    /// Execute-time threshold (nanoseconds) beyond which a query is
+    /// considered slow and triggers a flight dump.
+    pub slow_query_ns: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -48,6 +84,113 @@ impl Default for ServerConfig {
             workers: 4,
             queue_capacity: 64,
             max_batch: 8,
+            flight_capacity: 1024,
+            flight_dir: None,
+            slow_query_ns: None,
+        }
+    }
+}
+
+/// What a request asks the pool to do.
+#[derive(Clone, Debug)]
+enum Request {
+    /// Run the compiled query.
+    Run(u64),
+    /// Produce a live [`StatsReport`].
+    Stats(u64),
+    /// Panic inside the protected region — exercises the containment
+    /// and panic-dump paths end to end (used by tests and smoke
+    /// drills, never by normal serving).
+    PanicProbe(u64),
+}
+
+impl Request {
+    fn id(&self) -> u64 {
+        match self {
+            Request::Run(id) | Request::Stats(id) | Request::PanicProbe(id) => *id,
+        }
+    }
+}
+
+/// A queued request and when it entered the queue.
+struct Pending {
+    req: Request,
+    enqueued: Instant,
+}
+
+/// The live statistics a stats query ([`QueryServer::submit_stats`])
+/// answers with.
+#[derive(Clone, Debug)]
+pub struct StatsReport {
+    /// The stats request's own id.
+    pub request_id: u64,
+    /// Quantiles of `serve.stage.ns{stage=queue_wait}`, merged across
+    /// tiers (`None` until at least one query has been served).
+    pub queue_wait: Option<QuantileView>,
+    /// Quantiles of the tier-selection stage.
+    pub select: Option<QuantileView>,
+    /// Quantiles of the execute stage.
+    pub execute: Option<QuantileView>,
+    /// The image's hottest program counters `(pc, executions)` from a
+    /// deterministic profiling run, hottest first.
+    pub hot_pcs: Vec<(usize, u64)>,
+    /// Full metric snapshot at answer time.
+    pub snapshot: Snapshot,
+}
+
+impl StatsReport {
+    /// Renders the report as one JSON document (`metrics` embeds the
+    /// full `metrics.json` snapshot).
+    pub fn to_json(&self) -> String {
+        let quantiles = |v: &Option<QuantileView>| match v {
+            Some(q) => format!(
+                "{{\"count\": {}, \"p50\": {:.1}, \"p90\": {:.1}, \"p99\": {:.1}, \"max\": {}}}",
+                q.count, q.p50, q.p90, q.p99, q.max
+            ),
+            None => "null".to_string(),
+        };
+        let hot: Vec<String> = self
+            .hot_pcs
+            .iter()
+            .map(|(pc, n)| format!("{{\"pc\": {pc}, \"count\": {n}}}"))
+            .collect();
+        format!(
+            "{{\"request_id\": {}, \"stages\": {{\"queue_wait\": {}, \"select\": {}, \
+             \"execute\": {}}}, \"hot_pcs\": [{}], \"metrics\": {}}}",
+            self.request_id,
+            quantiles(&self.queue_wait),
+            quantiles(&self.select),
+            quantiles(&self.execute),
+            hot.join(", "),
+            self.snapshot.to_json()
+        )
+    }
+}
+
+/// What a successful request produced.
+#[derive(Clone, Debug)]
+pub enum QueryAnswer {
+    /// Emulator steps of a successful run query.
+    Steps(u64),
+    /// The report of a live stats query (boxed: the report carries a
+    /// full metric snapshot and would otherwise dominate the enum).
+    Stats(Box<StatsReport>),
+}
+
+impl QueryAnswer {
+    /// The step count, if this answered a run query.
+    pub fn steps(&self) -> Option<u64> {
+        match self {
+            QueryAnswer::Steps(s) => Some(*s),
+            QueryAnswer::Stats(_) => None,
+        }
+    }
+
+    /// The report, if this answered a stats query.
+    pub fn stats(&self) -> Option<&StatsReport> {
+        match self {
+            QueryAnswer::Stats(r) => Some(r),
+            QueryAnswer::Steps(_) => None,
         }
     }
 }
@@ -55,16 +198,17 @@ impl Default for ServerConfig {
 /// The answer to one query.
 #[derive(Clone, Debug)]
 pub struct QueryResult {
-    /// The id passed to [`QueryServer::submit`].
+    /// The id passed to [`QueryServer::submit`] (or
+    /// [`QueryServer::submit_stats`]).
     pub id: u64,
-    /// Emulator steps on success; a rendered error otherwise. A
-    /// worker panic surfaces here as an error string, never as a dead
+    /// The answer on success; a rendered error otherwise. A worker
+    /// panic surfaces here as an error string, never as a dead
     /// thread.
-    pub outcome: Result<u64, String>,
+    pub outcome: Result<QueryAnswer, String>,
 }
 
 struct Queue {
-    pending: VecDeque<u64>,
+    pending: VecDeque<Pending>,
     closed: bool,
 }
 
@@ -77,6 +221,16 @@ struct Shared {
     results: Mutex<Vec<QueryResult>>,
     capacity: usize,
     max_batch: usize,
+    /// `serve.queue.depth`: +1 on enqueue, -batch on dequeue.
+    depth: Gauge,
+    flight: Arc<FlightRecorder>,
+    flight_dir: Option<PathBuf>,
+    slow_query_ns: Option<u64>,
+    /// Distinguishes dump files triggered by the same request id.
+    dump_seq: AtomicU64,
+    /// Hottest pcs of the shared image, profiled lazily on the first
+    /// stats query (deterministic, so once is enough).
+    hot_pcs: OnceLock<Vec<(usize, u64)>>,
 }
 
 /// A running worker pool answering queries against one shared
@@ -88,38 +242,137 @@ pub struct QueryServer {
     workers: Vec<JoinHandle<()>>,
 }
 
-fn run_one(compiled: &Compiled, id: u64, obs: &Registry) -> QueryResult {
-    let _span = obs.span("serve.query", &[]);
+/// Writes the flight ring to `flight_dir` with a header line naming
+/// the triggering request. Never panics: dump failures are counted
+/// and otherwise ignored — an incident dump must not take the server
+/// down with it.
+fn dump_flight(shared: &Shared, obs: &Registry, req_id: u64, reason: &str, elapsed_ns: u64) {
+    let Some(dir) = &shared.flight_dir else {
+        return;
+    };
+    if !shared.flight.enabled() {
+        return;
+    }
+    shared.flight.record(FlightKind::Dump, req_id, 0);
+    let n = shared.dump_seq.fetch_add(1, Ordering::Relaxed);
+    let mut doc = format!(
+        "{{\"request_id\": {req_id}, \"reason\": \"{reason}\", \"elapsed_ns\": {elapsed_ns}, \
+         \"dropped\": {}}}\n",
+        shared.flight.dropped()
+    );
+    doc.push_str(&shared.flight.dump_ndjson());
+    let ok = std::fs::create_dir_all(dir).is_ok()
+        && std::fs::write(dir.join(format!("flight-{req_id}-{n}.ndjson")), doc).is_ok();
+    let status = if ok { "ok" } else { "write_failed" };
+    obs.counter(
+        "serve.flight.dumps",
+        &[("reason", reason), ("status", status)],
+    )
+    .inc();
+}
+
+fn stats_report(compiled: &Compiled, obs: &Registry, shared: &Shared, id: u64) -> StatsReport {
+    let hot_pcs = shared
+        .hot_pcs
+        .get_or_init(|| {
+            compiled
+                .profile()
+                .map(|(stats, _, _)| stats.hot_pcs(8))
+                .unwrap_or_default()
+        })
+        .clone();
+    let snapshot = obs.snapshot();
+    let stage = |name: &str| {
+        QuantileView::from_samples(snapshot.histograms.iter().filter(|h| {
+            h.name == "serve.stage.ns" && h.labels.iter().any(|(k, v)| k == "stage" && v == name)
+        }))
+    };
+    StatsReport {
+        request_id: id,
+        queue_wait: stage("queue_wait"),
+        select: stage("select"),
+        execute: stage("execute"),
+        hot_pcs,
+        snapshot,
+    }
+}
+
+fn run_one(
+    compiled: &Compiled,
+    req: &Request,
+    waited_ns: u64,
+    obs: &Registry,
+    shared: &Shared,
+) -> QueryResult {
+    let id = req.id();
+    let flight = &shared.flight;
+    // Tier selection is timed as its own stage: today it is one
+    // branch, but it is where a multi-image server would route, and
+    // the split keeps queue wait and execute honest.
+    let t_select = Instant::now();
     let tier = if compiled.fused.is_some() {
         "fused"
     } else {
         "decoded"
     };
-    let outcome = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        compiled.run_sequential_fast()
-    })) {
+    let select_ns = t_select.elapsed().as_nanos() as u64;
+    obs.histogram("serve.stage.ns", &[("stage", "queue_wait"), ("tier", tier)])
+        .record(waited_ns);
+    obs.histogram("serve.stage.ns", &[("stage", "select"), ("tier", tier)])
+        .record(select_ns);
+
+    if let Request::Stats(id) = req {
+        flight.record(FlightKind::StatsQuery, *id, 0);
+        let report = stats_report(compiled, obs, shared, *id);
+        obs.counter("serve.queries.stats", &[]).inc();
+        return QueryResult {
+            id: *id,
+            outcome: Ok(QueryAnswer::Stats(Box::new(report))),
+        };
+    }
+
+    flight.record(FlightKind::QueryStart, id, 0);
+    let probe = matches!(req, Request::PanicProbe(_));
+    let t_exec = Instant::now();
+    let ran = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        if probe {
+            panic!("panic probe");
+        }
+        compiled.run_query_obs(obs, id)
+    }));
+    let execute_ns = t_exec.elapsed().as_nanos() as u64;
+    obs.histogram("serve.stage.ns", &[("stage", "execute"), ("tier", tier)])
+        .record(execute_ns);
+    let panicked = ran.is_err();
+    let outcome = match ran {
         Ok(Ok(run)) => {
             obs.counter("serve.queries.ok", &[]).inc();
             obs.counter("serve.tier", &[("tier", tier)]).inc();
-            Ok(run.steps)
+            flight.record(FlightKind::QueryOk, id, run.steps);
+            Ok(QueryAnswer::Steps(run.steps))
         }
         Ok(Err(e)) => {
             obs.counter("serve.queries.failed", &[]).inc();
+            flight.record(FlightKind::QueryFail, id, 0);
             Err(e.to_string())
         }
         Err(_) => {
             obs.counter("serve.queries.panicked", &[]).inc();
+            flight.record(FlightKind::QueryPanic, id, 0);
+            dump_flight(shared, obs, id, "panic", execute_ns);
             Err("query panicked".to_string())
         }
     };
+    if !panicked && shared.slow_query_ns.is_some_and(|t| execute_ns >= t) {
+        dump_flight(shared, obs, id, "slow", execute_ns);
+    }
     QueryResult { id, outcome }
 }
 
 fn worker_loop(shared: &Shared, compiled: &Compiled, obs: &Registry) {
-    let depth = obs.gauge("serve.queue.depth", &[]);
     let batch_sizes = obs.histogram("serve.batch", &[]);
     loop {
-        let batch: Vec<u64> = {
+        let batch: Vec<Pending> = {
             let mut q = shared.queue.lock().expect("queue lock");
             loop {
                 if !q.pending.is_empty() {
@@ -131,15 +384,21 @@ fn worker_loop(shared: &Shared, compiled: &Compiled, obs: &Registry) {
                 q = shared.work.wait(q).expect("queue lock");
             }
             let n = q.pending.len().min(shared.max_batch);
-            let batch = q.pending.drain(..n).collect();
-            depth.set(q.pending.len() as i64);
+            let batch: Vec<Pending> = q.pending.drain(..n).collect();
+            shared.depth.add(-(n as i64));
+            shared
+                .flight
+                .record(FlightKind::Dequeue, batch[0].req.id(), n as u64);
             shared.space.notify_all();
             batch
         };
         batch_sizes.record(batch.len() as u64);
         let answered: Vec<QueryResult> = batch
             .into_iter()
-            .map(|id| run_one(compiled, id, obs))
+            .map(|p| {
+                let waited_ns = p.enqueued.elapsed().as_nanos() as u64;
+                run_one(compiled, &p.req, waited_ns, obs, shared)
+            })
             .collect();
         shared
             .results
@@ -154,6 +413,25 @@ impl QueryServer {
     /// `compiled`. The registry may be shared with the artifact cache
     /// so one `metrics.json` covers both tiers.
     pub fn start(compiled: Arc<Compiled>, cfg: &ServerConfig, obs: &Registry) -> Self {
+        Self::start_with_flight(
+            compiled,
+            cfg,
+            obs,
+            Arc::new(FlightRecorder::new(cfg.flight_capacity)),
+        )
+    }
+
+    /// [`QueryServer::start`] recording into a caller-supplied flight
+    /// ring instead of a fresh one — share it with the
+    /// [`crate::cache::ArtifactCache`] (and across restarts of the
+    /// server) so one dump shows cache and query traffic interleaved.
+    /// `cfg.flight_capacity` is ignored on this path.
+    pub fn start_with_flight(
+        compiled: Arc<Compiled>,
+        cfg: &ServerConfig,
+        obs: &Registry,
+        flight: Arc<FlightRecorder>,
+    ) -> Self {
         let shared = Arc::new(Shared {
             queue: Mutex::new(Queue {
                 pending: VecDeque::new(),
@@ -164,6 +442,12 @@ impl QueryServer {
             results: Mutex::new(Vec::new()),
             capacity: cfg.queue_capacity.max(1),
             max_batch: cfg.max_batch.max(1),
+            depth: obs.gauge("serve.queue.depth", &[]),
+            flight,
+            flight_dir: cfg.flight_dir.clone(),
+            slow_query_ns: cfg.slow_query_ns,
+            dump_seq: AtomicU64::new(0),
+            hot_pcs: OnceLock::new(),
         });
         let workers = (0..cfg.workers.max(1))
             .map(|_| {
@@ -176,7 +460,30 @@ impl QueryServer {
         QueryServer { shared, workers }
     }
 
-    /// Enqueues one query, blocking while the queue is full.
+    /// The server's flight recorder (disabled when
+    /// `ServerConfig::flight_capacity` was 0). Snapshot or dump it at
+    /// any time, including while queries are in flight.
+    pub fn flight(&self) -> Arc<FlightRecorder> {
+        Arc::clone(&self.shared.flight)
+    }
+
+    fn enqueue(&self, req: Request) {
+        let id = req.id();
+        let mut q = self.shared.queue.lock().expect("queue lock");
+        while q.pending.len() >= self.shared.capacity {
+            q = self.shared.space.wait(q).expect("queue lock");
+        }
+        q.pending.push_back(Pending {
+            req,
+            enqueued: Instant::now(),
+        });
+        let depth = q.pending.len() as u64;
+        self.shared.depth.add(1);
+        self.shared.flight.record(FlightKind::Enqueue, id, depth);
+        self.shared.work.notify_one();
+    }
+
+    /// Enqueues one run query, blocking while the queue is full.
     ///
     /// # Panics
     ///
@@ -185,12 +492,31 @@ impl QueryServer {
     /// poisoned, which only happens after a panic *outside* the
     /// `catch_unwind`-protected query path — an internal bug.
     pub fn submit(&self, id: u64) {
-        let mut q = self.shared.queue.lock().expect("queue lock");
-        while q.pending.len() >= self.shared.capacity {
-            q = self.shared.space.wait(q).expect("queue lock");
-        }
-        q.pending.push_back(id);
-        self.shared.work.notify_one();
+        self.enqueue(Request::Run(id));
+    }
+
+    /// Enqueues a live stats query: the worker that dequeues it
+    /// answers with a [`StatsReport`] over the shared registry instead
+    /// of running the image.
+    ///
+    /// # Panics
+    ///
+    /// See [`QueryServer::submit`].
+    pub fn submit_stats(&self, id: u64) {
+        self.enqueue(Request::Stats(id));
+    }
+
+    /// Enqueues a request that panics inside the protected region —
+    /// a containment drill for tests and smoke checks. The panic is
+    /// caught, counted and (when a flight dir is configured) dumped,
+    /// exactly like a real engine defect would be.
+    ///
+    /// # Panics
+    ///
+    /// See [`QueryServer::submit`] (the probe's own panic never
+    /// escapes).
+    pub fn submit_panic_probe(&self, id: u64) {
+        self.enqueue(Request::PanicProbe(id));
     }
 
     /// Closes the queue, waits for every in-flight query, joins the
@@ -234,6 +560,32 @@ mod tests {
         Arc::new(Compiled::from_source("main :- X is 2 + 2, X = 4.").expect("compiles"))
     }
 
+    /// A unique, self-cleaning temp dir for dump tests.
+    struct TempDir(PathBuf);
+
+    impl TempDir {
+        fn new(tag: &str) -> Self {
+            let dir = std::env::temp_dir()
+                .join(format!("symbol-serve-test-{tag}-{}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&dir);
+            TempDir(dir)
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn steps_of(r: &QueryResult) -> u64 {
+        r.outcome
+            .as_ref()
+            .expect("query succeeds")
+            .steps()
+            .expect("run answer")
+    }
+
     #[test]
     fn serves_many_queries_against_one_image() {
         let obs = Registry::new();
@@ -243,6 +595,7 @@ mod tests {
                 workers: 4,
                 queue_capacity: 8,
                 max_batch: 4,
+                ..ServerConfig::default()
             },
             &obs,
         );
@@ -251,9 +604,9 @@ mod tests {
         }
         let results = server.finish();
         assert_eq!(results.len(), 100);
-        let steps = results[0].outcome.clone().expect("query succeeds");
+        let steps = steps_of(&results[0]);
         for r in &results {
-            assert_eq!(r.outcome.clone().expect("query succeeds"), steps);
+            assert_eq!(steps_of(r), steps);
         }
         assert_eq!(
             results.iter().map(|r| r.id).collect::<Vec<_>>(),
@@ -268,6 +621,20 @@ mod tests {
             "no fused tier installed: every query ran decoded"
         );
         assert!(obs.histogram("serve.batch", &[]).count() > 0);
+        assert_eq!(
+            obs.gauge("serve.queue.depth", &[]).get(),
+            0,
+            "every enqueue was matched by a dequeue"
+        );
+        assert_eq!(
+            obs.histogram(
+                "serve.stage.ns",
+                &[("stage", "execute"), ("tier", "decoded")]
+            )
+            .count(),
+            100,
+            "every query recorded its execute latency"
+        );
     }
 
     #[test]
@@ -285,7 +652,7 @@ mod tests {
         assert_eq!(results.len(), 25);
         for r in &results {
             assert_eq!(
-                r.outcome.clone().expect("query succeeds"),
+                steps_of(r),
                 decoded_steps,
                 "fused tier is bit-identical to decoded"
             );
@@ -309,6 +676,7 @@ mod tests {
             assert!(r.outcome.is_err());
         }
         assert_eq!(obs.counter("serve.queries.failed", &[]).get(), 10);
+        assert_eq!(obs.gauge("serve.queue.depth", &[]).get(), 0);
     }
 
     #[test]
@@ -319,6 +687,8 @@ mod tests {
                 workers: 0,
                 queue_capacity: 0,
                 max_batch: 0,
+                flight_capacity: 0,
+                ..ServerConfig::default()
             },
             &Registry::disabled(),
         );
@@ -326,5 +696,146 @@ mod tests {
         let results = server.finish();
         assert_eq!(results.len(), 1);
         assert!(results[0].outcome.is_ok());
+    }
+
+    #[test]
+    fn stats_query_answers_live_quantiles_and_hot_pcs() {
+        let obs = Registry::new();
+        let server = QueryServer::start(compiled(), &ServerConfig::default(), &obs);
+        for id in 0..40 {
+            server.submit(id);
+        }
+        server.submit_stats(1000);
+        let results = server.finish();
+        assert_eq!(results.len(), 41);
+        let stats = results
+            .iter()
+            .find(|r| r.id == 1000)
+            .expect("stats result present");
+        let report = stats
+            .outcome
+            .as_ref()
+            .expect("stats succeeds")
+            .stats()
+            .expect("stats answer");
+        assert_eq!(report.request_id, 1000);
+        let exec = report.execute.expect("execute quantiles after 40 queries");
+        assert!(exec.count >= 1);
+        assert!(exec.is_finite(), "p99 must be finite: {exec:?}");
+        assert!(exec.p50 <= exec.p99);
+        let wait = report.queue_wait.expect("queue-wait quantiles");
+        assert!(wait.is_finite());
+        assert!(!report.hot_pcs.is_empty(), "hot pcs from the lazy profile");
+        assert!(
+            report.hot_pcs.windows(2).all(|w| w[0].1 >= w[1].1),
+            "hot pcs are hottest-first: {:?}",
+            report.hot_pcs
+        );
+        assert!(
+            report
+                .snapshot
+                .counters
+                .iter()
+                .any(|c| c.name == "serve.queries.ok"),
+            "report embeds the live snapshot"
+        );
+        let json = report.to_json();
+        assert!(json.contains("\"request_id\": 1000"));
+        assert!(json.contains("\"hot_pcs\""));
+        assert_eq!(obs.counter("serve.queries.stats", &[]).get(), 1);
+    }
+
+    #[test]
+    fn panic_probe_is_contained_counted_and_dumped() {
+        let tmp = TempDir::new("panic");
+        let obs = Registry::new();
+        let server = QueryServer::start(
+            compiled(),
+            &ServerConfig {
+                flight_dir: Some(tmp.0.clone()),
+                ..ServerConfig::default()
+            },
+            &obs,
+        );
+        for id in 0..10 {
+            server.submit(id);
+        }
+        server.submit_panic_probe(77);
+        let results = server.finish();
+        assert_eq!(results.len(), 11);
+        let probe = results.iter().find(|r| r.id == 77).expect("probe result");
+        assert_eq!(probe.outcome.as_ref().unwrap_err(), "query panicked");
+        assert_eq!(obs.counter("serve.queries.panicked", &[]).get(), 1);
+        assert_eq!(obs.counter("serve.queries.ok", &[]).get(), 10);
+        assert_eq!(
+            obs.gauge("serve.queue.depth", &[]).get(),
+            0,
+            "depth returns to zero through the panic path too"
+        );
+        let dumps: Vec<_> = std::fs::read_dir(&tmp.0)
+            .expect("dump dir exists")
+            .map(|e| e.expect("entry").path())
+            .collect();
+        assert_eq!(dumps.len(), 1, "one panic dump: {dumps:?}");
+        let body = std::fs::read_to_string(&dumps[0]).expect("dump readable");
+        assert!(body.starts_with("{\"request_id\": 77, \"reason\": \"panic\""));
+        assert!(body.contains("\"kind\": \"query_panic\""));
+        assert_eq!(
+            obs.counter(
+                "serve.flight.dumps",
+                &[("reason", "panic"), ("status", "ok")]
+            )
+            .get(),
+            1
+        );
+    }
+
+    #[test]
+    fn slow_query_trigger_dumps_with_the_request_id() {
+        let tmp = TempDir::new("slow");
+        let obs = Registry::new();
+        let server = QueryServer::start(
+            compiled(),
+            &ServerConfig {
+                workers: 1,
+                flight_dir: Some(tmp.0.clone()),
+                slow_query_ns: Some(0),
+                ..ServerConfig::default()
+            },
+            &obs,
+        );
+        server.submit(5);
+        let results = server.finish();
+        assert!(results[0].outcome.is_ok());
+        let dumps: Vec<_> = std::fs::read_dir(&tmp.0)
+            .expect("dump dir exists")
+            .map(|e| e.expect("entry").path())
+            .collect();
+        assert_eq!(dumps.len(), 1);
+        let body = std::fs::read_to_string(&dumps[0]).expect("dump readable");
+        assert!(body.starts_with("{\"request_id\": 5, \"reason\": \"slow\""));
+        assert!(body.contains("\"kind\": \"query_start\""));
+        assert!(body.contains("\"kind\": \"enqueue\""));
+    }
+
+    #[test]
+    fn flight_ring_traces_the_request_lifecycle() {
+        let obs = Registry::new();
+        let server = QueryServer::start(compiled(), &ServerConfig::default(), &obs);
+        let flight = server.flight();
+        assert!(flight.enabled());
+        for id in 0..5 {
+            server.submit(id);
+        }
+        server.finish();
+        let kinds: Vec<&str> = flight.snapshot().iter().map(|r| r.kind_name()).collect();
+        for kind in ["enqueue", "dequeue", "query_start", "query_ok"] {
+            assert!(kinds.contains(&kind), "{kind} missing from {kinds:?}");
+        }
+        assert_eq!(
+            kinds.iter().filter(|k| **k == "query_ok").count(),
+            5,
+            "every query left an ok record"
+        );
     }
 }
