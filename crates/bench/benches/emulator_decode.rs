@@ -17,6 +17,13 @@
 //!   is built on (slightly under 1.0 to absorb shared-runner timing
 //!   noise; the tier must at minimum break even, not pay for itself),
 //!   or
+//! * any **single** benchmark's fused speedup drops below
+//!   [`MIN_FUSED_PER_BENCH`] — a geomean can hide one benchmark the
+//!   profitability threshold mis-tiered behind fifteen that fused
+//!   well; the per-benchmark floor cannot (a benchmark that lands
+//!   under the floor is confirmed by paired back-to-back re-measures
+//!   before failing — see [`remeasure_fused`] — so scheduler hiccups
+//!   on a shared runner do not fail the gate), or
 //! * running through the observability layer with a
 //!   [`Registry::disabled`] costs more than [`MAX_OBS_OVERHEAD`] over
 //!   the plain engine (the zero-cost-when-off guarantee of
@@ -52,6 +59,14 @@ const MAX_FLIGHT_OVERHEAD: f64 = 0.05;
 /// decoded engine it rewrites. 1.0 would be the true break-even line;
 /// the 2% allowance absorbs wall-clock jitter on shared CI runners.
 const MIN_FUSED_SPEEDUP: f64 = 0.98;
+
+/// Smallest tolerated fused speedup on any **individual** benchmark.
+/// Looser than the geomean floor (single measurements are noisier
+/// than a 16-benchmark mean), but strict enough that a benchmark the
+/// profitability threshold should have left un-fused — fusing
+/// once-executed pairs whose superinstruction dispatch costs more
+/// than it saves — fails the gate instead of hiding in the mean.
+const MIN_FUSED_PER_BENCH: f64 = 0.95;
 
 /// One benchmark's legacy/decoded/fused emulator comparison.
 struct Row {
@@ -227,6 +242,59 @@ fn measure(h: &mut Harness) -> Vec<Row> {
     rows
 }
 
+/// A fresh decoded-vs-fused confirmation of `name`, used before
+/// failing the per-benchmark floor gate. The first pass times every
+/// engine of every benchmark minutes apart, so a descheduling blip or
+/// a frequency step can dent one ratio; on shared runners identical
+/// programs measured one-sidedly read 15% apart. Two defences:
+///
+/// * if the fusion pass selected zero pairs, the fused program is
+///   bit-identical to the decoded one and the ratio is 1.0 by
+///   construction — no measurement, no noise;
+/// * otherwise up to three *paired* rounds, each timing decoded then
+///   fused immediately back-to-back, keeping the **best** ratio seen:
+///   noise can fake a slow round but never a fast one, so a violation
+///   that survives every round is a real regression.
+fn remeasure_fused(name: &str) -> f64 {
+    let b = benchmarks::ALL
+        .iter()
+        .find(|b| b.name == name)
+        .expect("known benchmark");
+    let mut c = Compiled::from_source_with_layout(b.source, layout_for(name)).expect("compiles");
+    c.build_fused_tier().expect("fuses");
+    let tier = c.fused.as_ref().expect("tier installed");
+    if tier.report.pairs == 0 {
+        println!("recheck/{name}: 0 pairs fused, program unchanged");
+        return 1.0;
+    }
+    let cfg = ExecConfig::default();
+    let mut best = 0.0f64;
+    for round in 0..3 {
+        let mut h = Harness::new();
+        h.bench_function(&format!("recheck{round}/decoded/{name}"), |bch| {
+            bch.iter(|| {
+                DecodedEmulator::new(&c.decoded, &c.layout)
+                    .run(&cfg)
+                    .expect("runs")
+            })
+        });
+        h.bench_function(&format!("recheck{round}/fused/{name}"), |bch| {
+            bch.iter(|| {
+                DecodedEmulator::new(&tier.program, &c.layout)
+                    .run(&cfg)
+                    .expect("runs")
+            })
+        });
+        let n = h.samples().len();
+        best =
+            best.max(h.samples()[n - 2].mean.as_secs_f64() / h.samples()[n - 1].mean.as_secs_f64());
+        if best >= MIN_FUSED_PER_BENCH {
+            break;
+        }
+    }
+    best
+}
+
 fn geomean(ratios: impl Iterator<Item = f64>) -> f64 {
     let (log_sum, n) = ratios.fold((0.0f64, 0usize), |(s, n), r| (s + r.ln(), n + 1));
     (log_sum / n.max(1) as f64).exp()
@@ -368,6 +436,27 @@ fn main() {
             summary.fused_geomean
         );
         std::process::exit(1);
+    }
+    if check {
+        for r in &rows {
+            let first = r.fused_speedup();
+            if first >= MIN_FUSED_PER_BENCH {
+                continue;
+            }
+            let confirmed = remeasure_fused(r.name);
+            println!(
+                "re-measured {}: fused {confirmed:.3}x (first pass {first:.3}x)",
+                r.name
+            );
+            if confirmed < MIN_FUSED_PER_BENCH {
+                eprintln!(
+                    "FAIL: fused tier regresses {} ({confirmed:.3}x < \
+                     {MIN_FUSED_PER_BENCH:.2}x per-benchmark floor)",
+                    r.name
+                );
+                std::process::exit(1);
+            }
+        }
     }
     if check && summary.obs_overhead > MAX_OBS_OVERHEAD {
         eprintln!(

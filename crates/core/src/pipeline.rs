@@ -6,6 +6,7 @@ use std::error::Error;
 use std::fmt;
 
 use symbol_bam::BamProgram;
+use symbol_intcode::batch::{self, ArenaPool, BatchOutcome};
 use symbol_intcode::decode::{DecodedEmulator, DecodedProgram, ExecProfile};
 use symbol_intcode::emu::{Emulator, ExecConfig, ExecStats, Outcome, RunResult};
 use symbol_intcode::fuse::{self, FuseConfig, FusionReport};
@@ -461,6 +462,72 @@ impl Compiled {
         }
     }
 
+    /// The program the serving tier executes: the fused second tier
+    /// when one is installed, the plain decoded program otherwise.
+    /// Both are bit-identical in behavior.
+    pub fn serving_program(&self) -> &DecodedProgram {
+        self.fused
+            .as_ref()
+            .map_or(&self.decoded, |tier| &tier.program)
+    }
+
+    /// Runs a batch of independent queries back-to-back against the
+    /// serving program (fused when installed), reusing pooled engine
+    /// state — no per-query register/heap allocation once the pool is
+    /// warm. Answers come back in query index order and each is
+    /// bit-identical (outcome, step count, errors) to a standalone
+    /// [`Compiled::run_sequential_fast`] of the same query.
+    pub fn run_batch(&self, queries: &[ExecConfig], pool: &mut ArenaPool) -> Vec<BatchOutcome> {
+        batch::run_batch(self.serving_program(), &self.layout, queries, pool)
+    }
+
+    /// [`Compiled::run_batch`] fanned out over `workers` scoped
+    /// threads (contiguous chunks, per-worker arenas). Index-ordered
+    /// and bit-identical to the sequential batch for every worker
+    /// count.
+    pub fn run_batch_parallel(&self, queries: &[ExecConfig], workers: usize) -> Vec<BatchOutcome> {
+        batch::run_batch_parallel(self.serving_program(), &self.layout, queries, workers)
+    }
+
+    /// One serving-tier *batch* request: `n` default-config queries
+    /// run back-to-back on pooled state under a per-request trace
+    /// span, each answer self-checked exactly like
+    /// [`Compiled::run_query_obs`]. Returns per-query step counts in
+    /// query index order.
+    ///
+    /// # Errors
+    ///
+    /// Per query: [`PipelineError::WrongAnswer`] on a failed
+    /// self-check, [`PipelineError::Exec`] on machine errors.
+    pub fn run_query_batch_obs(
+        &self,
+        obs: &Registry,
+        req_id: u64,
+        n: usize,
+        pool: &mut ArenaPool,
+    ) -> Vec<Result<u64, PipelineError>> {
+        let req = req_id.to_string();
+        let batch_n = n.to_string();
+        let tier = if self.fused.is_some() {
+            "fused"
+        } else {
+            "decoded"
+        };
+        let _span = obs.event_span(
+            "serve.query_batch",
+            &[("req", &req), ("n", &batch_n), ("tier", tier)],
+        );
+        let queries = vec![ExecConfig::default(); n];
+        self.run_batch(&queries, pool)
+            .into_iter()
+            .map(|out| match out.result {
+                Ok(Outcome::Success) => Ok(out.steps),
+                Ok(_) => Err(PipelineError::WrongAnswer),
+                Err(e) => Err(PipelineError::Exec(e)),
+            })
+            .collect()
+    }
+
     /// One serving-tier query: [`Compiled::run_sequential_fast`] under
     /// a per-request trace span carrying the request id and the tier
     /// that answered. The span is a [`Registry::event_span`] — trace
@@ -648,6 +715,47 @@ mod tests {
             obs.counter("fuse.dispatches_saved", labels).get(),
             report.dispatches_saved
         );
+    }
+
+    #[test]
+    fn batched_queries_match_sequential_on_both_tiers() {
+        let src = "main :- count(40). count(0). count(N) :- N > 0, M is N - 1, count(M).";
+        let mut c = Compiled::from_source(src).unwrap();
+        let seq = c.run_sequential().unwrap();
+        let queries = vec![ExecConfig::default(); 5];
+        let mut pool = ArenaPool::new();
+        for tiered in [false, true] {
+            if tiered {
+                c.build_fused_tier().unwrap();
+            }
+            let out = c.run_batch(&queries, &mut pool);
+            assert_eq!(out.len(), 5);
+            for o in &out {
+                assert_eq!(o.result, Ok(Outcome::Success));
+                assert_eq!(o.steps, seq.steps, "tiered={tiered}");
+            }
+            for workers in [1, 2, 4] {
+                assert_eq!(c.run_batch_parallel(&queries, workers), out);
+            }
+        }
+        let obs = Registry::new();
+        let answers = c.run_query_batch_obs(&obs, 7, 3, &mut pool);
+        assert_eq!(answers.len(), 3);
+        for a in answers {
+            assert_eq!(a.unwrap(), seq.steps);
+        }
+        // A step-limited query mid-batch errs alone, in place.
+        let mixed = [
+            ExecConfig::default(),
+            ExecConfig { max_steps: 3 },
+            ExecConfig::default(),
+        ];
+        let out = c.run_batch(&mixed, &mut pool);
+        assert_eq!(out[0].result, Ok(Outcome::Success));
+        assert!(out[1].result.is_err());
+        assert_eq!(out[1].steps, 3);
+        assert_eq!(out[2].result, Ok(Outcome::Success));
+        assert_eq!(out[2].steps, seq.steps);
     }
 
     #[test]

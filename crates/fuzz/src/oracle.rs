@@ -9,6 +9,11 @@
 //!    profile-guided [`fuse`] pass rewrites the decoded program and the
 //!    fused engine must match legacy bit for bit too — every generated
 //!    program cross-checks superinstruction fusion from day one;
+//!    finally the same query is run three times through the pooled
+//!    concurrent batch executor ([`batch::run_batch_parallel`], two
+//!    workers) and every copy must reproduce the sequential result and
+//!    step count exactly — the serving tier's bit-identical contract,
+//!    cross-checked on every generated program;
 //! 2. when the sequential run is clean, the program is compacted for a
 //!    small matrix of `(mode, machine)` configurations via
 //!    [`try_compact`] — an illegal schedule is a finding, and
@@ -27,7 +32,9 @@ use symbol_compactor::{try_compact, verify_program, CompactMode, TracePolicy};
 use symbol_core::Compiled;
 use symbol_intcode::emu::ExecConfig;
 use symbol_intcode::fuse::{fuse, FuseConfig};
-use symbol_intcode::{DecodedEmulator, DecodedProgram, Emulator, IciProgram, Layout, Outcome};
+use symbol_intcode::{
+    batch, DecodedEmulator, DecodedProgram, Emulator, IciProgram, Layout, Outcome,
+};
 use symbol_vliw::{DecodedVliw, DecodedVliwSim, MachineConfig, SimConfig, SimOutcome, VliwSim};
 
 use crate::gen_intcode::{frag_layout, IntFrag};
@@ -87,6 +94,10 @@ pub enum FailureKind {
     /// The profile-guided fused engine disagrees with the legacy
     /// engine (a fusion-pass or fused-step-loop bug).
     FusedDivergence,
+    /// The pooled concurrent batch executor disagrees with the
+    /// sequential engine (a state-pooling or reset bug: a query saw a
+    /// neighbour's leftover heap/trail, or stealing perturbed order).
+    BatchDivergence,
     /// Clean run, wrong answer against the generator's prediction.
     Expectation,
     /// [`try_compact`] (or the explicit [`verify_program`] hook)
@@ -109,6 +120,7 @@ impl FailureKind {
             FailureKind::Build => "build".into(),
             FailureKind::SeqDivergence => "seq-divergence".into(),
             FailureKind::FusedDivergence => "fused-divergence".into(),
+            FailureKind::BatchDivergence => "batch-divergence".into(),
             FailureKind::Expectation => "expectation".into(),
             FailureKind::CompactViolation(i) => format!("compact-violation-{i}"),
             FailureKind::VliwDivergence(i) => format!("vliw-divergence-{i}"),
@@ -126,6 +138,7 @@ impl FailureKind {
             "build" => Some(FailureKind::Build),
             "seq-divergence" => Some(FailureKind::SeqDivergence),
             "fused-divergence" => Some(FailureKind::FusedDivergence),
+            "batch-divergence" => Some(FailureKind::BatchDivergence),
             "expectation" => Some(FailureKind::Expectation),
             "panic" => Some(FailureKind::Panic),
             _ => indexed("compact-violation-")
@@ -245,6 +258,25 @@ fn check_program(
         });
     }
 
+    // Stage 1¾: the pooled concurrent batch executor. Three copies of
+    // the same query across two workers: every copy must reproduce the
+    // sequential run bit for bit — result, error, and step count —
+    // errors and step limits included. A divergence here means pooled
+    // engine state leaked between queries or worker scheduling changed
+    // execution, the exact bugs the serving tier must never have.
+    let batch = batch::run_batch_parallel(&decoded, layout, &[exec_cfg; 3], 2);
+    for (i, b) in batch.iter().enumerate() {
+        if b.result != lr || b.steps != lsteps {
+            return Err(Failure {
+                kind: FailureKind::BatchDivergence,
+                detail: format!(
+                    "sequential: {lr:?} in {lsteps} steps; batch query {i}/3: {:?} in {} steps",
+                    b.result, b.steps
+                ),
+            });
+        }
+    }
+
     let outcome = match &lr {
         Ok(o) => *o,
         Err(e) => {
@@ -338,6 +370,7 @@ mod tests {
             FailureKind::Build,
             FailureKind::SeqDivergence,
             FailureKind::FusedDivergence,
+            FailureKind::BatchDivergence,
             FailureKind::Expectation,
             FailureKind::CompactViolation(2),
             FailureKind::VliwDivergence(0),

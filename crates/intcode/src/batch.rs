@@ -1,0 +1,299 @@
+//! Batched multi-query execution against one shared [`DecodedProgram`].
+//!
+//! The serving tier answers many independent queries against the same
+//! compiled image. Creating a fresh [`DecodedEmulator`] per query pays
+//! two allocations (register file + data memory) and re-faults the
+//! engine's working set every time; at serving rates that malloc
+//! traffic is pure overhead. This module keeps per-query engine state
+//! in a pooled, reusable arena instead:
+//!
+//! * [`EngineArena`] owns one query's register/memory buffers. Between
+//!   queries the buffers are re-zeroed in place (`resize` over a
+//!   cleared vector — a straight memset), never reallocated once they
+//!   have grown to the image's shape.
+//! * [`ArenaPool`] is a free list of arenas. A worker acquires one per
+//!   batch, runs every query of the batch back-to-back on it (the
+//!   decode tables stay hot in cache), and releases it.
+//! * [`run_batch`] executes a slice of queries sequentially on one
+//!   arena; [`run_batch_parallel`] fans contiguous chunks out across
+//!   scoped threads, each with its own pool.
+//!
+//! ## Determinism
+//!
+//! Every query is an independent, deterministic execution of the same
+//! image: results depend only on the program, layout and the query's
+//! own [`ExecConfig`]. Both entry points return answers **in query
+//! index order**, so the output is bit-identical to running each query
+//! alone with [`DecodedEmulator::new`] + `run_with_stats` — regardless
+//! of worker count, batch size, or which worker ran which chunk. The
+//! workspace determinism suite and the fuzz oracle's concurrent stage
+//! assert this against the sequential engines.
+
+use crate::decode::{DecodedEmulator, DecodedProgram};
+use crate::emu::{ExecConfig, ExecError, Outcome};
+use crate::layout::Layout;
+use crate::word::Word;
+
+/// One query's worth of reusable engine state: the register file and
+/// data memory buffers a [`DecodedEmulator`] runs on.
+#[derive(Debug, Default)]
+pub struct EngineArena {
+    regs: Vec<Word>,
+    mem: Vec<Word>,
+}
+
+impl EngineArena {
+    /// An empty arena; buffers grow to the image's shape on first use
+    /// and are reused in place afterwards.
+    pub fn new() -> Self {
+        EngineArena::default()
+    }
+
+    /// Combined buffer capacity in words (diagnostics only).
+    pub fn capacity(&self) -> usize {
+        self.regs.capacity() + self.mem.capacity()
+    }
+}
+
+/// A free list of [`EngineArena`]s. Not thread-safe by design: each
+/// worker owns its pool, so the hot path has no synchronization.
+#[derive(Debug, Default)]
+pub struct ArenaPool {
+    free: Vec<EngineArena>,
+}
+
+impl ArenaPool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        ArenaPool::default()
+    }
+
+    /// Takes an arena from the free list, or creates an empty one.
+    pub fn acquire(&mut self) -> EngineArena {
+        self.free.pop().unwrap_or_default()
+    }
+
+    /// Returns an arena to the free list for reuse.
+    pub fn release(&mut self, arena: EngineArena) {
+        self.free.push(arena);
+    }
+
+    /// Arenas currently on the free list.
+    pub fn len(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Whether the free list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.free.is_empty()
+    }
+}
+
+/// The answer to one query of a batch: what `run` would have returned,
+/// plus the exact step count — bit-identical to a standalone
+/// sequential execution of the same query.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct BatchOutcome {
+    /// `Ok(outcome)` on a completed run, the engine error otherwise
+    /// (step limit, bad address, ... — exactly the sequential error).
+    pub result: Result<Outcome, ExecError>,
+    /// Steps executed (also exact on the error paths).
+    pub steps: u64,
+}
+
+/// Runs `queries` back-to-back against `program`, reusing one pooled
+/// arena for every query's engine state. Returns one [`BatchOutcome`]
+/// per query, in query index order.
+///
+/// The hot path performs no per-query allocation once the pool's
+/// buffers have grown to the image's shape: each query re-zeroes the
+/// same register/memory buffers in place.
+pub fn run_batch(
+    program: &DecodedProgram,
+    layout: &Layout,
+    queries: &[ExecConfig],
+    pool: &mut ArenaPool,
+) -> Vec<BatchOutcome> {
+    let mut arena = pool.acquire();
+    let mut out = Vec::with_capacity(queries.len());
+    for cfg in queries {
+        let mut emu = DecodedEmulator::new_in(program, layout, arena.regs, arena.mem);
+        let (result, steps) = emu.run_pooled(cfg);
+        (arena.regs, arena.mem) = emu.into_buffers();
+        out.push(BatchOutcome { result, steps });
+    }
+    pool.release(arena);
+    out
+}
+
+/// [`run_batch`] fanned out over `workers` scoped threads: the query
+/// slice is split into contiguous chunks, each worker runs its chunk
+/// back-to-back on its own arena, and the answers are reassembled in
+/// query index order — bit-identical to [`run_batch`] with any worker
+/// count.
+///
+/// # Panics
+///
+/// Propagates a worker thread's panic (the emulator itself never
+/// panics on any program; the serving tier additionally wraps batch
+/// execution in `catch_unwind`).
+pub fn run_batch_parallel(
+    program: &DecodedProgram,
+    layout: &Layout,
+    queries: &[ExecConfig],
+    workers: usize,
+) -> Vec<BatchOutcome> {
+    let workers = workers.max(1).min(queries.len().max(1));
+    if workers == 1 {
+        return run_batch(program, layout, queries, &mut ArenaPool::new());
+    }
+    let chunk = queries.len().div_ceil(workers);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = queries
+            .chunks(chunk)
+            .map(|q| s.spawn(move || run_batch(program, layout, q, &mut ArenaPool::new())))
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("batch worker panicked"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::Asm;
+    use crate::op::{AluOp, Cond, Op, Operand};
+    use crate::program::IciProgram;
+
+    fn tiny_layout() -> Layout {
+        Layout {
+            heap_size: 64,
+            env_size: 64,
+            cp_size: 64,
+            trail_size: 64,
+            pdl_size: 64,
+        }
+    }
+
+    fn counted_loop(bound: i64) -> IciProgram {
+        let mut a = Asm::new();
+        let e = a.fresh_label();
+        let lp = a.fresh_label();
+        let i = a.fresh_reg();
+        a.bind(e);
+        a.emit(Op::MvI {
+            d: i,
+            w: Word::int(0),
+        });
+        a.bind(lp);
+        a.emit(Op::Alu {
+            op: AluOp::Add,
+            d: i,
+            a: i,
+            b: Operand::Imm(1),
+        });
+        a.emit(Op::Br {
+            cond: Cond::Lt,
+            a: i,
+            b: Operand::Imm(bound),
+            t: lp,
+        });
+        a.emit(Op::Halt { success: true });
+        a.finish(e)
+    }
+
+    fn sequential_reference(
+        program: &DecodedProgram,
+        layout: &Layout,
+        cfg: &ExecConfig,
+    ) -> BatchOutcome {
+        let (result, _stats, steps) = DecodedEmulator::new(program, layout).run_with_stats(cfg);
+        BatchOutcome { result, steps }
+    }
+
+    fn mixed_queries() -> Vec<ExecConfig> {
+        // Successful runs interleaved with step-limited ones, including
+        // limits landing mid-loop — the batch path must reproduce each
+        // sequential result exactly, in order.
+        vec![
+            ExecConfig::default(),
+            ExecConfig { max_steps: 7 },
+            ExecConfig::default(),
+            ExecConfig { max_steps: 0 },
+            ExecConfig { max_steps: 100 },
+            ExecConfig::default(),
+            ExecConfig { max_steps: 13 },
+        ]
+    }
+
+    #[test]
+    fn batch_is_bit_identical_to_sequential_per_query() {
+        let p = counted_loop(500);
+        let layout = tiny_layout();
+        let decoded = DecodedProgram::new(&p);
+        let queries = mixed_queries();
+        let want: Vec<BatchOutcome> = queries
+            .iter()
+            .map(|cfg| sequential_reference(&decoded, &layout, cfg))
+            .collect();
+        let mut pool = ArenaPool::new();
+        let got = run_batch(&decoded, &layout, &queries, &mut pool);
+        assert_eq!(got, want);
+        assert_eq!(pool.len(), 1, "the batch's arena returned to the pool");
+        // A second batch on the same pool reuses the buffers and stays
+        // bit-identical (no state leaks between queries or batches).
+        let again = run_batch(&decoded, &layout, &queries, &mut pool);
+        assert_eq!(again, want);
+        assert_eq!(pool.len(), 1);
+    }
+
+    #[test]
+    fn parallel_batches_are_independent_of_worker_count() {
+        let p = counted_loop(300);
+        let layout = tiny_layout();
+        let decoded = DecodedProgram::new(&p);
+        let queries: Vec<ExecConfig> = (0..17)
+            .map(|i| match i % 3 {
+                0 => ExecConfig::default(),
+                1 => ExecConfig { max_steps: i },
+                _ => ExecConfig { max_steps: 50 },
+            })
+            .collect();
+        let want = run_batch(&decoded, &layout, &queries, &mut ArenaPool::new());
+        for workers in [1, 2, 4, 8, 32] {
+            let got = run_batch_parallel(&decoded, &layout, &queries, workers);
+            assert_eq!(got, want, "{workers}-worker batch diverged");
+        }
+    }
+
+    #[test]
+    fn empty_and_oversubscribed_batches_are_fine() {
+        let p = counted_loop(10);
+        let layout = tiny_layout();
+        let decoded = DecodedProgram::new(&p);
+        assert!(run_batch_parallel(&decoded, &layout, &[], 4).is_empty());
+        let one = [ExecConfig::default()];
+        let got = run_batch_parallel(&decoded, &layout, &one, 16);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].result, Ok(Outcome::Success));
+    }
+
+    #[test]
+    fn arena_buffers_are_recycled_not_reallocated() {
+        let p = counted_loop(10);
+        let layout = tiny_layout();
+        let decoded = DecodedProgram::new(&p);
+        let mut pool = ArenaPool::new();
+        run_batch(&decoded, &layout, &[ExecConfig::default()], &mut pool);
+        let grown = pool.free[0].capacity();
+        assert!(grown >= layout.total(), "buffers grew to the image shape");
+        run_batch(&decoded, &layout, &mixed_queries(), &mut pool);
+        assert_eq!(
+            pool.free[0].capacity(),
+            grown,
+            "later batches reuse the same capacity"
+        );
+    }
+}

@@ -462,14 +462,58 @@ fn store(mem: &mut [Word], addr: i64, w: Word, at: usize) -> Result<(), ExecErro
 impl<'a> DecodedEmulator<'a> {
     /// Creates an emulator with zeroed registers and memory.
     pub fn new(program: &'a DecodedProgram, layout: &Layout) -> Self {
+        Self::new_in(program, layout, Vec::new(), Vec::new())
+    }
+
+    /// Creates an emulator reusing caller-owned buffers for the
+    /// register file and data memory: each is resized to this
+    /// program/layout and re-zeroed in place, so a buffer that already
+    /// served an image of the same shape is recycled without touching
+    /// the allocator. This is the batch executor's
+    /// ([`crate::batch`]) hot-path constructor.
+    pub(crate) fn new_in(
+        program: &'a DecodedProgram,
+        layout: &Layout,
+        mut regs: Vec<Word>,
+        mut mem: Vec<Word>,
+    ) -> Self {
+        regs.clear();
+        regs.resize(program.num_regs, Word::int(0));
+        mem.clear();
+        mem.resize(layout.total(), Word::int(0));
         DecodedEmulator {
             program,
-            regs: vec![Word::int(0); program.num_regs],
-            mem: vec![Word::int(0); layout.total()],
+            regs,
+            mem,
             pc: program.entry_pc,
             trace: VecDeque::new(),
             trace_cap: 0,
         }
+    }
+
+    /// Releases the register/memory buffers for reuse by a later
+    /// [`DecodedEmulator::new_in`].
+    pub(crate) fn into_buffers(self) -> (Vec<Word>, Vec<Word>) {
+        (self.regs, self.mem)
+    }
+
+    /// The statistics-free monomorphization for throughput serving:
+    /// returns only the outcome and step count, with the per-pc
+    /// Expect/taken accounting compiled out of the loop entirely
+    /// (`STATS = false`). Outcome, step count and errors are
+    /// bit-identical to [`DecodedEmulator::run_with_stats`] — the
+    /// batch determinism suite asserts exactly that.
+    pub(crate) fn run_pooled(&mut self, cfg: &ExecConfig) -> (Result<Outcome, ExecError>, u64) {
+        let mut steps: u64 = 0;
+        let res = self.step_loop::<false, false, false>(
+            cfg,
+            &mut [],
+            &mut [],
+            &mut steps,
+            &mut [],
+            &mut [],
+        );
+        (res, steps)
     }
 
     /// Enables a circular trace of the last `cap` executed op indices.
@@ -509,7 +553,7 @@ impl<'a> DecodedEmulator<'a> {
         let mut taken = vec![0u64; n];
         let mut steps: u64 = 0;
         let res = if self.trace_cap > 0 {
-            self.step_loop::<true, false>(
+            self.step_loop::<true, false, true>(
                 cfg,
                 &mut expect,
                 &mut taken,
@@ -518,7 +562,7 @@ impl<'a> DecodedEmulator<'a> {
                 &mut [],
             )
         } else {
-            self.step_loop::<false, false>(
+            self.step_loop::<false, false, true>(
                 cfg,
                 &mut expect,
                 &mut taken,
@@ -553,7 +597,7 @@ impl<'a> DecodedEmulator<'a> {
         let mut predictor = vec![1u8; n];
         let mut steps: u64 = 0;
         let res = if self.trace_cap > 0 {
-            self.step_loop::<true, true>(
+            self.step_loop::<true, true, true>(
                 cfg,
                 &mut expect,
                 &mut taken,
@@ -562,7 +606,7 @@ impl<'a> DecodedEmulator<'a> {
                 &mut mispredict,
             )
         } else {
-            self.step_loop::<false, true>(
+            self.step_loop::<false, true, true>(
                 cfg,
                 &mut expect,
                 &mut taken,
@@ -584,9 +628,12 @@ impl<'a> DecodedEmulator<'a> {
     /// capacity test — compiles out entirely; with `PROFILE = false`
     /// the branch-predictor accounting compiles out the same way, so
     /// the default path is the same machine code it was before the
-    /// profiling hooks existed.
+    /// profiling hooks existed. `STATS = false` (the batch serving
+    /// path, [`DecodedEmulator::run_pooled`]) additionally compiles
+    /// out the per-pc Expect/taken counters — outcome, step count and
+    /// errors are unaffected.
     #[allow(clippy::too_many_arguments)]
-    fn step_loop<const TRACE: bool, const PROFILE: bool>(
+    fn step_loop<const TRACE: bool, const PROFILE: bool, const STATS: bool>(
         &mut self,
         cfg: &ExecConfig,
         expect: &mut [u64],
@@ -616,7 +663,9 @@ impl<'a> DecodedEmulator<'a> {
             }
             *steps += 1;
             let at = pc;
-            expect[at] += 1;
+            if STATS {
+                expect[at] += 1;
+            }
             if TRACE {
                 if trace.len() == *trace_cap {
                     trace.pop_front();
@@ -653,7 +702,9 @@ impl<'a> DecodedEmulator<'a> {
                     let taken_now = $cond;
                     predict!(taken_now, $i);
                     if taken_now {
-                        taken[$i] += 1;
+                        if STATS {
+                            taken[$i] += 1;
+                        }
                         pc = $t as usize;
                     } else {
                         pc = $i + 1;
@@ -672,7 +723,9 @@ impl<'a> DecodedEmulator<'a> {
                         fail!(ExecError::StepLimit { limit: max_steps });
                     }
                     *steps += 1;
-                    expect[at + 1] += 1;
+                    if STATS {
+                        expect[at + 1] += 1;
+                    }
                     if TRACE {
                         if trace.len() == *trace_cap {
                             trace.pop_front();
@@ -837,7 +890,9 @@ impl<'a> DecodedEmulator<'a> {
                     let taken_now = (regs[a as usize].tag == tag) == eq;
                     predict!(taken_now, at);
                     if taken_now {
-                        taken[at] += 1;
+                        if STATS {
+                            taken[at] += 1;
+                        }
                         pc = t as usize;
                     } else {
                         second!();

@@ -23,7 +23,12 @@
 //!    [`FuseConfig::min_expect`] in the profile, so fusion never
 //!    touches code the profiling run proved cold or unreachable;
 //! 3. the opcode pair matches a fused record shape, with every folded
-//!    immediate representable in the record's narrowed `i32` fields.
+//!    immediate representable in the record's narrowed `i32` fields;
+//! 4. the pair is *profitable*: its complete-pair execution count (the
+//!    interior's Expect) reaches [`FuseConfig::min_pair_permille`]
+//!    thousandths of the run's total dynamic ops, so a long tail of
+//!    lukewarm sites cannot widen the step loop's dispatch footprint
+//!    for sub-noise dispatch savings.
 //!
 //! Pairs are chosen greedily left to right and never overlap. The
 //! interior slot keeps its original (now fall-through-unreachable)
@@ -47,17 +52,49 @@ use crate::wire::{fnv1a64, Reader, WireError, Writer};
 use crate::word::Tag;
 
 /// Fusion-pass knobs.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct FuseConfig {
     /// Minimum Expect count (per constituent pc) for a pair to fuse.
     /// The default of 1 fuses everything the profiling run actually
     /// executed and nothing it did not.
     pub min_expect: u64,
+    /// Profitability threshold: the pair's dynamic contribution — its
+    /// interior Expect count, i.e. complete pair executions — must
+    /// reach this many thousandths of the profiled run's total dynamic
+    /// ops. A pair below the threshold can recover at most ~0.1% × the
+    /// threshold in dispatch cost, while every fused site widens the
+    /// dispatch footprint of the step loop; on benchmarks dominated by
+    /// a long tail of lukewarm pairs (`serialise`, `sendmore`, `tak`)
+    /// that trade was a net regression. The default of 5‰ keeps only
+    /// pairs whose savings are clearly above timing noise — on the
+    /// benchmark suite it leaves tight recursive loops (`count`-style,
+    /// `query`, `nreverse`) fused and prunes the fan-out-heavy
+    /// programs (`tak`, `qsort`, `serialise`) down to zero pairs, where
+    /// the fused program is bit-identical to the decoded one. 0
+    /// disables the check.
+    pub min_pair_permille: u64,
 }
 
 impl Default for FuseConfig {
     fn default() -> Self {
-        FuseConfig { min_expect: 1 }
+        FuseConfig {
+            min_expect: 1,
+            min_pair_permille: 5,
+        }
+    }
+}
+
+impl FuseConfig {
+    /// Stable hash of the knob values, mixed into the fused artifact's
+    /// cache key: a configuration change must invalidate cached fused
+    /// programs exactly like a profile change does (they are still
+    /// bit-identical, but the serving tier should never silently keep
+    /// serving a program fused under retired knobs).
+    pub fn cache_salt(&self) -> u64 {
+        let mut w = Writer::new();
+        w.u64(self.min_expect);
+        w.u64(self.min_pair_permille);
+        fnv1a64(&w.into_bytes())
     }
 }
 
@@ -302,6 +339,16 @@ pub fn fuse(
     while i + 1 < n {
         let interior = i + 1;
         if !hot[i] || !hot[interior] || program.is_branch_target(interior) {
+            i += 1;
+            continue;
+        }
+        // Profitability: the interior's Expect count is exactly the
+        // number of complete pair executions (legality rule 1), so it
+        // is the pair's whole dynamic upside. Skip pairs whose upside
+        // is below `min_pair_permille` thousandths of the run.
+        if stats.expect[interior].saturating_mul(1000)
+            < report.total_ops.saturating_mul(cfg.min_pair_permille)
+        {
             i += 1;
             continue;
         }
@@ -718,6 +765,80 @@ mod tests {
             DecodedEmulator::new(&decoded, &layout).run_with_profile(&ExecConfig::default());
         let (_, report) = fuse(&decoded, &dstats, &dprof, &FuseConfig::default());
         assert_eq!(report.pairs, 0, "cold pair must not fuse: {report:?}");
+    }
+
+    #[test]
+    fn low_coverage_pairs_are_skipped_by_the_profitability_threshold() {
+        // A once-executed straight-line MvI+Alu prologue in front of a
+        // hot counted loop: the prologue pair matches a fused shape and
+        // is "hot" under min_expect = 1, but its single execution is
+        // ~0.3‰ of the run — below the default 5‰ profitability
+        // threshold it must stay unfused, while the loop pair (~333‰)
+        // fuses as before.
+        let p = assemble(|a| {
+            let e = a.fresh_label();
+            let lp = a.fresh_label();
+            let x = a.fresh_reg();
+            let i = a.fresh_reg();
+            a.bind(e);
+            a.emit(Op::MvI {
+                d: x,
+                w: Word::int(3),
+            });
+            a.emit(Op::Alu {
+                op: AluOp::Mul,
+                d: x,
+                a: x,
+                b: Operand::Reg(x),
+            });
+            a.emit(Op::MvI {
+                d: i,
+                w: Word::int(0),
+            });
+            a.bind(lp);
+            a.emit(Op::Alu {
+                op: AluOp::Add,
+                d: i,
+                a: i,
+                b: Operand::Imm(1),
+            });
+            a.emit(Op::Br {
+                cond: Cond::Lt,
+                a: i,
+                b: Operand::Imm(1000),
+                t: lp,
+            });
+            a.emit(Op::Halt { success: true });
+            e
+        });
+        let layout = tiny_layout();
+        let decoded = DecodedProgram::new(&p);
+        let (_, dstats, _, dprof) =
+            DecodedEmulator::new(&decoded, &layout).run_with_profile(&ExecConfig::default());
+        let (_, report) = fuse(&decoded, &dstats, &dprof, &FuseConfig::default());
+        assert_eq!(report.mvi_alu, 0, "cold prologue pair skipped: {report:?}");
+        assert_eq!(report.cmp_br, 1, "hot loop pair still fuses");
+        // Disabling the threshold restores the old greedy behavior.
+        let permissive = FuseConfig {
+            min_pair_permille: 0,
+            ..FuseConfig::default()
+        };
+        let (_, all) = fuse(&decoded, &dstats, &dprof, &permissive);
+        assert_eq!(all.mvi_alu, 1);
+        assert_eq!(all.cmp_br, 1);
+        // The threshold is part of the cache salt: a knob change must
+        // invalidate cached fused artifacts.
+        assert_ne!(
+            FuseConfig::default().cache_salt(),
+            permissive.cache_salt(),
+            "knob change must change the salt"
+        );
+        assert_eq!(
+            FuseConfig::default().cache_salt(),
+            FuseConfig::default().cache_salt()
+        );
+        // And the skipped pair changes nothing behaviorally.
+        fused_differential(&p, &ExecConfig::default());
     }
 
     #[test]

@@ -161,14 +161,19 @@ impl ArtifactKey {
     }
 
     /// Key of the fused second-tier image of `source` under `layout`,
-    /// specialized against the profile hashed as `profile_hash`. The
-    /// profile hash is folded into the config hash: a new profile (new
-    /// source behavior, different layout, changed predictor) yields a
-    /// new key, which is exactly the invalidation the fused tier needs.
-    pub fn fused(source: &str, layout: &Layout, profile_hash: u64) -> Self {
+    /// specialized against the profile hashed as `profile_hash` and
+    /// fused under the configuration hashed as `fuse_salt`
+    /// ([`symbol_intcode::FuseConfig::cache_salt`]). Both are folded
+    /// into the config hash: a new profile (new source behavior,
+    /// different layout, changed predictor) or a retuned fusion
+    /// threshold yields a new key, which is exactly the invalidation
+    /// the fused tier needs — a cache seeded under old thresholds is
+    /// never served after the pass changes.
+    pub fn fused(source: &str, layout: &Layout, profile_hash: u64, fuse_salt: u64) -> Self {
         let mut w = Writer::new();
         layout_bytes(&mut w, layout);
         w.u64(profile_hash);
+        w.u64(fuse_salt);
         ArtifactKey {
             source_hash: fnv1a64(source.as_bytes()),
             config_hash: fnv1a64(&w.into_bytes()),
@@ -445,7 +450,12 @@ mod tests {
         let mut c = Compiled::from_source(src).expect("compiles");
         c.build_fused_tier().expect("profiles and fuses");
         let tier = c.fused.as_ref().unwrap();
-        let key = ArtifactKey::fused(src, &c.layout, tier.profile_hash);
+        let key = ArtifactKey::fused(
+            src,
+            &c.layout,
+            tier.profile_hash,
+            symbol_intcode::FuseConfig::default().cache_salt(),
+        );
         let bytes = encode_fused(&key, &tier.program, tier.profile_hash, &tier.report);
         let art = decode(&bytes).expect("decodes");
         assert_eq!(art.key, key);
@@ -463,14 +473,24 @@ mod tests {
     }
 
     #[test]
-    fn fused_key_separates_profiles() {
+    fn fused_key_separates_profiles_and_fuse_configs() {
         let layout = Layout::default();
-        let a = ArtifactKey::fused("main :- 1 = 1.", &layout, 1);
-        let b = ArtifactKey::fused("main :- 1 = 1.", &layout, 2);
+        let salt = symbol_intcode::FuseConfig::default().cache_salt();
+        let a = ArtifactKey::fused("main :- 1 = 1.", &layout, 1, salt);
+        let b = ArtifactKey::fused("main :- 1 = 1.", &layout, 2, salt);
         assert_eq!(a.source_hash, b.source_hash);
         assert_ne!(a.config_hash, b.config_hash, "profile hash is in the key");
         let emu = ArtifactKey::emulator("main :- 1 = 1.", &layout);
         assert_ne!(a.config_hash, emu.config_hash);
+        let retuned = symbol_intcode::FuseConfig {
+            min_pair_permille: 500,
+            ..symbol_intcode::FuseConfig::default()
+        };
+        let c = ArtifactKey::fused("main :- 1 = 1.", &layout, 1, retuned.cache_salt());
+        assert_ne!(
+            a.config_hash, c.config_hash,
+            "retuning the fusion pass invalidates cached fused artifacts"
+        );
     }
 
     #[test]

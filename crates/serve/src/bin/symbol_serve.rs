@@ -6,6 +6,11 @@
 //!   --cache-dir DIR      artifact cache directory (required)
 //!   --benches a,b,c      benchmark subset (default: all)
 //!   --queries N          queries per benchmark (default 16)
+//!   --batch N            submit queries as batched run requests of N
+//!                        sub-queries each (pooled engine state, one
+//!                        request per batch) instead of one request
+//!                        per query; answers are checked to be
+//!                        bit-identical across the whole batch
 //!   --workers N          worker threads (default 4)
 //!   --metrics PATH       write a metrics.json snapshot here
 //!   --fused              serve the profile-guided fused tier: each
@@ -45,12 +50,13 @@ use symbol_core::benchmarks;
 use symbol_intcode::Layout;
 use symbol_obs::{FlightRecorder, Registry};
 use symbol_serve::cache::ArtifactCache;
-use symbol_serve::server::{QueryServer, ServerConfig};
+use symbol_serve::server::{QueryAnswer, QueryServer, ServerConfig};
 
 struct Args {
     cache_dir: String,
     benches: Option<Vec<String>>,
     queries: u64,
+    batch: Option<usize>,
     workers: usize,
     metrics: Option<String>,
     fused: bool,
@@ -63,7 +69,7 @@ struct Args {
 fn usage() -> ExitCode {
     eprintln!(
         "usage: symbol-serve --cache-dir DIR [--benches a,b,c] [--queries N] \
-         [--workers N] [--metrics PATH] [--fused] [--expect-all-hits] \
+         [--batch N] [--workers N] [--metrics PATH] [--fused] [--expect-all-hits] \
          [--stats] [--flight-dir DIR] [--slow-us N]"
     );
     ExitCode::FAILURE
@@ -74,6 +80,7 @@ fn parse_args() -> Option<Args> {
         cache_dir: String::new(),
         benches: None,
         queries: 16,
+        batch: None,
         workers: 4,
         metrics: None,
         fused: false,
@@ -90,6 +97,7 @@ fn parse_args() -> Option<Args> {
                 args.benches = Some(it.next()?.split(',').map(str::to_string).collect());
             }
             "--queries" => args.queries = it.next()?.parse().ok()?,
+            "--batch" => args.batch = Some(it.next()?.parse::<usize>().ok().filter(|n| *n > 0)?),
             "--workers" => args.workers = it.next()?.parse().ok()?,
             "--metrics" => args.metrics = Some(it.next()?),
             "--fused" => args.fused = true,
@@ -139,10 +147,13 @@ fn main() -> ExitCode {
 
     let mut failed = false;
     for b in &selected {
+        // The shared loaders run behind the cache's single-flight
+        // guard, so restarting with many benchmarks warm never decodes
+        // an artifact more than once per key.
         let loaded = if args.fused {
-            cache.load_compiled_fused(b.source, Layout::default())
+            cache.load_compiled_fused_shared(b.source, Layout::default())
         } else {
-            cache.load_compiled(b.source, Layout::default())
+            cache.load_compiled_shared(b.source, Layout::default())
         };
         let compiled = match loaded {
             Ok(c) => c,
@@ -159,7 +170,7 @@ fn main() -> ExitCode {
             (false, false) => "cold (compiled)",
         };
         let server = QueryServer::start_with_flight(
-            Arc::new(compiled),
+            compiled,
             &ServerConfig {
                 workers: args.workers,
                 flight_dir: args.flight_dir.clone(),
@@ -169,21 +180,63 @@ fn main() -> ExitCode {
             &obs,
             Arc::clone(&flight),
         );
-        for id in 0..args.queries {
-            server.submit(id);
-        }
+        let requests = match args.batch {
+            Some(bs) => {
+                let mut remaining = args.queries as usize;
+                let mut id = 0;
+                while remaining > 0 {
+                    let n = remaining.min(bs);
+                    server.submit_batch(id, n);
+                    id += 1;
+                    remaining -= n;
+                }
+                id
+            }
+            None => {
+                for id in 0..args.queries {
+                    server.submit(id);
+                }
+                args.queries
+            }
+        };
         let stats_id = args.queries;
         if args.stats {
             server.submit_stats(stats_id);
         }
         let results = server.finish();
-        let expected = args.queries + u64::from(args.stats);
+        let expected = requests + u64::from(args.stats);
         let errors = results.iter().filter(|r| r.outcome.is_err()).count();
-        println!(
-            "{:<12} {path:<20} {} queries, {errors} errors",
-            b.name,
-            results.len()
-        );
+        if let Some(bs) = args.batch {
+            // Every sub-query of every batch must have run, and all of
+            // them bit-identically (same deterministic step count).
+            let steps: Vec<u64> = results
+                .iter()
+                .filter_map(|r| r.outcome.as_ref().ok())
+                .filter_map(QueryAnswer::batch)
+                .flatten()
+                .copied()
+                .collect();
+            let uniform = steps.windows(2).all(|w| w[0] == w[1]);
+            println!(
+                "{:<12} {path:<20} {requests} batch requests (x{bs}), \
+                 {} queries, {errors} errors",
+                b.name,
+                steps.len()
+            );
+            if steps.len() as u64 != args.queries || !uniform {
+                eprintln!(
+                    "symbol-serve: {}: batched answers incomplete or diverged",
+                    b.name
+                );
+                failed = true;
+            }
+        } else {
+            println!(
+                "{:<12} {path:<20} {} queries, {errors} errors",
+                b.name,
+                results.len()
+            );
+        }
         if errors > 0 || results.len() as u64 != expected {
             failed = true;
         }

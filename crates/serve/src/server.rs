@@ -2,10 +2,26 @@
 //!
 //! One immutable [`Compiled`] image is shared (via `Arc`) by a bounded
 //! pool of `std::thread` workers that answer independent queries
-//! against it. Requests flow through a bounded queue — submitters
-//! block when it is full, giving natural backpressure — and workers
-//! drain them in small batches, paying the lock once per batch rather
-//! than once per request.
+//! against it. The run queue is **sharded**: each worker owns one
+//! lock-protected deque, submitters scatter requests round-robin
+//! across the shards, and a worker that drains its own shard dry
+//! steals a bounded batch (at most half the victim's queue, capped at
+//! `max_batch`) from a sibling before sleeping. Workers contend on
+//! their own shard's lock, not one global queue lock; a small
+//! coordination mutex tracks only the global pending count for
+//! backpressure (submitters block while `pending >= queue_capacity`)
+//! and sleep/wake. Workers drain requests in small batches, paying
+//! their shard lock once per batch rather than once per request, and
+//! run batches back-to-back on the pinned image with per-query engine
+//! state recycled through a per-worker arena pool
+//! ([`symbol_intcode::batch::ArenaPool`]) — no per-query
+//! register/heap allocation on the hot path.
+//!
+//! Shard assignment, steal order and worker count are invisible in
+//! the results: every query is an independent deterministic execution
+//! of the same image, and [`QueryServer::finish`] returns answers in
+//! id order — bit-identical to a sequential run of the same queries,
+//! which the workspace determinism suite asserts.
 //!
 //! The server is panic-free by construction: each query runs under
 //! `catch_unwind`, so even a defect that would panic the emulator is
@@ -31,7 +47,15 @@
 //!   with which execution tier answered each successful query,
 //! * `serve.queue.depth` gauge, incremented on enqueue and
 //!   decremented on dequeue (exactly zero once the queue drains),
-//! * `serve.batch` histogram of batch sizes,
+//!   plus a per-shard `serve.queue.depth{shard=i}` gauge per worker,
+//! * `serve.shard.steals{shard=i}` / `serve.shard.stolen{shard=i}`
+//!   counters — steal sweeps worker `i` performed and requests it
+//!   took from siblings,
+//! * `serve.batch` histogram of batch sizes, with per-shard
+//!   `serve.shard.batch{shard=i}` and `serve.shard.run.ns{shard=i}`
+//!   (wall time of each claimed batch) breakdowns,
+//! * `serve.batch.queries` counter of sub-queries answered through
+//!   batched [`QueryServer::submit_batch`] requests,
 //! * `serve.stage.ns` histograms labelled `stage=queue_wait` /
 //!   `select` / `execute` and by `tier` — the per-stage latency split
 //!   live stats queries report quantiles over,
@@ -54,6 +78,7 @@ use std::thread::JoinHandle;
 use std::time::Instant;
 
 use symbol_core::pipeline::Compiled;
+use symbol_intcode::batch::ArenaPool;
 use symbol_obs::{FlightKind, FlightRecorder, Gauge, QuantileView, Registry, Snapshot};
 
 /// Tuning knobs of a [`QueryServer`].
@@ -96,6 +121,10 @@ impl Default for ServerConfig {
 enum Request {
     /// Run the compiled query.
     Run(u64),
+    /// Run `n` independent executions of the compiled query
+    /// back-to-back on one worker, with engine state pooled between
+    /// them ([`Compiled::run_query_batch_obs`]).
+    RunBatch(u64, usize),
     /// Produce a live [`StatsReport`].
     Stats(u64),
     /// Panic inside the protected region — exercises the containment
@@ -107,7 +136,10 @@ enum Request {
 impl Request {
     fn id(&self) -> u64 {
         match self {
-            Request::Run(id) | Request::Stats(id) | Request::PanicProbe(id) => *id,
+            Request::Run(id)
+            | Request::RunBatch(id, _)
+            | Request::Stats(id)
+            | Request::PanicProbe(id) => *id,
         }
     }
 }
@@ -172,6 +204,10 @@ impl StatsReport {
 pub enum QueryAnswer {
     /// Emulator steps of a successful run query.
     Steps(u64),
+    /// Per-execution emulator steps of a successful batch request, in
+    /// submission (index) order — position `i` is the `i`-th query of
+    /// the batch, independent of which worker ran it.
+    Batch(Vec<u64>),
     /// The report of a live stats query (boxed: the report carries a
     /// full metric snapshot and would otherwise dominate the enum).
     Stats(Box<StatsReport>),
@@ -182,7 +218,15 @@ impl QueryAnswer {
     pub fn steps(&self) -> Option<u64> {
         match self {
             QueryAnswer::Steps(s) => Some(*s),
-            QueryAnswer::Stats(_) => None,
+            QueryAnswer::Batch(_) | QueryAnswer::Stats(_) => None,
+        }
+    }
+
+    /// The per-query step counts, if this answered a batch request.
+    pub fn batch(&self) -> Option<&[u64]> {
+        match self {
+            QueryAnswer::Batch(v) => Some(v),
+            QueryAnswer::Steps(_) | QueryAnswer::Stats(_) => None,
         }
     }
 
@@ -190,7 +234,7 @@ impl QueryAnswer {
     pub fn stats(&self) -> Option<&StatsReport> {
         match self {
             QueryAnswer::Stats(r) => Some(r),
-            QueryAnswer::Steps(_) => None,
+            QueryAnswer::Steps(_) | QueryAnswer::Batch(_) => None,
         }
     }
 }
@@ -207,21 +251,41 @@ pub struct QueryResult {
     pub outcome: Result<QueryAnswer, String>,
 }
 
-struct Queue {
-    pending: VecDeque<Pending>,
+/// One worker's run queue. Submitters push round-robin; the owning
+/// worker drains from the front; siblings steal bounded batches from
+/// the front when their own shard runs dry. Each shard has its own
+/// lock, so workers contend with at most one submitter (or one
+/// thief), never with the whole pool.
+struct Shard {
+    queue: Mutex<VecDeque<Pending>>,
+    /// `serve.queue.depth{shard=i}`.
+    depth: Gauge,
+}
+
+/// The only pool-global mutable state: how many submitted requests no
+/// worker has claimed yet, and whether the server is shutting down.
+/// Guards backpressure and sleep/wake — never the request data itself.
+struct Coord {
+    /// Submitted requests not yet claimed by a worker. Zero implies
+    /// every shard queue is empty (requests are counted until the
+    /// moment they leave a shard).
+    pending: usize,
     closed: bool,
 }
 
 struct Shared {
-    queue: Mutex<Queue>,
+    shards: Vec<Shard>,
+    coord: Mutex<Coord>,
     /// Signalled when requests arrive or the queue closes.
     work: Condvar,
-    /// Signalled when a batch is drained (space for submitters).
+    /// Signalled when a batch is claimed (space for submitters).
     space: Condvar,
+    /// Round-robin submit cursor over the shards.
+    rr: AtomicU64,
     results: Mutex<Vec<QueryResult>>,
     capacity: usize,
     max_batch: usize,
-    /// `serve.queue.depth`: +1 on enqueue, -batch on dequeue.
+    /// `serve.queue.depth` (global): +1 on enqueue, -batch on dequeue.
     depth: Gauge,
     flight: Arc<FlightRecorder>,
     flight_dir: Option<PathBuf>,
@@ -303,6 +367,7 @@ fn run_one(
     waited_ns: u64,
     obs: &Registry,
     shared: &Shared,
+    pool: &mut ArenaPool,
 ) -> QueryResult {
     let id = req.id();
     let flight = &shared.flight;
@@ -331,30 +396,53 @@ fn run_one(
         };
     }
 
-    flight.record(FlightKind::QueryStart, id, 0);
-    let probe = matches!(req, Request::PanicProbe(_));
+    let start_payload = match req {
+        Request::RunBatch(_, n) => *n as u64,
+        _ => 0,
+    };
+    flight.record(FlightKind::QueryStart, id, start_payload);
     let t_exec = Instant::now();
-    let ran = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        if probe {
-            panic!("panic probe");
+    let ran = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match req {
+        Request::PanicProbe(_) => panic!("panic probe"),
+        Request::RunBatch(_, n) => {
+            let answers = compiled.run_query_batch_obs(obs, id, *n, pool);
+            let mut steps = Vec::with_capacity(answers.len());
+            for (i, a) in answers.into_iter().enumerate() {
+                match a {
+                    Ok(s) => steps.push(s),
+                    Err(e) => return Err(format!("batch sub-query {i} of {n}: {e}")),
+                }
+            }
+            Ok(QueryAnswer::Batch(steps))
         }
-        compiled.run_query_obs(obs, id)
+        _ => compiled
+            .run_query_obs(obs, id)
+            .map(|run| QueryAnswer::Steps(run.steps))
+            .map_err(|e| e.to_string()),
     }));
     let execute_ns = t_exec.elapsed().as_nanos() as u64;
     obs.histogram("serve.stage.ns", &[("stage", "execute"), ("tier", tier)])
         .record(execute_ns);
     let panicked = ran.is_err();
     let outcome = match ran {
-        Ok(Ok(run)) => {
+        Ok(Ok(ans)) => {
             obs.counter("serve.queries.ok", &[]).inc();
             obs.counter("serve.tier", &[("tier", tier)]).inc();
-            flight.record(FlightKind::QueryOk, id, run.steps);
-            Ok(QueryAnswer::Steps(run.steps))
+            let payload = match &ans {
+                QueryAnswer::Steps(s) => *s,
+                QueryAnswer::Batch(v) => {
+                    obs.counter("serve.batch.queries", &[]).add(v.len() as u64);
+                    v.iter().sum()
+                }
+                QueryAnswer::Stats(_) => 0,
+            };
+            flight.record(FlightKind::QueryOk, id, payload);
+            Ok(ans)
         }
         Ok(Err(e)) => {
             obs.counter("serve.queries.failed", &[]).inc();
             flight.record(FlightKind::QueryFail, id, 0);
-            Err(e.to_string())
+            Err(e)
         }
         Err(_) => {
             obs.counter("serve.queries.panicked", &[]).inc();
@@ -369,37 +457,87 @@ fn run_one(
     QueryResult { id, outcome }
 }
 
-fn worker_loop(shared: &Shared, compiled: &Compiled, obs: &Registry) {
+fn worker_loop(shard_id: usize, shared: &Shared, compiled: &Compiled, obs: &Registry) {
+    let shard_label = shard_id.to_string();
     let batch_sizes = obs.histogram("serve.batch", &[]);
+    let shard_batch = obs.histogram("serve.shard.batch", &[("shard", &shard_label)]);
+    let shard_run_ns = obs.histogram("serve.shard.run.ns", &[("shard", &shard_label)]);
+    let steals = obs.counter("serve.shard.steals", &[("shard", &shard_label)]);
+    let stolen = obs.counter("serve.shard.stolen", &[("shard", &shard_label)]);
+    let mut pool = ArenaPool::new();
+    let n_shards = shared.shards.len();
     loop {
-        let batch: Vec<Pending> = {
-            let mut q = shared.queue.lock().expect("queue lock");
-            loop {
-                if !q.pending.is_empty() {
-                    break;
-                }
-                if q.closed {
-                    return;
-                }
-                q = shared.work.wait(q).expect("queue lock");
+        // 1. Drain the worker's own shard first (one lock, one batch).
+        let mut batch: Vec<Pending> = {
+            let own = &shared.shards[shard_id];
+            let mut q = own.queue.lock().expect("shard lock");
+            let n = q.len().min(shared.max_batch);
+            let taken: Vec<Pending> = q.drain(..n).collect();
+            drop(q);
+            if n > 0 {
+                own.depth.add(-(n as i64));
             }
-            let n = q.pending.len().min(shared.max_batch);
-            let batch: Vec<Pending> = q.pending.drain(..n).collect();
-            shared.depth.add(-(n as i64));
-            shared
-                .flight
-                .record(FlightKind::Dequeue, batch[0].req.id(), n as u64);
-            shared.space.notify_all();
-            batch
+            taken
         };
-        batch_sizes.record(batch.len() as u64);
+        // 2. Own shard dry: one bounded steal sweep over the siblings,
+        //    taking at most half the first non-empty victim's queue
+        //    (capped at max_batch) so the victim keeps local work.
+        if batch.is_empty() && n_shards > 1 {
+            for step in 1..n_shards {
+                let victim = &shared.shards[(shard_id + step) % n_shards];
+                let mut q = victim.queue.lock().expect("shard lock");
+                if q.is_empty() {
+                    continue;
+                }
+                let n = q.len().div_ceil(2).min(shared.max_batch);
+                batch = q.drain(..n).collect();
+                drop(q);
+                victim.depth.add(-(n as i64));
+                steals.inc();
+                stolen.add(n as u64);
+                break;
+            }
+        }
+        if batch.is_empty() {
+            // 3. Nothing visible anywhere: sleep or exit under the
+            //    coordination lock. `pending > 0` here means a submit
+            //    or a sibling's claim raced our scan — rescan rather
+            //    than sleep, so no request is ever stranded.
+            let coord = shared.coord.lock().expect("coord lock");
+            if coord.pending > 0 {
+                drop(coord);
+                std::thread::yield_now();
+                continue;
+            }
+            if coord.closed {
+                return;
+            }
+            drop(shared.work.wait(coord).expect("coord lock"));
+            continue;
+        }
+        // 4. Claimed a batch: release backpressure, then run it
+        //    back-to-back on the pinned image.
+        let n = batch.len();
+        {
+            let mut coord = shared.coord.lock().expect("coord lock");
+            coord.pending -= n;
+            shared.space.notify_all();
+        }
+        shared.depth.add(-(n as i64));
+        shared
+            .flight
+            .record(FlightKind::Dequeue, batch[0].req.id(), n as u64);
+        batch_sizes.record(n as u64);
+        shard_batch.record(n as u64);
+        let t_run = Instant::now();
         let answered: Vec<QueryResult> = batch
-            .into_iter()
+            .drain(..)
             .map(|p| {
                 let waited_ns = p.enqueued.elapsed().as_nanos() as u64;
-                run_one(compiled, &p.req, waited_ns, obs, shared)
+                run_one(compiled, &p.req, waited_ns, obs, shared, &mut pool)
             })
             .collect();
+        shard_run_ns.record(t_run.elapsed().as_nanos() as u64);
         shared
             .results
             .lock()
@@ -432,13 +570,24 @@ impl QueryServer {
         obs: &Registry,
         flight: Arc<FlightRecorder>,
     ) -> Self {
+        let n_workers = cfg.workers.max(1);
+        let shards = obs
+            .indexed_gauges("serve.queue.depth", "shard", n_workers)
+            .into_iter()
+            .map(|depth| Shard {
+                queue: Mutex::new(VecDeque::new()),
+                depth,
+            })
+            .collect();
         let shared = Arc::new(Shared {
-            queue: Mutex::new(Queue {
-                pending: VecDeque::new(),
+            shards,
+            coord: Mutex::new(Coord {
+                pending: 0,
                 closed: false,
             }),
             work: Condvar::new(),
             space: Condvar::new(),
+            rr: AtomicU64::new(0),
             results: Mutex::new(Vec::new()),
             capacity: cfg.queue_capacity.max(1),
             max_batch: cfg.max_batch.max(1),
@@ -449,12 +598,12 @@ impl QueryServer {
             dump_seq: AtomicU64::new(0),
             hot_pcs: OnceLock::new(),
         });
-        let workers = (0..cfg.workers.max(1))
-            .map(|_| {
+        let workers = (0..n_workers)
+            .map(|shard_id| {
                 let shared = Arc::clone(&shared);
                 let compiled = Arc::clone(&compiled);
                 let obs = obs.clone();
-                std::thread::spawn(move || worker_loop(&shared, &compiled, &obs))
+                std::thread::spawn(move || worker_loop(shard_id, &shared, &compiled, &obs))
             })
             .collect();
         QueryServer { shared, workers }
@@ -469,18 +618,25 @@ impl QueryServer {
 
     fn enqueue(&self, req: Request) {
         let id = req.id();
-        let mut q = self.shared.queue.lock().expect("queue lock");
-        while q.pending.len() >= self.shared.capacity {
-            q = self.shared.space.wait(q).expect("queue lock");
+        let shared = &*self.shared;
+        // Lock order is coord → shard (this is the only place both are
+        // held); workers only ever take one lock at a time.
+        let mut coord = shared.coord.lock().expect("coord lock");
+        while coord.pending >= shared.capacity {
+            coord = shared.space.wait(coord).expect("coord lock");
         }
-        q.pending.push_back(Pending {
+        let ix = shared.rr.fetch_add(1, Ordering::Relaxed) as usize % shared.shards.len();
+        let shard = &shared.shards[ix];
+        shard.queue.lock().expect("shard lock").push_back(Pending {
             req,
             enqueued: Instant::now(),
         });
-        let depth = q.pending.len() as u64;
-        self.shared.depth.add(1);
-        self.shared.flight.record(FlightKind::Enqueue, id, depth);
-        self.shared.work.notify_one();
+        shard.depth.add(1);
+        coord.pending += 1;
+        let depth = coord.pending as u64;
+        shared.depth.add(1);
+        shared.flight.record(FlightKind::Enqueue, id, depth);
+        shared.work.notify_one();
     }
 
     /// Enqueues one run query, blocking while the queue is full.
@@ -493,6 +649,19 @@ impl QueryServer {
     /// `catch_unwind`-protected query path — an internal bug.
     pub fn submit(&self, id: u64) {
         self.enqueue(Request::Run(id));
+    }
+
+    /// Enqueues one batched run request: `n` independent executions of
+    /// the compiled query, run back-to-back by whichever worker claims
+    /// the request, with per-query engine state recycled through that
+    /// worker's arena pool. Answers with [`QueryAnswer::Batch`] — one
+    /// step count per execution, in index order.
+    ///
+    /// # Panics
+    ///
+    /// See [`QueryServer::submit`].
+    pub fn submit_batch(&self, id: u64, n: usize) {
+        self.enqueue(Request::RunBatch(id, n));
     }
 
     /// Enqueues a live stats query: the worker that dequeues it
@@ -537,8 +706,8 @@ impl QueryServer {
     }
 
     fn close(&self) {
-        let mut q = self.shared.queue.lock().expect("queue lock");
-        q.closed = true;
+        let mut coord = self.shared.coord.lock().expect("coord lock");
+        coord.closed = true;
         self.shared.work.notify_all();
     }
 }
@@ -635,6 +804,153 @@ mod tests {
             100,
             "every query recorded its execute latency"
         );
+    }
+
+    #[test]
+    fn batch_requests_answer_per_query_steps_in_index_order() {
+        let obs = Registry::new();
+        let server = QueryServer::start(compiled(), &ServerConfig::default(), &obs);
+        server.submit(0);
+        server.submit_batch(1, 5);
+        server.submit_batch(2, 1);
+        let results = server.finish();
+        assert_eq!(results.len(), 3);
+        let single = steps_of(&results[0]);
+        let batch = results[1]
+            .outcome
+            .as_ref()
+            .expect("batch succeeds")
+            .batch()
+            .expect("batch answer");
+        assert_eq!(batch.len(), 5);
+        assert!(
+            batch.iter().all(|&s| s == single),
+            "pooled batch executions are bit-identical to the single-query path: \
+             {batch:?} vs {single}"
+        );
+        assert_eq!(
+            results[2].outcome.as_ref().unwrap().batch().unwrap(),
+            &[single]
+        );
+        assert_eq!(obs.counter("serve.batch.queries", &[]).get(), 6);
+        assert_eq!(obs.counter("serve.queries.ok", &[]).get(), 3);
+        assert_eq!(obs.gauge("serve.queue.depth", &[]).get(), 0);
+    }
+
+    #[test]
+    fn failing_batch_reports_the_first_failing_sub_query() {
+        let obs = Registry::new();
+        let failing =
+            Arc::new(Compiled::from_source("main :- 1 = 2.").expect("compiles (query fails)"));
+        let server = QueryServer::start(failing, &ServerConfig::default(), &obs);
+        server.submit_batch(9, 4);
+        let results = server.finish();
+        assert_eq!(results.len(), 1);
+        let err = results[0].outcome.as_ref().expect_err("batch fails");
+        assert!(err.starts_with("batch sub-query 0 of 4:"), "{err}");
+        assert_eq!(obs.counter("serve.queries.failed", &[]).get(), 1);
+        assert_eq!(obs.counter("serve.batch.queries", &[]).get(), 0);
+    }
+
+    #[test]
+    fn a_worker_with_a_dry_shard_steals_bounded_batches_from_a_sibling() {
+        let obs = Registry::new();
+        let compiled = compiled();
+        let shards: Vec<Shard> = obs
+            .indexed_gauges("serve.queue.depth", "shard", 2)
+            .into_iter()
+            .map(|depth| Shard {
+                queue: Mutex::new(VecDeque::new()),
+                depth,
+            })
+            .collect();
+        let shared = Shared {
+            shards,
+            coord: Mutex::new(Coord {
+                pending: 5,
+                closed: true,
+            }),
+            work: Condvar::new(),
+            space: Condvar::new(),
+            rr: AtomicU64::new(0),
+            results: Mutex::new(Vec::new()),
+            capacity: 64,
+            max_batch: 8,
+            depth: obs.gauge("serve.queue.depth", &[]),
+            flight: Arc::new(FlightRecorder::new(64)),
+            flight_dir: None,
+            slow_query_ns: None,
+            dump_seq: AtomicU64::new(0),
+            hot_pcs: OnceLock::new(),
+        };
+        {
+            let mut q = shared.shards[1].queue.lock().unwrap();
+            for id in 0..5 {
+                q.push_back(Pending {
+                    req: Request::Run(id),
+                    enqueued: Instant::now(),
+                });
+            }
+        }
+        shared.shards[1].depth.add(5);
+        shared.depth.add(5);
+        // Worker 0's own shard is empty and the pool is already
+        // closed: every request it answers must come through the
+        // steal path, deterministically.
+        worker_loop(0, &shared, &compiled, &obs);
+        let results = shared.results.into_inner().unwrap();
+        assert_eq!(results.len(), 5);
+        assert!(results.iter().all(|r| r.outcome.is_ok()));
+        assert_eq!(
+            obs.counter("serve.shard.steals", &[("shard", "0")]).get(),
+            3,
+            "ceil-half stealing drains 5 requests as 3 + 1 + 1"
+        );
+        assert_eq!(
+            obs.counter("serve.shard.stolen", &[("shard", "0")]).get(),
+            5
+        );
+        assert_eq!(obs.gauge("serve.queue.depth", &[("shard", "1")]).get(), 0);
+        assert_eq!(obs.gauge("serve.queue.depth", &[]).get(), 0);
+        assert_eq!(obs.counter("serve.queries.ok", &[]).get(), 5);
+    }
+
+    #[test]
+    fn sharded_queues_account_depth_and_batches_per_worker() {
+        let obs = Registry::new();
+        let server = QueryServer::start(
+            compiled(),
+            &ServerConfig {
+                workers: 3,
+                ..ServerConfig::default()
+            },
+            &obs,
+        );
+        for id in 0..60 {
+            server.submit(id);
+        }
+        let results = server.finish();
+        assert_eq!(results.len(), 60);
+        for i in 0..3usize {
+            let label = i.to_string();
+            assert_eq!(
+                obs.gauge("serve.queue.depth", &[("shard", &label)]).get(),
+                0,
+                "shard {i} drained completely"
+            );
+        }
+        let global_batches = obs.histogram("serve.batch", &[]).count();
+        let per_shard = |name: &str| -> u64 {
+            (0..3usize)
+                .map(|i| obs.histogram(name, &[("shard", &i.to_string())]).count())
+                .sum()
+        };
+        assert_eq!(
+            per_shard("serve.shard.batch"),
+            global_batches,
+            "every claimed batch is attributed to exactly one shard"
+        );
+        assert_eq!(per_shard("serve.shard.run.ns"), global_batches);
     }
 
     #[test]

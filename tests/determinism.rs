@@ -52,6 +52,125 @@ fn repeated_parallel_runs_agree_with_each_other() {
     assert_eq!(first, second);
 }
 
+/// The batched serving path must be bit-identical to sequential
+/// execution for every (worker count) × (batch size) combination —
+/// including worker counts past the physical core count, where work
+/// stealing genuinely shuffles which worker runs which request. A
+/// panic probe rides in the middle of every stream: containment must
+/// not perturb any neighbouring answer.
+#[test]
+fn batched_serving_is_bit_identical_for_every_worker_and_batch_size() {
+    use std::sync::Arc;
+    use symbol_serve::server::{QueryServer, ServerConfig};
+
+    const QUERIES: usize = 12;
+    for name in SUBSET {
+        let b = benchmarks::by_name(name).expect("known benchmark");
+        let compiled = Arc::new(Compiled::from_source(b.source).expect("compiles"));
+        let reference = compiled.run_sequential().expect("sequential run").steps;
+        for workers in [1usize, 2, 4, 8] {
+            for batch in [1usize, 3, 8] {
+                let obs = symbol_obs::Registry::disabled();
+                let server = QueryServer::start(
+                    Arc::clone(&compiled),
+                    &ServerConfig {
+                        workers,
+                        queue_capacity: 8,
+                        max_batch: 2,
+                        flight_capacity: 0,
+                        ..ServerConfig::default()
+                    },
+                    &obs,
+                );
+                let mut id = 0u64;
+                let mut remaining = QUERIES;
+                while remaining > 0 {
+                    let n = remaining.min(batch);
+                    server.submit_batch(id, n);
+                    id += 1;
+                    remaining -= n;
+                    if id == 2 {
+                        // A contained panic mid-stream.
+                        server.submit_panic_probe(1000);
+                    }
+                }
+                let results = server.finish();
+                assert_eq!(results.len(), id as usize + 1);
+                let mut answered = 0;
+                for r in &results {
+                    if r.id == 1000 {
+                        assert!(r.outcome.is_err(), "{name}: probe panics, contained");
+                        continue;
+                    }
+                    let steps = r
+                        .outcome
+                        .as_ref()
+                        .expect("batch request succeeds")
+                        .batch()
+                        .expect("batch answer");
+                    assert!(
+                        steps.iter().all(|&s| s == reference),
+                        "{name}: workers={workers} batch={batch}: {steps:?} != \
+                         sequential {reference}"
+                    );
+                    answered += steps.len();
+                }
+                assert_eq!(
+                    answered, QUERIES,
+                    "{name}: workers={workers} batch={batch}: wrong sub-query count"
+                );
+                // Results are sorted by id: index order, independent
+                // of which worker or steal path answered.
+                assert!(results.windows(2).all(|w| w[0].id < w[1].id));
+            }
+        }
+    }
+}
+
+/// The in-process batch executor under mixed per-query step limits:
+/// seeded pseudo-random limits make some queries abort mid-run, and
+/// every (worker count, seed) combination must reproduce the
+/// sequential batch bit for bit — aborted queries included.
+#[test]
+fn parallel_batches_with_mixed_step_limits_match_sequential() {
+    use symbol_intcode::ExecConfig;
+
+    let b = benchmarks::by_name("nreverse").expect("known benchmark");
+    let compiled = Compiled::from_source(b.source).expect("compiles");
+    let full = compiled.run_sequential().expect("runs").steps;
+    for seed in [3u64, 17, 1999] {
+        // xorshift-mixed limits: below, around, and above the full
+        // step count, plus degenerate 0- and 1-step queries.
+        let mut state = seed;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let queries: Vec<ExecConfig> = (0..17)
+            .map(|i| ExecConfig {
+                max_steps: match i % 5 {
+                    0 => 0,
+                    1 => 1,
+                    2 => next() % full.max(1),
+                    3 => full,
+                    _ => full + next() % 64,
+                },
+            })
+            .collect();
+        let mut pool = symbol_intcode::ArenaPool::new();
+        let sequential = compiled.run_batch(&queries, &mut pool);
+        for workers in [1usize, 2, 4, 8] {
+            let parallel = compiled.run_batch_parallel(&queries, workers);
+            assert_eq!(
+                sequential, parallel,
+                "seed {seed}: {workers}-worker batch diverged from sequential"
+            );
+        }
+    }
+}
+
 /// serialize → deserialize → run must be bit-identical to
 /// compile → run, for every benchmark in the suite — the correctness
 /// contract of the `symbol-serve` artifact path.
