@@ -20,6 +20,32 @@ pub fn amdahl_overlapped(mem_fraction: f64, enhancement: f64) -> f64 {
     1.0 / f64::max(mem_fraction, (1.0 - mem_fraction) / enhancement)
 }
 
+/// Speed-up ceiling of a machine with `ports` memory ports when
+/// memory fully overlaps computation: the §4.2 model generalized from
+/// the paper's single shared port. With memory taking fraction `m` of
+/// sequential time, `p` ports cut the memory term to `m/p`, so
+/// `speedup <= 1 / max(m/p, (1-m)/k)` — and with unbounded computation
+/// enhancement the ceiling is simply `p/m`.
+pub fn amdahl_ports(mem_fraction: f64, enhancement: f64, ports: f64) -> f64 {
+    1.0 / f64::max(mem_fraction / ports, (1.0 - mem_fraction) / enhancement)
+}
+
+/// Exact integer cycle floor imposed by the memory-port budget: a
+/// machine that accepts at most `ports` memory accesses per cycle
+/// needs at least `ceil(mem_ops / ports)` cycles to execute `mem_ops`
+/// memory operations. Trace scheduling never *removes* memory
+/// operations (speculation and tail duplication only add dynamic
+/// executions), so the sequential profile's memory-op count is a hard
+/// lower bound on any schedule's — which makes this floor a sound,
+/// slop-free invariant for the design-space sweep: no simulated
+/// configuration may finish in fewer cycles.
+pub fn port_cycle_floor(mem_ops: u64, ports: usize) -> u64 {
+    if ports == 0 {
+        return u64::MAX;
+    }
+    mem_ops.div_ceil(ports as u64)
+}
+
 /// A sampled speed-up curve over enhancement factors.
 #[derive(Clone, Debug)]
 pub struct AmdahlCurve {
@@ -65,6 +91,29 @@ mod tests {
         // overlapping memory with computation already helps at k=1:
         // time = max(m, 1-m) = 0.68
         assert!((amdahl_overlapped(0.32, 1.0) - 1.0 / 0.68).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ports_generalize_the_single_port_ceiling() {
+        // One port is exactly the paper's overlapped model.
+        for k in [1.0, 4.0, 1e9] {
+            assert!((amdahl_ports(0.32, k, 1.0) - amdahl_overlapped(0.32, k)).abs() < 1e-12);
+        }
+        // Two ports double the asymptotic ceiling: 2/m.
+        assert!((amdahl_ports(0.32, 1e12, 2.0) - 2.0 / 0.32).abs() < 1e-6);
+        // More ports never lower the ceiling.
+        for p in 1..6 {
+            assert!(amdahl_ports(0.32, 16.0, p as f64) <= amdahl_ports(0.32, 16.0, (p + 1) as f64));
+        }
+    }
+
+    #[test]
+    fn port_cycle_floor_is_exact() {
+        assert_eq!(port_cycle_floor(10, 1), 10);
+        assert_eq!(port_cycle_floor(10, 3), 4);
+        assert_eq!(port_cycle_floor(9, 3), 3);
+        assert_eq!(port_cycle_floor(0, 4), 0);
+        assert_eq!(port_cycle_floor(5, 0), u64::MAX);
     }
 
     #[test]

@@ -11,7 +11,7 @@ pub mod mix;
 pub mod predict;
 pub mod table;
 
-pub use amdahl::{amdahl_overlapped, amdahl_separate, AmdahlCurve};
+pub use amdahl::{amdahl_overlapped, amdahl_ports, amdahl_separate, port_cycle_floor, AmdahlCurve};
 pub use mix::ClassMix;
 pub use predict::{faulty_prediction, Histogram, PredictStats};
 pub use table::TextTable;

@@ -1,0 +1,95 @@
+//! Design-space sweep harness timing: grid expansion throughput, the
+//! per-point compact-and-simulate kernel, and the parallel sweep
+//! driver at 1 thread vs the machine's full width (the fan-out the
+//! `sweep` binary rides). Prints the paper-grid frontier report for
+//! the timing subset.
+//!
+//! With `--check`, exits nonzero if the timed sweep violates its own
+//! invariant gates or is not bit-identical across thread counts —
+//! the same gates the `sweep-smoke` CI job asserts on the reduced
+//! grid, kept here so the timing run cannot silently drift.
+
+use std::hint::black_box;
+
+use symbol_bench::timing::Harness;
+use symbol_core::benchmarks;
+use symbol_core::experiments::sweep::{run_sweep, GridSpec, SweepOptions};
+use symbol_obs::Registry;
+
+fn bench(h: &mut Harness) {
+    let full = GridSpec::full();
+    h.bench_function("sweep/expand_full_grid", |b| {
+        b.iter(|| black_box(&full).expand().len())
+    });
+
+    let paper = GridSpec::paper();
+    let bench = *benchmarks::by_name("nreverse").expect("nreverse exists");
+    for threads in [1usize, num_threads()] {
+        h.bench_function(&format!("sweep/paper_grid/nreverse/{threads}t"), |b| {
+            let opts = SweepOptions {
+                threads,
+                budget: None,
+            };
+            b.iter(|| {
+                run_sweep(black_box(&paper), &[bench], &opts, &Registry::disabled())
+                    .expect("sweep runs")
+                    .benches[0]
+                    .cycles
+                    .clone()
+            })
+        });
+    }
+}
+
+fn num_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// The correctness side of the timing run: paper grid over the timing
+/// subset, gates on, reports printed.
+fn check_and_report(check: bool) {
+    let grid = GridSpec::paper();
+    let benches: Vec<_> = symbol_bench::TIMING_SUBSET
+        .iter()
+        .map(|n| *benchmarks::by_name(n).expect("subset benchmark exists"))
+        .collect();
+    let opts = SweepOptions {
+        threads: num_threads(),
+        budget: None,
+    };
+    let report = run_sweep(&grid, &benches, &opts, &Registry::disabled()).expect("sweep runs");
+    println!("\n{}", report.render());
+
+    if check {
+        let violations = report.check_invariants();
+        for v in &violations {
+            eprintln!("sweep_grid: invariant: {v}");
+        }
+        let seq = run_sweep(
+            &grid,
+            &benches,
+            &SweepOptions {
+                threads: 1,
+                budget: None,
+            },
+            &Registry::disabled(),
+        )
+        .expect("sequential sweep runs");
+        let deterministic = seq.to_json() == report.to_json();
+        if !deterministic {
+            eprintln!("sweep_grid: parallel and sequential sweeps disagree");
+        }
+        if !violations.is_empty() || !deterministic {
+            std::process::exit(1);
+        }
+        println!("sweep_grid: invariants hold and the sweep is thread-count independent");
+    }
+}
+
+fn main() {
+    let check = std::env::args().any(|a| a == "--check");
+    let mut h = Harness::new();
+    bench(&mut h);
+    h.final_summary();
+    check_and_report(check);
+}

@@ -22,14 +22,15 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use symbol_core::obs_report::{
-    collect, render_flight_dump, render_timeline, validate_dump, validate_timeline, ReportOptions,
+    collect, render_flight_dump, render_sweep_report, render_timeline, validate_dump,
+    validate_timeline, ReportOptions,
 };
 
 fn usage() -> ! {
     eprintln!(
         "usage: obs_report [--out DIR] [--threads N] [--hot N] \
          [--quick] [--check-schema] [--print-schema] \
-         [--flight FILE] [--timeline FILE]"
+         [--flight FILE] [--timeline FILE] [--sweep FILE]"
     );
     std::process::exit(2);
 }
@@ -63,6 +64,7 @@ fn main() -> ExitCode {
     let mut print_schema = false;
     let mut flight_file: Option<PathBuf> = None;
     let mut timeline_file: Option<PathBuf> = None;
+    let mut sweep_file: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -88,6 +90,9 @@ fn main() -> ExitCode {
             "--timeline" => {
                 timeline_file = Some(PathBuf::from(args.next().unwrap_or_else(|| usage())));
             }
+            "--sweep" => {
+                sweep_file = Some(PathBuf::from(args.next().unwrap_or_else(|| usage())));
+            }
             _ => usage(),
         }
     }
@@ -98,6 +103,9 @@ fn main() -> ExitCode {
     }
     if let Some(path) = &timeline_file {
         return render_file(path, render_timeline);
+    }
+    if let Some(path) = &sweep_file {
+        return render_file(path, render_sweep_report);
     }
 
     let report = match collect(&opts) {

@@ -8,6 +8,7 @@
 
 pub mod ablation;
 pub mod reports;
+pub mod sweep;
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -34,7 +35,7 @@ pub const UNIT_SWEEP: [usize; 5] = [1, 2, 3, 4, 5];
 /// therefore a function of the job list alone — never of thread
 /// scheduling — which is what makes the parallel experiment drivers
 /// bit-identical to their sequential counterparts.
-fn run_indexed<T, F>(jobs: usize, threads: usize, f: F) -> Vec<T>
+pub(crate) fn run_indexed<T, F>(jobs: usize, threads: usize, f: F) -> Vec<T>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,

@@ -546,6 +546,109 @@ pub fn render_timeline(ndjson: &str) -> Result<String, String> {
     Ok(out)
 }
 
+/// Renders a `BENCH_sweep.json` document (the `sweep` binary's
+/// `sweep-v1` schema) as the human frontier report: the Pareto
+/// frontier of hardware cost vs. geomean speedup, and the fastest
+/// machine per benchmark — without re-running anything.
+///
+/// # Errors
+///
+/// Fails on malformed JSON, a wrong schema tag, or indices that point
+/// outside the config table.
+pub fn render_sweep_report(doc: &str) -> Result<String, String> {
+    let v = json::parse(doc)?;
+    if v.get("schema").and_then(json::Value::as_str) != Some("sweep-v1") {
+        return Err("not a sweep-v1 report (missing or wrong `schema`)".into());
+    }
+    let configs = v
+        .get("configs")
+        .and_then(json::Value::as_arr)
+        .ok_or("sweep report: missing `configs`")?;
+    let config = |i: u64| -> Result<&json::Value, String> {
+        configs
+            .get(i as usize)
+            .ok_or_else(|| format!("sweep report: config index {i} out of range"))
+    };
+    let cfg_str = |c: &json::Value, key: &str| -> String {
+        c.get(key)
+            .and_then(json::Value::as_str)
+            .unwrap_or("?")
+            .to_string()
+    };
+    let cfg_num = |c: &json::Value, key: &str| -> f64 {
+        c.get(key).and_then(json::Value::as_f64).unwrap_or(f64::NAN)
+    };
+
+    let mut out = String::new();
+    let grid = v.get("grid").and_then(json::Value::as_str).unwrap_or("?");
+    let benches = v
+        .get("benches")
+        .and_then(json::Value::as_arr)
+        .ok_or("sweep report: missing `benches`")?;
+    let _ = writeln!(
+        out,
+        "Design-space sweep: {} configs x {} benchmarks (grid {grid})",
+        configs.len(),
+        benches.len()
+    );
+    if let Some(truncated) = v.get("truncated").and_then(json::Value::as_arr) {
+        if !truncated.is_empty() {
+            let names: Vec<&str> = truncated.iter().filter_map(json::Value::as_str).collect();
+            let _ = writeln!(
+                out,
+                "TRUNCATED by time budget; skipped: {}",
+                names.join(", ")
+            );
+        }
+    }
+    out.push('\n');
+
+    let best_overall = v.get("best_overall").and_then(json::Value::as_u64);
+    out.push_str("Pareto frontier (hardware cost vs geomean speedup):\n");
+    let mut frontier = symbol_analysis::TextTable::new(&["config", "cost", "geomean speedup"]);
+    for i in v
+        .get("frontier")
+        .and_then(json::Value::as_arr)
+        .ok_or("sweep report: missing `frontier`")?
+        .iter()
+        .filter_map(json::Value::as_u64)
+    {
+        let c = config(i)?;
+        let marker = if Some(i) == best_overall {
+            " *best"
+        } else {
+            ""
+        };
+        frontier.row(vec![
+            format!("{}{marker}", cfg_str(c, "label")),
+            format!("{:.2}", cfg_num(c, "cost")),
+            format!("{:.2}", cfg_num(c, "geomean_speedup")),
+        ]);
+    }
+    out.push_str(&frontier.to_string());
+
+    out.push_str("\nBest machine per benchmark:\n");
+    let mut winners = symbol_analysis::TextTable::new(&["benchmark", "config", "speedup"]);
+    for w in v
+        .get("best_per_bench")
+        .and_then(json::Value::as_arr)
+        .ok_or("sweep report: missing `best_per_bench`")?
+    {
+        let i = w
+            .get("config")
+            .and_then(json::Value::as_u64)
+            .ok_or("sweep report: winner without a config index")?;
+        let c = config(i)?;
+        winners.row(vec![
+            cfg_str(w, "bench"),
+            cfg_str(c, "label"),
+            format!("{:.2}", cfg_num(w, "speedup")),
+        ]);
+    }
+    out.push_str(&winners.to_string());
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -650,5 +753,37 @@ mod tests {
         assert!(schema_drift_against("a\n", "a\nb\n")
             .unwrap()
             .contains("missing line"));
+    }
+
+    #[test]
+    fn sweep_report_renders_from_its_json() {
+        use crate::experiments::sweep::{BenchSweep, GridSpec, SweepReport};
+        let grid = GridSpec {
+            units: vec![1, 2],
+            ..GridSpec::paper()
+        };
+        let report = SweepReport {
+            grid: grid.describe(),
+            points: grid.expand(),
+            units_chunk: 2,
+            benches: vec![BenchSweep {
+                name: "nreverse",
+                seq_cycles: 1000,
+                seq_mem_ops: 100,
+                cycles: vec![500, 250],
+                mem_ops: vec![100, 110],
+            }],
+            truncated: vec!["qsort"],
+        };
+        let rendered = render_sweep_report(&report.to_json()).expect("renders");
+        assert!(rendered.contains("Pareto frontier"));
+        assert!(rendered.contains("*best"));
+        assert!(rendered.contains("nreverse"));
+        assert!(rendered.contains("skipped: qsort"));
+        // The winner row shows the 2-unit machine's 4.00x speedup.
+        assert!(rendered.contains("4.00"), "{rendered}");
+
+        assert!(render_sweep_report("{\"schema\": \"nope\"}").is_err());
+        assert!(render_sweep_report("not json").is_err());
     }
 }

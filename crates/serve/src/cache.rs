@@ -94,14 +94,23 @@ pub struct ArtifactCache {
 }
 
 impl ArtifactCache {
-    /// Opens (creating if needed) the cache directory.
+    /// Opens (creating if needed) the cache directory and reclaims
+    /// stale `.tmp-{pid}-{seq}` files left behind by writers that
+    /// crashed between write and rename: a temp whose writer pid is
+    /// provably dead (no `/proc/{pid}` on Linux), or that is older
+    /// than `STALE_TMP_AGE` (covers pid recycling and platforms
+    /// without `/proc`), is removed. Temps of live writers — including
+    /// this process — are left alone. Reclaimed files are counted
+    /// under `serve.cache.tmp_reclaimed`.
     ///
     /// # Errors
     ///
-    /// Any I/O error creating the directory.
+    /// Any I/O error creating the directory. Reclaim itself is best
+    /// effort and never fails the open.
     pub fn new(dir: impl Into<PathBuf>, obs: Registry) -> std::io::Result<Self> {
         let dir = dir.into();
         std::fs::create_dir_all(&dir)?;
+        reclaim_stale_temps(&dir, &obs);
         Ok(ArtifactCache {
             dir,
             obs,
@@ -410,6 +419,67 @@ impl ArtifactCache {
             self.load_compiled_fused(source, layout)
         })
     }
+}
+
+/// Age beyond which an orphaned `.tmp-*` file is reclaimed even when
+/// its writer cannot be proven dead: a store's temp lives only for the
+/// milliseconds between write and rename, so anything this old is a
+/// leak whatever its pid says (pids recycle, and not every platform
+/// can answer liveness).
+const STALE_TMP_AGE: std::time::Duration = std::time::Duration::from_secs(3600);
+
+/// Whether the writer that owns a temp file might still be running.
+/// Our own pid is always alive; on Linux other pids are checked via
+/// `/proc`; elsewhere liveness is unknowable and the age threshold
+/// decides alone.
+fn temp_writer_may_be_alive(pid: u32) -> bool {
+    if pid == std::process::id() {
+        return true;
+    }
+    if cfg!(target_os = "linux") {
+        Path::new("/proc").join(pid.to_string()).exists()
+    } else {
+        true
+    }
+}
+
+/// Parses the writer pid out of a `.tmp-{pid}-{seq}` file name;
+/// `None` for anything that is not one of our temp files.
+fn temp_writer_pid(name: &str) -> Option<u32> {
+    let rest = name.strip_prefix(".tmp-")?;
+    let (pid, seq) = rest.split_once('-')?;
+    seq.parse::<u64>().ok()?;
+    pid.parse().ok()
+}
+
+/// Best-effort removal of stale temp files in `dir` (see
+/// [`ArtifactCache::new`]); returns the number reclaimed.
+fn reclaim_stale_temps(dir: &Path, obs: &Registry) -> u64 {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return 0;
+    };
+    let mut reclaimed = 0;
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(pid) = temp_writer_pid(&name.to_string_lossy()) else {
+            continue;
+        };
+        let old_enough = entry
+            .metadata()
+            .and_then(|m| m.modified())
+            .ok()
+            .and_then(|t| t.elapsed().ok())
+            .is_some_and(|age| age >= STALE_TMP_AGE);
+        if (!temp_writer_may_be_alive(pid) || old_enough)
+            && std::fs::remove_file(entry.path()).is_ok()
+        {
+            reclaimed += 1;
+        }
+    }
+    if reclaimed > 0 {
+        obs.counter("serve.cache.tmp_reclaimed", &[]).add(reclaimed);
+    }
+    reclaimed
 }
 
 /// Curried `serve.cache.singleflight` counter: resolves the labelled
@@ -761,6 +831,31 @@ mod tests {
             })
             .collect();
         assert!(runs.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn opening_the_cache_reclaims_temps_of_dead_writers_only() {
+        let t = TempDir::new("reclaim");
+        // A pid above Linux's default pid_max (4194304): provably dead.
+        let dead = t.0.join(".tmp-4294000000-3");
+        std::fs::write(&dead, b"half-written artifact").expect("plant dead temp");
+        // Our own pid: a live writer's temp must survive the open.
+        let live = t.0.join(format!(".tmp-{}-7", std::process::id()));
+        std::fs::write(&live, b"in flight").expect("plant live temp");
+        // Not our naming scheme: never touched.
+        let foreign = t.0.join(".tmp-not-a-pid");
+        std::fs::write(&foreign, b"someone else's").expect("plant foreign file");
+
+        let obs = Registry::new();
+        let cache = ArtifactCache::new(&t.0, obs.clone()).expect("open cache");
+        assert!(!dead.exists(), "dead writer's temp reclaimed on open");
+        assert!(live.exists(), "live writer's temp left alone");
+        assert!(foreign.exists(), "non-temp files left alone");
+        assert_eq!(obs.counter("serve.cache.tmp_reclaimed", &[]).get(), 1);
+
+        // The cache still works normally after the sweep.
+        cache.load_compiled(SRC, Layout::default()).expect("cold");
+        cache.load_compiled(SRC, Layout::default()).expect("warm");
     }
 
     #[test]

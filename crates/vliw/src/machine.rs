@@ -111,6 +111,63 @@ impl MachineConfig {
         }
     }
 
+    /// Relative hardware cost of this configuration, the x-axis of the
+    /// design-space sweep's Pareto frontier (cycles vs. cost).
+    ///
+    /// The model is a linear silicon-budget estimate in arbitrary
+    /// "unit-equivalents"; the weights are documented in DESIGN.md and
+    /// deliberately coarse — the frontier's *shape* is the result, not
+    /// the absolute numbers:
+    ///
+    /// * `1.0` per unit (register ports, bypass, one ALU datapath),
+    /// * `0.25` per issue slot (decode + dispatch width),
+    /// * `2.0` per memory port — the shared data memory is the
+    ///   expensive resource the paper's whole analysis revolves around,
+    /// * `4.0 / (mem_latency + 1)`: faster memory costs more
+    ///   (a 1-cycle port costs 2.0, the paper's 2-cycle port 1.33),
+    /// * `2.0 / (taken_branch_penalty + 1)`: a zero-bubble front end
+    ///   costs 2.0, the paper's 1-bubble front end 1.0,
+    /// * `+0.5` per unit for prioritized multi-way branching (per-unit
+    ///   branch resolution and the priority network),
+    /// * `-0.25` per unit with the prototype's two-format restriction
+    ///   (§5.1): the restriction exists precisely because it makes the
+    ///   instruction fetch path cheaper.
+    ///
+    /// Deterministic: same configuration, same `f64`, bit for bit.
+    pub fn hardware_cost(&self) -> f64 {
+        let units = self.units as f64;
+        let mut cost = units;
+        cost += 0.25 * self.issue_width as f64;
+        cost += 2.0 * self.mem_ports as f64;
+        cost += 4.0 / (self.mem_latency as f64 + 1.0);
+        cost += 2.0 / (self.taken_branch_penalty as f64 + 1.0);
+        if self.multiway_branch {
+            cost += 0.5 * units;
+        }
+        if self.split_formats {
+            cost -= 0.25 * units;
+        }
+        cost
+    }
+
+    /// Compact, stable one-line description of the configuration, used
+    /// as the row label of the sweep reports: e.g.
+    /// `u3 w3 p1 ml2 bp1 mw` (units, issue width, memory ports, memory
+    /// latency, branch penalty, then `mw`/`1w` for multi-way vs.
+    /// single-branch issue and a trailing `sf` for split formats).
+    pub fn describe(&self) -> String {
+        format!(
+            "u{} w{} p{} ml{} bp{} {}{}",
+            self.units,
+            self.issue_width,
+            self.mem_ports,
+            self.mem_latency,
+            self.taken_branch_penalty,
+            if self.multiway_branch { "mw" } else { "1w" },
+            if self.split_formats { " sf" } else { "" },
+        )
+    }
+
     /// Result latency for an op.
     pub fn latency(&self, op: &symbol_intcode::Op) -> u32 {
         use symbol_intcode::OpClass::*;
@@ -146,5 +203,50 @@ mod tests {
     fn prototype_has_split_formats() {
         assert!(MachineConfig::prototype().split_formats);
         assert!(!MachineConfig::units(3).split_formats);
+    }
+
+    #[test]
+    fn hardware_cost_orders_machines_sensibly() {
+        // More units cost more, all else equal.
+        assert!(MachineConfig::units(5).hardware_cost() > MachineConfig::units(1).hardware_cost());
+        // A second memory port is a real expense.
+        let base = MachineConfig::units(3);
+        let two_ports = MachineConfig {
+            mem_ports: 2,
+            ..base
+        };
+        assert!(two_ports.hardware_cost() > base.hardware_cost());
+        // Faster memory costs more than slower memory.
+        let fast = MachineConfig {
+            mem_latency: 1,
+            ..base
+        };
+        let slow = MachineConfig {
+            mem_latency: 4,
+            ..base
+        };
+        assert!(fast.hardware_cost() > slow.hardware_cost());
+        // The prototype's format restriction is a discount.
+        assert!(MachineConfig::prototype().hardware_cost() < base.hardware_cost());
+        // Deterministic, bit for bit.
+        assert_eq!(
+            base.hardware_cost().to_bits(),
+            MachineConfig::units(3).hardware_cost().to_bits()
+        );
+    }
+
+    #[test]
+    fn describe_is_stable_and_distinct() {
+        assert_eq!(MachineConfig::units(3).describe(), "u3 w3 p1 ml2 bp1 mw");
+        assert_eq!(
+            MachineConfig::prototype().describe(),
+            "u3 w3 p1 ml2 bp1 mw sf"
+        );
+        let narrow = MachineConfig {
+            multiway_branch: false,
+            mem_ports: 2,
+            ..MachineConfig::wide_units(2)
+        };
+        assert_eq!(narrow.describe(), "u2 w8 p2 ml2 bp1 1w");
     }
 }

@@ -593,6 +593,139 @@ mod tests {
     }
 
     #[test]
+    fn word_resources_honor_extra_memory_ports() {
+        // Two loads in one word: illegal on the paper's single-ported
+        // machine, legal once the sweep grants a second port.
+        let two_loads = word(vec![
+            Op::Ld {
+                d: R(40),
+                base: R(41),
+                off: 0,
+            },
+            Op::Ld {
+                d: R(42),
+                base: R(41),
+                off: 1,
+            },
+        ]);
+        let one_port = MachineConfig::units(2);
+        assert!(matches!(
+            check_word_resources(&two_loads, &one_port, 0),
+            Err(SimError::SlotOverflow {
+                at: 0,
+                class: OpClass::Memory
+            })
+        ));
+        let two_ports = MachineConfig {
+            mem_ports: 2,
+            ..one_port
+        };
+        assert!(check_word_resources(&two_loads, &two_ports, 0).is_ok());
+        // The port budget is still clamped by the unit count: 4 ports
+        // on 2 units cannot issue 3 memory ops.
+        let three_loads = word(vec![
+            Op::Ld {
+                d: R(40),
+                base: R(41),
+                off: 0,
+            },
+            Op::Ld {
+                d: R(42),
+                base: R(41),
+                off: 1,
+            },
+            Op::Ld {
+                d: R(43),
+                base: R(41),
+                off: 2,
+            },
+        ]);
+        let many_ports = MachineConfig {
+            mem_ports: 4,
+            issue_width: 4,
+            ..MachineConfig::units(2)
+        };
+        assert!(matches!(
+            check_word_resources(&three_loads, &many_ports, 7),
+            Err(SimError::SlotOverflow {
+                at: 7,
+                class: OpClass::Memory
+            })
+        ));
+    }
+
+    #[test]
+    fn word_resources_honor_issue_width_below_units() {
+        // A sweep corner: 4 units but only 2 issue slots per cycle.
+        // Width binds before any per-class budget.
+        let narrow = MachineConfig {
+            issue_width: 2,
+            ..MachineConfig::units(4)
+        };
+        let three_moves = word(vec![
+            Op::Mv { d: R(40), s: R(41) },
+            Op::Mv { d: R(42), s: R(41) },
+            Op::Mv { d: R(43), s: R(41) },
+        ]);
+        assert!(matches!(
+            check_word_resources(&three_moves, &narrow, 3),
+            Err(SimError::WidthOverflow { at: 3 })
+        ));
+        let two_moves = word(vec![
+            Op::Mv { d: R(40), s: R(41) },
+            Op::Mv { d: R(42), s: R(41) },
+        ]);
+        assert!(check_word_resources(&two_moves, &narrow, 3).is_ok());
+    }
+
+    #[test]
+    fn zero_latency_machine_executes_correctly() {
+        // The zero-latency corner of the grid: results are ready in
+        // the next cycle and taken branches cost nothing extra. The
+        // program must still produce the right answer and run in no
+        // more cycles than the paper's timing.
+        let zero = MachineConfig {
+            mem_latency: 0,
+            alu_latency: 0,
+            taken_branch_penalty: 0,
+            ..MachineConfig::units(2)
+        };
+        let instrs = vec![
+            word(vec![Op::MvI {
+                d: R(40),
+                w: Word::int(20),
+            }]),
+            word(vec![Op::Alu {
+                op: AluOp::Add,
+                d: R(40),
+                a: R(40),
+                b: Operand::Imm(1),
+            }]),
+            word(vec![Op::Br {
+                cond: Cond::Lt,
+                a: R(40),
+                b: Operand::Imm(30),
+                t: Label(1),
+            }]),
+            word(vec![Op::Halt { success: true }]),
+        ];
+        let mut labels = HashMap::new();
+        labels.insert(Label(0), 0);
+        labels.insert(Label(1), 1);
+        let p = VliwProgram::new(instrs, labels, 2, Label(0));
+        let fast = VliwSim::new(&p, zero, &tiny_layout())
+            .run(&SimConfig::default())
+            .expect("zero-latency machine runs");
+        assert_eq!(fast.outcome, SimOutcome::Success);
+        let paper = VliwSim::new(&p, MachineConfig::units(2), &tiny_layout())
+            .run(&SimConfig::default())
+            .expect("paper machine runs");
+        assert_eq!(paper.outcome, SimOutcome::Success);
+        assert!(fast.cycles <= paper.cycles);
+        assert_eq!(fast.ops, paper.ops, "timing must not change the work");
+    }
+
+    #[test]
     fn cycle_limit_enforced() {
         // an unconditional self-loop must hit the configured limit
         let mut labels = HashMap::new();

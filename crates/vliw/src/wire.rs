@@ -853,6 +853,71 @@ mod tests {
     }
 
     #[test]
+    fn exotic_sweep_machines_round_trip_exactly() {
+        // The corners the design-space sweep generates: multi-ported
+        // memory, an issue width below the unit count, zero-latency
+        // edges, and every boolean knob flipped. Each must survive the
+        // wire byte-exactly — a sweep config that silently changed in
+        // the artifact cache would attribute results to the wrong
+        // machine.
+        let corners = [
+            MachineConfig {
+                mem_ports: 4,
+                ..MachineConfig::units(2)
+            },
+            MachineConfig {
+                issue_width: 2,
+                ..MachineConfig::units(5)
+            },
+            MachineConfig {
+                mem_latency: 0,
+                alu_latency: 0,
+                taken_branch_penalty: 0,
+                ..MachineConfig::units(3)
+            },
+            MachineConfig {
+                multiway_branch: false,
+                split_formats: true,
+                mem_ports: 2,
+                ..MachineConfig::wide_units(4)
+            },
+        ];
+        for m in corners {
+            let mut w = Writer::new();
+            put_machine(&mut w, &m);
+            let bytes = w.into_bytes();
+            let mut r = Reader::new(&bytes);
+            let back = get_machine(&mut r).expect("decodes");
+            r.finish().expect("fully consumed");
+            assert_eq!(back, m, "round trip must preserve {}", m.describe());
+            let mut w2 = Writer::new();
+            put_machine(&mut w2, &back);
+            assert_eq!(w2.into_bytes(), bytes, "re-encode must be byte-exact");
+        }
+    }
+
+    #[test]
+    fn machine_decode_rejects_degenerate_dimensions() {
+        // Zero units is not a machine; oversized dimensions are
+        // corrupt artifacts, not buffer sizes.
+        let encode = |m: &MachineConfig| {
+            let mut w = Writer::new();
+            put_machine(&mut w, m);
+            w.into_bytes()
+        };
+        let zero_units = MachineConfig {
+            units: 0,
+            ..MachineConfig::units(1)
+        };
+        assert!(get_machine(&mut Reader::new(&encode(&zero_units))).is_err());
+        let huge = MachineConfig {
+            mem_ports: MAX_MACHINE_DIM + 1,
+            ..MachineConfig::units(1)
+        };
+        assert!(get_machine(&mut Reader::new(&encode(&huge))).is_err());
+    }
+
+    #[test]
     fn machine_config_hash_distinguishes_configs() {
         let mut a = Writer::new();
         put_machine(&mut a, &MachineConfig::units(2));
